@@ -1,0 +1,102 @@
+package hwatch
+
+// One benchmark per data figure in the paper's evaluation. Each iteration
+// regenerates the figure's scenario at a reduced scale (so -bench runs in
+// minutes, not hours) and reports the figure's headline quantity as a
+// custom metric next to the usual ns/op. Full-scale regeneration is
+// `go run ./cmd/figgen`.
+
+import (
+	"testing"
+
+	"hwatch/internal/sim"
+)
+
+const benchScale = 0.2
+
+// BenchmarkFig1 regenerates the DCTCP initial-window study (Fig. 1a-d) and
+// reports the mean short-flow FCT at the default ICW of 10.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Fig1(benchScale)
+		b.ReportMetric(res.Runs[10].ShortFCTms.Mean(), "fct-ms@icw10")
+		b.ReportMetric(float64(res.Runs[10].Drops), "drops@icw10")
+	}
+}
+
+// BenchmarkFig2 regenerates the coexistence study (Fig. 2a-d) and reports
+// the MIX/DCTCP variance inflation.
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Fig2(benchScale)
+		if v := res.DCTCP.ShortFCTms.Var(); v > 0 {
+			b.ReportMetric(res.Mix.ShortFCTms.Var()/v, "var-inflation")
+		}
+		b.ReportMetric(res.Mix.QueuePkts.Mean(), "mix-queue-pkts")
+	}
+}
+
+// BenchmarkFig8 regenerates the 50-source comparison (Fig. 8a-d) and
+// reports HWatch's mean FCT and its improvement over DropTail.
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Fig8(benchScale)
+		hw := res.Runs[HWatch]
+		dt := res.Runs[DropTail]
+		b.ReportMetric(hw.ShortFCTms.Mean(), "hwatch-fct-ms")
+		if m := hw.ShortFCTms.Mean(); m > 0 {
+			b.ReportMetric(dt.ShortFCTms.Mean()/m, "speedup-vs-droptail")
+		}
+		b.ReportMetric(float64(hw.Timeouts), "hwatch-rtos")
+	}
+}
+
+// BenchmarkFig9 regenerates the 100-source scalability rerun (Fig. 9a-d).
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Fig9(benchScale)
+		hw := res.Runs[HWatch]
+		b.ReportMetric(hw.ShortFCTms.Quantile(0.99), "hwatch-fct-p99-ms")
+		b.ReportMetric(float64(hw.Timeouts), "hwatch-rtos")
+	}
+}
+
+// BenchmarkFig11 regenerates the testbed experiment (Fig. 11a-b) and
+// reports the TCP->HWatch response-time improvement factor.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := Fig11(0.5)
+		if m := res.HWatch.ShortFCTms.Mean(); m > 0 {
+			b.ReportMetric(res.TCP.ShortFCTms.Mean()/m, "speedup")
+		}
+		b.ReportMetric(res.HWatch.LongGoodputBps.Mean()/1e6, "elephant-Mbps")
+	}
+}
+
+// BenchmarkSchemeHWatch times a single HWatch dumbbell run: the end-to-end
+// cost of the simulator + shim datapath (events/sec throughput proxy).
+func BenchmarkSchemeHWatch(b *testing.B) {
+	p := PaperDumbbell(5, 5)
+	p.Duration = 100 * sim.Millisecond
+	p.Epochs = 1
+	p.FirstEpoch = 20 * sim.Millisecond
+	p.ByteBuffers = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunDumbbell(HWatch, p)
+	}
+}
+
+// BenchmarkSchemeDCTCP is the no-shim baseline of the same scenario, so the
+// shim's datapath overhead is the difference between the two benchmarks.
+func BenchmarkSchemeDCTCP(b *testing.B) {
+	p := PaperDumbbell(5, 5)
+	p.Duration = 100 * sim.Millisecond
+	p.Epochs = 1
+	p.FirstEpoch = 20 * sim.Millisecond
+	p.ByteBuffers = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunDumbbell(DCTCP, p)
+	}
+}

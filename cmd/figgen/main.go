@@ -1,0 +1,106 @@
+// Command figgen regenerates the data behind every figure in the paper's
+// evaluation in one run, writing comparison tables to stdout and CSV curve
+// data under -out (default "out/").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"hwatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figgen: ")
+	var (
+		outDir = flag.String("out", "out", "directory for CSV curve data")
+		scale  = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
+		only   = flag.String("only", "", "comma-separated subset, e.g. fig8,fig11")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, f := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	save := func(prefix string, r *hwatch.Run) {
+		if err := hwatch.SaveRun(*outDir, prefix, r); err != nil {
+			log.Fatalf("saving %s: %v", prefix, err)
+		}
+	}
+	section := func(name, caption string) {
+		fmt.Printf("\n== %s — %s ==\n", name, caption)
+	}
+	plots := func(fig string, labels, prefixes []string) {
+		if err := hwatch.WriteFigurePlots(*outDir, fig, labels, prefixes); err != nil {
+			log.Fatalf("plot scripts for %s: %v", fig, err)
+		}
+	}
+
+	start := time.Now()
+	if selected("fig1") {
+		section("Figure 1", "DCTCP vs initial congestion window")
+		res := hwatch.Fig1(*scale)
+		var runs []*hwatch.Run
+		var labels, prefixes []string
+		for _, icw := range res.ICWs {
+			runs = append(runs, res.Runs[icw])
+			prefix := fmt.Sprintf("fig1_icw%d", icw)
+			save(prefix, res.Runs[icw])
+			labels = append(labels, res.Runs[icw].Label)
+			prefixes = append(prefixes, prefix)
+		}
+		fmt.Print(hwatch.Table(runs))
+		plots("fig1", labels, prefixes)
+	}
+	if selected("fig2") {
+		section("Figure 2", "DCTCP alone vs coexistence MIX")
+		res := hwatch.Fig2(*scale)
+		fmt.Print(hwatch.Table([]*hwatch.Run{res.DCTCP, res.Mix, res.MixHWatch}))
+		fmt.Printf("FCT variance: DCTCP=%.1f ms^2, MIX=%.1f ms^2, MIX+HWatch=%.1f ms^2\n",
+			res.DCTCP.ShortFCTms.Var(), res.Mix.ShortFCTms.Var(), res.MixHWatch.ShortFCTms.Var())
+		save("fig2_dctcp", res.DCTCP)
+		save("fig2_mix", res.Mix)
+		save("fig2_mix_hwatch", res.MixHWatch)
+		plots("fig2", []string{"DCTCP", "MIX", "MIX+HWatch"},
+			[]string{"fig2_dctcp", "fig2_mix", "fig2_mix_hwatch"})
+	}
+	schemeFig := func(name, caption string, res *hwatch.Fig8Result) {
+		section(name, caption)
+		var runs []*hwatch.Run
+		var labels, prefixes []string
+		for _, s := range res.Order {
+			runs = append(runs, res.Runs[s])
+			prefix := strings.ToLower(name) + "_" + strings.ToLower(s.String())
+			save(prefix, res.Runs[s])
+			labels = append(labels, s.String())
+			prefixes = append(prefixes, prefix)
+		}
+		fmt.Print(hwatch.Table(runs))
+		plots(strings.ToLower(name), labels, prefixes)
+	}
+	if selected("fig8") {
+		schemeFig("Fig8", "50 sources: DropTail / RED / HWatch / DCTCP", hwatch.Fig8(*scale))
+	}
+	if selected("fig9") {
+		schemeFig("Fig9", "100 sources (scalability)", hwatch.Fig9(*scale))
+	}
+	if selected("fig11") {
+		section("Figure 11", "testbed: TCP vs TCP-HWatch")
+		res := hwatch.Fig11(*scale)
+		fmt.Print(hwatch.Table([]*hwatch.Run{res.TCP, res.HWatch}))
+		save("fig11_tcp", res.TCP)
+		save("fig11_hwatch", res.HWatch)
+		plots("fig11", []string{"TCP", "TCP-HWatch"}, []string{"fig11_tcp", "fig11_hwatch"})
+	}
+	fmt.Printf("\nall selected figures regenerated in %v; curves under %s/\n",
+		time.Since(start).Round(time.Millisecond), *outDir)
+}

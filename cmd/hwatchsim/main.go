@@ -1,0 +1,132 @@
+// Command hwatchsim runs one of the paper's experiments and prints the
+// rows/series the corresponding figure plots.
+//
+// Usage:
+//
+//	hwatchsim -exp fig8                  # comparison table for Fig. 8
+//	hwatchsim -exp fig9 -scale 0.5       # half-scale quick run
+//	hwatchsim -exp fig1 -out out/        # also dump CSV series per run
+//	hwatchsim -exp scheme -scheme hwatch -long 25 -short 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hwatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hwatchsim: ")
+	var (
+		exp    = flag.String("exp", "fig8", "experiment: fig1|fig2|fig8|fig9|fig11|scheme|spec")
+		spec   = flag.String("spec", "", "JSON scenario file (with -exp spec)")
+		scale  = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1.0 = paper scale")
+		outDir = flag.String("out", "", "directory for per-run CSV series (optional)")
+		scheme = flag.String("scheme", "hwatch", "for -exp scheme: droptail|red|dctcp|hwatch")
+		longN  = flag.Int("long", 25, "for -exp scheme: long-lived sources")
+		shortN = flag.Int("short", 25, "for -exp scheme: short-lived sources")
+		seed   = flag.Int64("seed", 42, "scenario seed")
+		asJSON = flag.Bool("json", false, "emit run summaries as JSON")
+	)
+	flag.Parse()
+
+	var runs []*hwatch.Run
+	switch *exp {
+	case "fig1":
+		res := hwatch.Fig1(*scale)
+		for _, icw := range res.ICWs {
+			runs = append(runs, res.Runs[icw])
+		}
+	case "fig2":
+		res := hwatch.Fig2(*scale)
+		runs = []*hwatch.Run{res.DCTCP, res.Mix}
+	case "fig8":
+		res := hwatch.Fig8(*scale)
+		for _, s := range res.Order {
+			runs = append(runs, res.Runs[s])
+		}
+	case "fig9":
+		res := hwatch.Fig9(*scale)
+		for _, s := range res.Order {
+			runs = append(runs, res.Runs[s])
+		}
+	case "fig11":
+		res := hwatch.Fig11(*scale)
+		runs = []*hwatch.Run{res.TCP, res.HWatch}
+	case "scheme":
+		s, err := parseScheme(*scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := hwatch.PaperDumbbell(*longN, *shortN)
+		p.Seed = *seed
+		p.ByteBuffers = true
+		runs = []*hwatch.Run{hwatch.RunDumbbell(s, p)}
+	case "spec":
+		if *spec == "" {
+			log.Fatal("-exp spec requires -spec file.json")
+		}
+		sp, err := hwatch.LoadSpec(*spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := sp.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = []*hwatch.Run{run}
+	default:
+		log.Fatalf("unknown experiment %q", *exp)
+	}
+
+	if *asJSON {
+		out, err := hwatch.JSON(runs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	} else {
+		fmt.Printf("experiment %s (scale %.2f)\n\n", *exp, *scale)
+		fmt.Print(hwatch.Table(runs))
+	}
+
+	if *outDir != "" {
+		for _, r := range runs {
+			prefix := *exp + "_" + sanitize(r.Label)
+			if err := hwatch.SaveRun(*outDir, prefix, r); err != nil {
+				log.Fatalf("saving %s: %v", prefix, err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *outDir)
+	}
+}
+
+func parseScheme(s string) (hwatch.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "droptail":
+		return hwatch.DropTail, nil
+	case "red":
+		return hwatch.RED, nil
+	case "dctcp":
+		return hwatch.DCTCP, nil
+	case "hwatch":
+		return hwatch.HWatch, nil
+	}
+	return 0, fmt.Errorf("unknown scheme %q", s)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,78 @@
+// Command sweep runs the ablation studies over HWatch's design choices on
+// the Fig. 8 scenario (see DESIGN.md §5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hwatch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	var (
+		what  = flag.String("what", "all", "ablation: probes|k|icw|batch|pacing|guests|empirical|coflow|incast|all")
+		scale = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
+	)
+	flag.Parse()
+
+	if *what == "empirical" || *what == "all" {
+		fmt.Println("\n== empirical — web-search Poisson workload (extension) ==")
+		p := hwatch.DefaultEmpirical()
+		for _, r := range hwatch.RunEmpirical(hwatch.AllSchemes(), p) {
+			fmt.Println(r)
+		}
+		if *what == "empirical" {
+			return
+		}
+	}
+	if *what == "coflow" || *what == "all" {
+		fmt.Println("\n== coflow — job completion times, 16-wide jobs (extension) ==")
+		for _, r := range hwatch.RunCoflow(hwatch.AllSchemes(), hwatch.DefaultCoflow()) {
+			fmt.Println(r)
+		}
+		if *what == "coflow" {
+			return
+		}
+	}
+	if *what == "incast" || *what == "all" {
+		fmt.Println("\n== incast — latency cliff vs synchronized senders (extension) ==")
+		for _, r := range hwatch.RunIncastSweep(hwatch.AllSchemes(), hwatch.DefaultIncastSweep()) {
+			fmt.Println(r)
+		}
+		if *what == "incast" {
+			return
+		}
+	}
+
+	sweeps := []struct {
+		name    string
+		caption string
+		run     func(float64) []hwatch.AblationPoint
+	}{
+		{"probes", "probe count per connection setup", hwatch.AblationProbes},
+		{"k", "ECN marking threshold (fraction of buffer)", hwatch.AblationThreshold},
+		{"icw", "initial-window policy (probe credit)", hwatch.AblationStartWindow},
+		{"batch", "Rule 1 batch merge and growth cadence", hwatch.AblationBatches},
+		{"pacing", "SYN-ACK token-bucket pacing", hwatch.AblationPacing},
+		{"guests", "guest stack agnosticism (R3)", hwatch.AblationGuestStacks},
+	}
+
+	found := false
+	for _, s := range sweeps {
+		if *what != "all" && *what != s.name {
+			continue
+		}
+		found = true
+		fmt.Printf("\n== ablation %s — %s ==\n", s.name, s.caption)
+		for _, pt := range s.run(*scale) {
+			fmt.Println(pt)
+		}
+	}
+	if !found {
+		log.Fatalf("unknown ablation %q", *what)
+	}
+}

@@ -1,0 +1,33 @@
+// Quickstart: run the paper's headline comparison (Fig. 8, scaled down so
+// it finishes in a few seconds) and print the table. This is the smallest
+// useful hwatch program.
+package main
+
+import (
+	"fmt"
+
+	"hwatch"
+)
+
+func main() {
+	fmt.Println("HWatch quickstart: 50-source scheme comparison at 40% scale")
+	fmt.Println("(use cmd/figgen for the full paper-scale regeneration)")
+	fmt.Println()
+
+	res := hwatch.Fig8(0.4)
+	var runs []*hwatch.Run
+	for _, s := range res.Order {
+		runs = append(runs, res.Runs[s])
+	}
+	fmt.Print(hwatch.Table(runs))
+
+	hw := res.Runs[hwatch.HWatch]
+	fmt.Println()
+	fmt.Printf("HWatch finished %d/%d short flows with %d timeouts and %d drops.\n",
+		hw.ShortDone, hw.ShortAll, hw.Timeouts, hw.Drops)
+	if hw.ShimStats != nil {
+		fmt.Printf("The shims sent %d probes, stamped %d SYN-ACKs, paced %d, and rewrote %d ACK windows.\n",
+			hw.ShimStats.ProbesSent, hw.ShimStats.SynAcksStamped,
+			hw.ShimStats.SynAcksPaced, hw.ShimStats.RwndRewrites)
+	}
+}

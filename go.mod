@@ -1,0 +1,3 @@
+module hwatch
+
+go 1.22

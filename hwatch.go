@@ -1,0 +1,210 @@
+// Package hwatch is a faithful, self-contained reproduction of
+// "HWatch: Reducing Latency in Multi-Tenant Data Centers via Cautious
+// Congestion Watch" (Abdelmoniem, Bensaou, Susanto — ICPP 2020).
+//
+// It bundles a deterministic packet-level network simulator (the ns-2
+// stand-in), segment-level TCP stacks (NewReno, ECN-responsive and
+// non-responsive flavours, DCTCP), the AQM disciplines of commodity
+// switches (DropTail, RED, WRED, DCTCP threshold marking), and — the
+// paper's contribution — the HWatch hypervisor shim that watches ECN
+// statistics and steers unmodified guests by rewriting TCP receive
+// windows and pacing connection setup.
+//
+// The package surface mirrors the paper's evaluation: Fig1 through Fig11
+// regenerate each data figure, RunDumbbell/RunTestbed run single scenarios,
+// and the Ablation functions quantify the design choices. All runs are
+// deterministic in their Seed.
+//
+//	res := hwatch.Fig8(1.0) // the 50-source scheme comparison
+//	fmt.Print(hwatch.Table([]*hwatch.Run{
+//	    res.Runs[hwatch.DropTail], res.Runs[hwatch.RED],
+//	    res.Runs[hwatch.HWatch], res.Runs[hwatch.DCTCP],
+//	}))
+package hwatch
+
+import (
+	"hwatch/internal/core"
+	"hwatch/internal/experiments"
+	"hwatch/internal/stats"
+	"hwatch/internal/tcp"
+)
+
+// Scheme identifies one of the systems the paper compares.
+type Scheme = experiments.Scheme
+
+// The paper's four schemes (Figs. 8-9).
+const (
+	DropTail = experiments.SchemeDropTail
+	RED      = experiments.SchemeRED
+	DCTCP    = experiments.SchemeDCTCP
+	HWatch   = experiments.SchemeHWatch
+)
+
+// AllSchemes lists the comparison set in the paper's order.
+func AllSchemes() []Scheme { return experiments.AllSchemes() }
+
+// Run is one scenario's measured outcome: the exact series the paper's
+// figures plot (FCT CDFs, goodput CDFs, queue and utilization time series)
+// plus drop/mark/timeout totals.
+type Run = experiments.Run
+
+// DumbbellParams parameterizes the ns-2-style scenarios (Figs. 1, 2, 8, 9).
+type DumbbellParams = experiments.DumbbellParams
+
+// TestbedParams parameterizes the leaf-spine testbed scenario (Fig. 11).
+type TestbedParams = experiments.TestbedParams
+
+// ShimConfig is the HWatch hypervisor-module configuration (probe train,
+// window policy, SYN-ACK pacing, ECT dyeing).
+type ShimConfig = core.Config
+
+// TCPConfig is a guest stack configuration.
+type TCPConfig = tcp.Config
+
+// Sample and TimeSeries are the measurement containers inside Run.
+type (
+	Sample     = stats.Sample
+	TimeSeries = stats.TimeSeries
+)
+
+// AblationPoint is one row of an ablation sweep.
+type AblationPoint = experiments.AblationPoint
+
+// PaperDumbbell returns the paper's dumbbell parameters (10 Gb/s, 100 us
+// RTT, 250-packet buffer, 20% marking, minRTO 200 ms) for the given
+// long/short source split.
+func PaperDumbbell(longN, shortN int) DumbbellParams {
+	return experiments.PaperDumbbell(longN, shortN)
+}
+
+// PaperTestbed returns the paper's 4-rack 84-host testbed parameters.
+func PaperTestbed() TestbedParams { return experiments.PaperTestbed() }
+
+// DefaultShimConfig returns the paper's HWatch deployment parameters for a
+// fabric with the given base RTT (ns).
+func DefaultShimConfig(baseRTT int64) ShimConfig { return core.DefaultConfig(baseRTT) }
+
+// DefaultTCPConfig mirrors a Linux data-center host's stack (MSS for
+// 1500-byte frames, ICW 10, minRTO 200 ms).
+func DefaultTCPConfig() TCPConfig { return tcp.DefaultConfig() }
+
+// DCTCPTCPConfig returns the DCTCP guest configuration.
+func DCTCPTCPConfig() TCPConfig { return tcp.DCTCPConfig() }
+
+// RunDumbbell executes one scheme on the dumbbell scenario.
+func RunDumbbell(s Scheme, p DumbbellParams) *Run { return experiments.RunDumbbell(s, p) }
+
+// RunTestbed executes the leaf-spine scenario with or without HWatch.
+func RunTestbed(withHWatch bool, p TestbedParams) *Run {
+	return experiments.RunTestbed(withHWatch, p)
+}
+
+// Figure results.
+type (
+	Fig1Result  = experiments.Fig1Result
+	Fig2Result  = experiments.Fig2Result
+	Fig8Result  = experiments.Fig8Result
+	Fig11Result = experiments.Fig11Result
+)
+
+// Fig1 regenerates the DCTCP initial-window study (Fig. 1a-d).
+// scale in (0,1] shrinks sources/duration for quick runs; 1.0 is the
+// paper's scale.
+func Fig1(scale float64) *Fig1Result { return experiments.Fig1(scale) }
+
+// Fig2 regenerates the congestion-controller coexistence study (Fig. 2a-d).
+func Fig2(scale float64) *Fig2Result { return experiments.Fig2(scale) }
+
+// Fig8 regenerates the 50-source scheme comparison (Fig. 8a-d).
+func Fig8(scale float64) *Fig8Result { return experiments.Fig8(scale) }
+
+// Fig9 regenerates the 100-source scalability comparison (Fig. 9a-d).
+func Fig9(scale float64) *Fig8Result { return experiments.Fig9(scale) }
+
+// Fig11 regenerates the testbed experiment (Fig. 11a-b).
+func Fig11(scale float64) *Fig11Result { return experiments.Fig11(scale) }
+
+// Ablations (see DESIGN.md §5).
+func AblationProbes(scale float64) []AblationPoint    { return experiments.AblationProbes(scale) }
+func AblationThreshold(scale float64) []AblationPoint { return experiments.AblationThreshold(scale) }
+func AblationStartWindow(scale float64) []AblationPoint {
+	return experiments.AblationStartWindow(scale)
+}
+func AblationBatches(scale float64) []AblationPoint { return experiments.AblationBatches(scale) }
+func AblationPacing(scale float64) []AblationPoint  { return experiments.AblationPacing(scale) }
+func AblationGuestStacks(scale float64) []AblationPoint {
+	return experiments.AblationGuestStacks(scale)
+}
+
+// EmpiricalParams and EmpiricalResult belong to the trace-driven extension
+// study (web-search / data-mining flow sizes under Poisson load).
+type (
+	EmpiricalParams = experiments.EmpiricalParams
+	EmpiricalResult = experiments.EmpiricalResult
+)
+
+// DefaultEmpirical returns the web-search Poisson workload on the paper's
+// dumbbell.
+func DefaultEmpirical() EmpiricalParams { return experiments.DefaultEmpirical() }
+
+// RunEmpirical executes the trace-driven study for the given schemes.
+func RunEmpirical(schemes []Scheme, p EmpiricalParams) []EmpiricalResult {
+	return experiments.RunEmpirical(schemes, p)
+}
+
+// CoflowParams and CoflowResult belong to the job-completion extension
+// study (partition-aggregate jobs of parallel flows; the application-level
+// metric the paper's introduction motivates).
+type (
+	CoflowParams = experiments.CoflowParams
+	CoflowResult = experiments.CoflowResult
+)
+
+// DefaultCoflow returns partition-aggregate jobs on the paper's dumbbell.
+func DefaultCoflow() CoflowParams { return experiments.DefaultCoflow() }
+
+// RunCoflow executes the job-completion study for the given schemes.
+func RunCoflow(schemes []Scheme, p CoflowParams) []CoflowResult {
+	return experiments.RunCoflow(schemes, p)
+}
+
+// IncastSweepParams and IncastPoint belong to the incast-cliff sweep: FCT
+// vs. number of synchronized senders, per scheme.
+type (
+	IncastSweepParams = experiments.IncastSweepParams
+	IncastPoint       = experiments.IncastPoint
+)
+
+// DefaultIncastSweep sweeps degrees 8-64 on the paper's dumbbell.
+func DefaultIncastSweep() IncastSweepParams { return experiments.DefaultIncastSweep() }
+
+// RunIncastSweep executes the cliff sweep for the given schemes.
+func RunIncastSweep(schemes []Scheme, p IncastSweepParams) []IncastPoint {
+	return experiments.RunIncastSweep(schemes, p)
+}
+
+// Spec is a JSON-file description of a runnable scenario (cmd/hwatchsim
+// -exp spec -spec file.json).
+type Spec = experiments.Spec
+
+// LoadSpec reads and validates a scenario spec from a JSON file.
+func LoadSpec(path string) (*Spec, error) { return experiments.LoadSpec(path) }
+
+// ParseSpec validates a scenario spec from JSON bytes.
+func ParseSpec(raw []byte) (*Spec, error) { return experiments.ParseSpec(raw) }
+
+// Table renders runs as an aligned comparison table.
+func Table(runs []*Run) string { return experiments.Table(runs) }
+
+// JSON renders runs as an indented JSON array of summaries.
+func JSON(runs []*Run) (string, error) { return experiments.JSON(runs) }
+
+// SaveRun writes a run's figure series (FCT CDF, goodput CDF, queue and
+// utilization series) as CSV files under dir with the given prefix.
+func SaveRun(dir, prefix string, r *Run) error { return experiments.SaveRun(dir, prefix, r) }
+
+// WriteFigurePlots emits gnuplot scripts rendering the standard four-panel
+// figure from curves saved by SaveRun: `gnuplot out/<fig>_fct.plt` etc.
+func WriteFigurePlots(dir, figName string, labels, prefixes []string) error {
+	return experiments.WriteFigurePlots(dir, figName, labels, prefixes)
+}

@@ -1,0 +1,71 @@
+// Package aqm implements the queue disciplines the paper's switches run:
+// plain DropTail, RED (Floyd/Jacobson with optional gentle mode), the
+// two-threshold WRED marking HWatch relies on, and the single instantaneous
+// threshold marking DCTCP recommends.
+//
+// All disciplines implement netem.Queue. Marking sets the IP ECN codepoint
+// to CE when the packet is ECN-capable; non-capable packets are dropped
+// instead when the discipline would otherwise have marked-by-necessity
+// (RED drop mode) or simply enqueued (pure marking disciplines).
+package aqm
+
+import (
+	"hwatch/internal/netem"
+)
+
+// Stats counts discipline-level outcomes for one queue.
+type Stats struct {
+	Enqueued  int64
+	Dropped   int64 // tail/overflow drops
+	EarlyDrop int64 // RED probabilistic drops
+	Marked    int64 // CE marks applied
+	MaxLen    int   // high-water mark, packets
+	MaxBytes  int
+}
+
+// fifo is the common packet buffer under every discipline.
+type fifo struct {
+	pkts  []*netem.Packet
+	head  int
+	bytes int
+	stats Stats
+}
+
+func (f *fifo) push(p *netem.Packet) {
+	f.pkts = append(f.pkts, p)
+	f.bytes += p.Wire
+	f.stats.Enqueued++
+	if n := f.len(); n > f.stats.MaxLen {
+		f.stats.MaxLen = n
+	}
+	if f.bytes > f.stats.MaxBytes {
+		f.stats.MaxBytes = f.bytes
+	}
+}
+
+func (f *fifo) pop() *netem.Packet {
+	if f.head >= len(f.pkts) {
+		return nil
+	}
+	p := f.pkts[f.head]
+	f.pkts[f.head] = nil
+	f.head++
+	f.bytes -= p.Wire
+	// Compact once the dead prefix dominates, to keep memory bounded.
+	if f.head > 64 && f.head*2 >= len(f.pkts) {
+		n := copy(f.pkts, f.pkts[f.head:])
+		f.pkts = f.pkts[:n]
+		f.head = 0
+	}
+	return p
+}
+
+func (f *fifo) len() int { return len(f.pkts) - f.head }
+
+// mark sets CE on an ECN-capable packet and counts it.
+func (f *fifo) mark(p *netem.Packet) {
+	if p.ECN != netem.CE {
+		p.ECN = netem.CE
+		f.stats.Marked++
+	}
+}

@@ -1,0 +1,129 @@
+package aqm
+
+import (
+	"math"
+
+	"hwatch/internal/netem"
+)
+
+// CoDel implements Controlled Delay AQM (Nichols & Jacobson) as an
+// extension beyond the paper's switch set: it drops (or CE-marks) based on
+// per-packet *sojourn time* rather than queue length, using the standard
+// target/interval control law with the inverse-sqrt drop schedule.
+//
+// Sojourn time is measured from Packet.EnqueuedAt, which netem.Port stamps
+// on every enqueue.
+type CoDel struct {
+	fifo
+	CapPkts  int
+	Target   int64 // acceptable standing delay (default 5% of Interval)
+	Interval int64 // sliding window (default 100 ms in WANs; use ~RTT here)
+	ECN      bool  // mark ECN-capable packets instead of dropping
+	Clock    func() int64
+
+	dropping  bool
+	firstMark int64 // time the sojourn first exceeded Target
+	dropNext  int64
+	count     int
+	lastCount int
+}
+
+// NewCoDel returns a CoDel queue. target/interval in ns; clock supplies
+// simulation time.
+func NewCoDel(capPkts int, target, interval int64, ecn bool, clock func() int64) *CoDel {
+	if clock == nil {
+		panic("aqm: CoDel needs a clock")
+	}
+	if interval <= 0 {
+		panic("aqm: CoDel needs a positive interval")
+	}
+	if target <= 0 {
+		target = interval / 20
+	}
+	return &CoDel{CapPkts: capPkts, Target: target, Interval: interval, ECN: ecn, Clock: clock}
+}
+
+// Enqueue implements netem.Queue (tail drop only at physical capacity;
+// CoDel acts at dequeue).
+func (q *CoDel) Enqueue(p *netem.Packet) bool {
+	if q.len() >= q.CapPkts {
+		q.stats.Dropped++
+		return false
+	}
+	q.push(p)
+	return true
+}
+
+// Dequeue implements netem.Queue, applying the CoDel control law.
+func (q *CoDel) Dequeue() *netem.Packet {
+	now := q.Clock()
+	for {
+		p := q.pop()
+		if p == nil {
+			q.dropping = false
+			return nil
+		}
+		sojourn := now - p.EnqueuedAt
+		if sojourn < q.Target || q.len() == 0 {
+			// Below target (or queue empty): leave the dropping state.
+			q.firstMark = 0
+			q.dropping = false
+			return p
+		}
+		// Above target: arm the interval clock.
+		if q.firstMark == 0 {
+			q.firstMark = now + q.Interval
+			return p
+		}
+		if now < q.firstMark && !q.dropping {
+			return p // still within the grace interval
+		}
+		if !q.dropping {
+			// Enter dropping state; resume the schedule if we left it
+			// recently (standard CoDel count inheritance).
+			q.dropping = true
+			if q.count > 2 && now-q.dropNext < 8*q.Interval {
+				q.count = q.count - 2
+			} else {
+				q.count = 1
+			}
+			q.dropNext = now + q.controlInterval()
+			return q.notify(p)
+		}
+		if now >= q.dropNext {
+			q.count++
+			q.dropNext += q.controlInterval()
+			p = q.notify(p)
+			if p != nil {
+				return p
+			}
+			continue // dropped: dequeue the next packet this round
+		}
+		return p
+	}
+}
+
+// controlInterval returns Interval/sqrt(count).
+func (q *CoDel) controlInterval() int64 {
+	return int64(float64(q.Interval) / math.Sqrt(float64(q.count)))
+}
+
+// notify marks (ECN mode, capable packet) or drops. Returns the packet if
+// it survives, nil if dropped.
+func (q *CoDel) notify(p *netem.Packet) *netem.Packet {
+	if q.ECN && p.ECN.Capable() {
+		q.mark(p)
+		return p
+	}
+	q.stats.EarlyDrop++
+	return nil
+}
+
+// Len implements netem.Queue.
+func (q *CoDel) Len() int { return q.len() }
+
+// Bytes implements netem.Queue.
+func (q *CoDel) Bytes() int { return q.bytes }
+
+// Stats returns a copy of the discipline counters.
+func (q *CoDel) Stats() Stats { return q.stats }

@@ -1,0 +1,166 @@
+package aqm
+
+import (
+	"testing"
+
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+	"hwatch/internal/topo"
+)
+
+func TestCoDelNoActionBelowTarget(t *testing.T) {
+	now := int64(0)
+	q := NewCoDel(100, sim.Millisecond, 10*sim.Millisecond, false, func() int64 { return now })
+	// Packets dequeued immediately (zero sojourn): never dropped.
+	for i := 0; i < 100; i++ {
+		p := pkt(1500, netem.NotECT)
+		p.EnqueuedAt = now
+		q.Enqueue(p)
+		if q.Dequeue() == nil {
+			t.Fatal("packet lost below target")
+		}
+	}
+	if st := q.Stats(); st.EarlyDrop != 0 || st.Marked != 0 {
+		t.Fatalf("action below target: %+v", st)
+	}
+}
+
+func TestCoDelDropsUnderPersistentDelay(t *testing.T) {
+	now := int64(0)
+	target := sim.Millisecond
+	interval := 10 * sim.Millisecond
+	q := NewCoDel(10000, target, interval, false, func() int64 { return now })
+
+	// Persistent standing queue: keep ~50 packets queued, each having
+	// waited 5 ms (far above target), across many intervals.
+	for i := 0; i < 50; i++ {
+		p := pkt(1500, netem.NotECT)
+		p.EnqueuedAt = now - 5*sim.Millisecond
+		q.Enqueue(p)
+	}
+	firstHalf, secondHalf := int64(0), int64(0)
+	for step := 0; step < 2000; step++ {
+		p := pkt(1500, netem.NotECT)
+		p.EnqueuedAt = now - 5*sim.Millisecond
+		q.Enqueue(p)
+		before := q.Stats().EarlyDrop
+		q.Dequeue()
+		d := q.Stats().EarlyDrop - before
+		if step < 1000 {
+			firstHalf += d
+		} else {
+			secondHalf += d
+		}
+		now += sim.Millisecond
+	}
+	if firstHalf+secondHalf == 0 {
+		t.Fatal("CoDel never dropped under persistent excess delay")
+	}
+	// The whole point of the control law: the standing backlog is drained
+	// away (the 50-packet prefill is gone, the queue runs shallow).
+	if q.Len() > 5 {
+		t.Fatalf("standing queue %d not drained by the drop schedule", q.Len())
+	}
+}
+
+func TestCoDelMarksECN(t *testing.T) {
+	now := int64(0)
+	q := NewCoDel(10000, sim.Millisecond, 10*sim.Millisecond, true, func() int64 { return now })
+	for i := 0; i < 50; i++ {
+		p := pkt(1500, netem.ECT0)
+		p.EnqueuedAt = now - 5*sim.Millisecond
+		q.Enqueue(p)
+	}
+	for step := 0; step < 2000; step++ {
+		p := pkt(1500, netem.ECT0)
+		p.EnqueuedAt = now - 5*sim.Millisecond
+		q.Enqueue(p)
+		q.Dequeue()
+		now += sim.Millisecond
+	}
+	st := q.Stats()
+	if st.Marked == 0 {
+		t.Fatal("ECN CoDel never marked")
+	}
+	if st.EarlyDrop != 0 {
+		t.Fatalf("ECN CoDel dropped capable packets: %+v", st)
+	}
+}
+
+func TestCoDelPhysicalOverflow(t *testing.T) {
+	now := int64(0)
+	q := NewCoDel(10, sim.Millisecond, 10*sim.Millisecond, false, func() int64 { return now })
+	for i := 0; i < 20; i++ {
+		q.Enqueue(pkt(1500, netem.NotECT))
+	}
+	if q.Len() != 10 || q.Stats().Dropped != 10 {
+		t.Fatalf("len=%d dropped=%d", q.Len(), q.Stats().Dropped)
+	}
+}
+
+func TestCoDelValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"nil clock":     func() { NewCoDel(10, 1, 1, false, nil) },
+		"zero interval": func() { NewCoDel(10, 1, 0, false, func() int64 { return 0 }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	// Zero target defaults to interval/20.
+	q := NewCoDel(10, 0, 20*sim.Millisecond, false, func() int64 { return 0 })
+	if q.Target != sim.Millisecond {
+		t.Fatalf("default target = %d", q.Target)
+	}
+}
+
+func TestCoDelEndToEndKeepsDelayLow(t *testing.T) {
+	// A long NewReno flow over CoDel must see far less standing queue than
+	// over DropTail with the same buffer (bufferbloat control).
+	run := func(codel bool) float64 {
+		var bq netem.Queue
+		var d *topo.Dumbbell
+		mk := func() netem.Queue {
+			if codel {
+				bq = NewCoDel(1000, 0, 400*sim.Microsecond, false, func() int64 { return d.Net.Eng.Now() })
+			} else {
+				bq = NewDropTail(1000)
+			}
+			return bq
+		}
+		d = topo.NewDumbbell(topo.DumbbellConfig{
+			Senders:       1,
+			EdgeRateBps:   10e9,
+			BottleneckBps: 1e9,
+			LinkDelay:     25 * sim.Microsecond,
+			BottleneckQ:   mk,
+			EdgeQ:         func() netem.Queue { return NewDropTail(100000) },
+		})
+		cfg := tcp.DefaultConfig()
+		d.Receiver.Listen(80, tcp.NewListener(d.Receiver, cfg, nil))
+		tcp.NewSender(d.Senders[0], d.Receiver.ID, 80, tcp.Infinite, cfg).Start()
+		sum, n := 0, 0
+		var sample func()
+		sample = func() {
+			if d.Net.Eng.Now() > 50*sim.Millisecond {
+				sum += bq.Len()
+				n++
+			}
+			d.Net.Eng.Schedule(100*sim.Microsecond, sample)
+		}
+		d.Net.Eng.Schedule(0, sample)
+		d.Net.Eng.RunUntil(300 * sim.Millisecond)
+		return float64(sum) / float64(n)
+	}
+	bloated := run(false)
+	controlled := run(true)
+	if controlled >= bloated/3 {
+		t.Fatalf("CoDel queue %.0f not well below DropTail %.0f", controlled, bloated)
+	}
+}

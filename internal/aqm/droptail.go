@@ -1,0 +1,47 @@
+package aqm
+
+import "hwatch/internal/netem"
+
+// DropTail is a plain FIFO with a capacity in packets and/or bytes
+// (non-positive limit = unlimited in that dimension). It never marks.
+type DropTail struct {
+	fifo
+	CapPkts  int
+	CapBytes int
+}
+
+// NewDropTail returns a DropTail queue holding at most capPkts packets.
+func NewDropTail(capPkts int) *DropTail {
+	return &DropTail{CapPkts: capPkts}
+}
+
+// NewDropTailBytes returns a DropTail queue holding at most capBytes bytes.
+func NewDropTailBytes(capBytes int) *DropTail {
+	return &DropTail{CapBytes: capBytes}
+}
+
+// Enqueue implements netem.Queue.
+func (q *DropTail) Enqueue(p *netem.Packet) bool {
+	if q.CapPkts > 0 && q.len() >= q.CapPkts {
+		q.stats.Dropped++
+		return false
+	}
+	if q.CapBytes > 0 && q.bytes+p.Wire > q.CapBytes {
+		q.stats.Dropped++
+		return false
+	}
+	q.push(p)
+	return true
+}
+
+// Dequeue implements netem.Queue.
+func (q *DropTail) Dequeue() *netem.Packet { return q.pop() }
+
+// Len implements netem.Queue.
+func (q *DropTail) Len() int { return q.len() }
+
+// Bytes implements netem.Queue.
+func (q *DropTail) Bytes() int { return q.bytes }
+
+// Stats returns a copy of the discipline counters.
+func (q *DropTail) Stats() Stats { return q.stats }

@@ -1,0 +1,137 @@
+package aqm
+
+import "hwatch/internal/netem"
+
+// MarkThreshold is the DCTCP-recommended discipline: a DropTail buffer that
+// CE-marks every ECN-capable packet arriving when the *instantaneous* queue
+// occupancy is at or above K. Non-capable packets are enqueued unmarked
+// (and dropped only on overflow). Capacity and threshold are counted in
+// packets (ns-2 style) or in bytes (shared-buffer switch style) depending
+// on the constructor.
+type MarkThreshold struct {
+	fifo
+	CapPkts int
+	K       int // marking threshold, packets
+
+	CapBytes int
+	KBytes   int // marking threshold, bytes (byte mode when > 0)
+}
+
+// NewMarkThreshold returns the packet-counted discipline with buffer
+// capPkts and threshold k.
+func NewMarkThreshold(capPkts, k int) *MarkThreshold {
+	return &MarkThreshold{CapPkts: capPkts, K: k}
+}
+
+// NewMarkThresholdBytes returns the byte-counted discipline, matching
+// switches whose shared buffer is cell/byte accounted (tiny probe packets
+// consume proportionally tiny space).
+func NewMarkThresholdBytes(capBytes, kBytes int) *MarkThreshold {
+	return &MarkThreshold{CapBytes: capBytes, KBytes: kBytes}
+}
+
+// Enqueue implements netem.Queue.
+func (q *MarkThreshold) Enqueue(p *netem.Packet) bool {
+	if q.CapBytes > 0 {
+		if q.bytes+p.Wire > q.CapBytes {
+			q.stats.Dropped++
+			return false
+		}
+		if q.bytes >= q.KBytes && p.ECN.Capable() {
+			q.mark(p)
+		}
+		q.push(p)
+		return true
+	}
+	if q.len() >= q.CapPkts {
+		q.stats.Dropped++
+		return false
+	}
+	if q.len() >= q.K && p.ECN.Capable() {
+		q.mark(p)
+	}
+	q.push(p)
+	return true
+}
+
+// Dequeue implements netem.Queue.
+func (q *MarkThreshold) Dequeue() *netem.Packet { return q.pop() }
+
+// Len implements netem.Queue.
+func (q *MarkThreshold) Len() int { return q.len() }
+
+// Bytes implements netem.Queue.
+func (q *MarkThreshold) Bytes() int { return q.bytes }
+
+// Stats returns a copy of the discipline counters.
+func (q *MarkThreshold) Stats() Stats { return q.stats }
+
+// WRED is the two-threshold weighted-RED marking profile entry-level data
+// center switches expose and the paper configures for HWatch: packets are
+// marked with a probability ramping 0..1 between Low and High
+// (instantaneous occupancy) and always at or above High. Occupancy is in
+// packets by default or in bytes via NewWREDBytes.
+type WRED struct {
+	fifo
+	CapPkts   int
+	Low, High int
+	byteMode  bool
+	rng       func() float64
+}
+
+// NewWRED returns a packet-counted WRED queue; rng supplies uniform [0,1)
+// variates.
+func NewWRED(capPkts, low, high int, rng func() float64) *WRED {
+	if high < low {
+		high = low
+	}
+	return &WRED{CapPkts: capPkts, Low: low, High: high, rng: rng}
+}
+
+// NewWREDBytes returns the byte-accounted variant (cap and thresholds in
+// bytes).
+func NewWREDBytes(capBytes, lowBytes, highBytes int, rng func() float64) *WRED {
+	q := NewWRED(capBytes, lowBytes, highBytes, rng)
+	q.byteMode = true
+	return q
+}
+
+// Enqueue implements netem.Queue.
+func (q *WRED) Enqueue(p *netem.Packet) bool {
+	occ := q.len()
+	if q.byteMode {
+		occ = q.bytes
+		if q.bytes+p.Wire > q.CapPkts {
+			q.stats.Dropped++
+			return false
+		}
+	} else if q.len() >= q.CapPkts {
+		q.stats.Dropped++
+		return false
+	}
+	if p.ECN.Capable() {
+		switch {
+		case occ >= q.High:
+			q.mark(p)
+		case occ >= q.Low:
+			frac := float64(occ-q.Low+1) / float64(q.High-q.Low+1)
+			if q.rng() < frac {
+				q.mark(p)
+			}
+		}
+	}
+	q.push(p)
+	return true
+}
+
+// Dequeue implements netem.Queue.
+func (q *WRED) Dequeue() *netem.Packet { return q.pop() }
+
+// Len implements netem.Queue.
+func (q *WRED) Len() int { return q.len() }
+
+// Bytes implements netem.Queue.
+func (q *WRED) Bytes() int { return q.bytes }
+
+// Stats returns a copy of the discipline counters.
+func (q *WRED) Stats() Stats { return q.stats }

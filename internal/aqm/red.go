@@ -1,0 +1,186 @@
+package aqm
+
+import (
+	"math"
+
+	"hwatch/internal/netem"
+)
+
+// REDConfig carries the Floyd/Jacobson RED parameters. Thresholds and the
+// capacity are in packets by default (ns-2 style); with ByteMode they are
+// all interpreted in bytes (shared-buffer switch style).
+type REDConfig struct {
+	CapPkts  int     // physical buffer (packets, or bytes with ByteMode)
+	ByteMode bool    // average and thresholds over bytes instead of packets
+	MinTh    float64 // lower average-queue threshold
+	MaxTh    float64 // upper average-queue threshold
+	MaxP     float64 // marking probability at MaxTh
+	Wq       float64 // EWMA weight
+	Gentle   bool    // ramp MaxP..1 between MaxTh and 2*MaxTh
+	ECN      bool    // mark ECN-capable packets instead of dropping
+
+	// MeanPktTime is the transmission time of a typical packet (ns), used
+	// to age the average across idle periods; Clock supplies current time.
+	MeanPktTime int64
+	Clock       func() int64
+}
+
+// DefaultRED returns a Floyd-style parameterization adapted to shallow
+// data-center buffers: MinTh = buffer/6 (>=5), MaxTh = 3*MinTh = buffer/2,
+// Wq = 0.002, MaxP = 0.1, gentle on. With ECN enabled the discipline marks
+// through the whole gentle band and only drops on physical overflow or an
+// average beyond 2*MaxTh.
+func DefaultRED(capPkts int, ecn bool, meanPktTime int64, clock func() int64) REDConfig {
+	minTh := float64(capPkts) / 6
+	if minTh < 5 {
+		minTh = 5
+	}
+	return REDConfig{
+		CapPkts:     capPkts,
+		MinTh:       minTh,
+		MaxTh:       3 * minTh,
+		MaxP:        0.1,
+		Wq:          0.002,
+		Gentle:      true,
+		ECN:         ecn,
+		MeanPktTime: meanPktTime,
+		Clock:       clock,
+	}
+}
+
+// DefaultREDBytes is DefaultRED with byte-mode accounting over a capBytes
+// buffer.
+func DefaultREDBytes(capBytes int, ecn bool, meanPktTime int64, clock func() int64) REDConfig {
+	cfg := DefaultRED(capBytes, ecn, meanPktTime, clock)
+	cfg.ByteMode = true
+	minTh := float64(capBytes) / 6
+	cfg.MinTh = minTh
+	cfg.MaxTh = 3 * minTh
+	return cfg
+}
+
+// RED implements Random Early Detection with optional ECN marking and
+// gentle mode.
+type RED struct {
+	fifo
+	cfg REDConfig
+
+	avg       float64
+	count     int // packets since last mark/drop
+	idleSince int64
+	idle      bool
+	rng       func() float64
+}
+
+// NewRED returns a RED queue. rng supplies uniform [0,1) variates and must
+// come from the scenario's seeded generator for reproducibility.
+func NewRED(cfg REDConfig, rng func() float64) *RED {
+	if cfg.Clock == nil {
+		panic("aqm: RED requires a clock")
+	}
+	if cfg.MeanPktTime <= 0 {
+		cfg.MeanPktTime = 1
+	}
+	return &RED{cfg: cfg, count: -1, rng: rng, idle: true}
+}
+
+// Avg returns the current average queue estimate (packets).
+func (q *RED) Avg() float64 { return q.avg }
+
+// Enqueue implements netem.Queue.
+func (q *RED) Enqueue(p *netem.Packet) bool {
+	if q.idle {
+		// Age the average across the idle period as if m small packets
+		// had departed.
+		m := float64(q.cfg.Clock()-q.idleSince) / float64(q.cfg.MeanPktTime)
+		if m > 0 {
+			q.avg *= math.Pow(1-q.cfg.Wq, m)
+		}
+		q.idle = false
+	}
+	occ := float64(q.len())
+	full := q.len() >= q.cfg.CapPkts
+	if q.cfg.ByteMode {
+		occ = float64(q.bytes)
+		full = q.bytes+p.Wire > q.cfg.CapPkts
+	}
+	q.avg = (1-q.cfg.Wq)*q.avg + q.cfg.Wq*occ
+
+	if full {
+		q.stats.Dropped++
+		q.count = 0
+		return false
+	}
+
+	if notify, force := q.decide(); notify {
+		if q.cfg.ECN && p.ECN.Capable() && !force {
+			q.mark(p)
+			q.push(p)
+			return true
+		}
+		q.stats.EarlyDrop++
+		return false
+	}
+	q.push(p)
+	return true
+}
+
+// decide returns (congestion-notify?, forced?). forced means the average is
+// beyond the hard region where RED drops even ECN-capable packets.
+func (q *RED) decide() (bool, bool) {
+	c := &q.cfg
+	switch {
+	case q.avg < c.MinTh:
+		q.count = -1
+		return false, false
+	case q.avg >= 2*c.MaxTh && c.Gentle:
+		q.count = 0
+		return true, true
+	case q.avg >= c.MaxTh:
+		if !c.Gentle {
+			q.count = 0
+			return true, true
+		}
+		// Gentle ramp: MaxP .. 1 over [MaxTh, 2*MaxTh).
+		pb := c.MaxP + (1-c.MaxP)*(q.avg-c.MaxTh)/c.MaxTh
+		return q.bernoulli(pb), false
+	default:
+		pb := c.MaxP * (q.avg - c.MinTh) / (c.MaxTh - c.MinTh)
+		return q.bernoulli(pb), false
+	}
+}
+
+// bernoulli applies Floyd's uniform-spacing correction to pb.
+func (q *RED) bernoulli(pb float64) bool {
+	q.count++
+	pa := pb
+	if d := 1 - float64(q.count)*pb; d > 0 {
+		pa = pb / d
+	} else {
+		pa = 1
+	}
+	if q.rng() < pa {
+		q.count = 0
+		return true
+	}
+	return false
+}
+
+// Dequeue implements netem.Queue.
+func (q *RED) Dequeue() *netem.Packet {
+	p := q.pop()
+	if q.len() == 0 && !q.idle {
+		q.idle = true
+		q.idleSince = q.cfg.Clock()
+	}
+	return p
+}
+
+// Len implements netem.Queue.
+func (q *RED) Len() int { return q.len() }
+
+// Bytes implements netem.Queue.
+func (q *RED) Bytes() int { return q.bytes }
+
+// Stats returns a copy of the discipline counters.
+func (q *RED) Stats() Stats { return q.stats }

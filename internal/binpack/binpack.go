@@ -1,0 +1,149 @@
+// Package binpack implements the classic online and offline bin-packing
+// heuristics the HWatch paper draws on (Section III-A models switch-buffer
+// overflow as bin packing over buffer drain rounds), plus the temporal
+// "batcher" variant used by the theory: items are packets, bins are the
+// buffer states at successive drain times, and Next Fit's
+// only-look-at-the-current-bin property is what makes the scheme workable
+// as a distributed online algorithm.
+package binpack
+
+import "sort"
+
+// Result describes a packing: Bins[i] holds the item sizes assigned to bin
+// i, in assignment order.
+type Result struct {
+	Bins [][]int
+}
+
+// NumBins returns the number of bins used.
+func (r Result) NumBins() int { return len(r.Bins) }
+
+// Fill returns the occupied volume of bin i.
+func (r Result) Fill(i int) int {
+	total := 0
+	for _, v := range r.Bins[i] {
+		total += v
+	}
+	return total
+}
+
+// valid items are positive and no larger than the bin capacity; callers
+// must filter or the heuristics panic.
+func checkItems(items []int, cap int) {
+	if cap <= 0 {
+		panic("binpack: non-positive capacity")
+	}
+	for _, it := range items {
+		if it <= 0 || it > cap {
+			panic("binpack: item size out of (0, capacity]")
+		}
+	}
+}
+
+// NextFit packs items online, keeping only the current bin open: if the
+// item fits it goes there, otherwise the bin is closed and a new one
+// opened. Runs in O(n) and uses at most 2·OPT bins.
+func NextFit(items []int, cap int) Result {
+	checkItems(items, cap)
+	var r Result
+	fill := cap + 1 // force opening the first bin
+	for _, it := range items {
+		if fill+it > cap {
+			r.Bins = append(r.Bins, nil)
+			fill = 0
+		}
+		i := len(r.Bins) - 1
+		r.Bins[i] = append(r.Bins[i], it)
+		fill += it
+	}
+	return r
+}
+
+// FirstFit places each item into the lowest-indexed bin with room,
+// opening a new bin only when none fits. O(n·bins); ≤ 1.7·OPT + O(1).
+func FirstFit(items []int, cap int) Result {
+	checkItems(items, cap)
+	var r Result
+	var fills []int
+	for _, it := range items {
+		placed := false
+		for i := range fills {
+			if fills[i]+it <= cap {
+				r.Bins[i] = append(r.Bins[i], it)
+				fills[i] += it
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			r.Bins = append(r.Bins, []int{it})
+			fills = append(fills, it)
+		}
+	}
+	return r
+}
+
+// BestFit places each item into the fullest bin that still has room.
+func BestFit(items []int, cap int) Result {
+	checkItems(items, cap)
+	var r Result
+	var fills []int
+	for _, it := range items {
+		best, bestFill := -1, -1
+		for i := range fills {
+			if fills[i]+it <= cap && fills[i] > bestFill {
+				best, bestFill = i, fills[i]
+			}
+		}
+		if best < 0 {
+			r.Bins = append(r.Bins, []int{it})
+			fills = append(fills, it)
+			continue
+		}
+		r.Bins[best] = append(r.Bins[best], it)
+		fills[best] += it
+	}
+	return r
+}
+
+// WorstFit places each item into the emptiest open bin with room (keeps
+// bins balanced — the analogue of spreading a burst across the most-idle
+// drain rounds).
+func WorstFit(items []int, cap int) Result {
+	checkItems(items, cap)
+	var r Result
+	var fills []int
+	for _, it := range items {
+		best, bestFill := -1, cap+1
+		for i := range fills {
+			if fills[i]+it <= cap && fills[i] < bestFill {
+				best, bestFill = i, fills[i]
+			}
+		}
+		if best < 0 {
+			r.Bins = append(r.Bins, []int{it})
+			fills = append(fills, it)
+			continue
+		}
+		r.Bins[best] = append(r.Bins[best], it)
+		fills[best] += it
+	}
+	return r
+}
+
+// FirstFitDecreasing sorts items descending then applies FirstFit;
+// the offline classic with an 11/9·OPT + 6/9 guarantee.
+func FirstFitDecreasing(items []int, cap int) Result {
+	sorted := append([]int(nil), items...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	return FirstFit(sorted, cap)
+}
+
+// LowerBound returns ceil(sum/cap), the volume lower bound on OPT.
+func LowerBound(items []int, cap int) int {
+	total := 0
+	for _, it := range items {
+		total += it
+	}
+	return (total + cap - 1) / cap
+}

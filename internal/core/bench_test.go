@@ -1,0 +1,36 @@
+package core
+
+import (
+	"testing"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// BenchmarkShimTransfer measures a full transfer through HWatch shims on
+// both ends (probing, stamping, per-ACK rwnd clamping).
+func BenchmarkShimTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		delay := 25 * sim.Microsecond
+		cfg := DefaultConfig(testRTT(delay))
+		r := newRig(nil, aqm.NewMarkThresholdBytes(250*1500, 50*1500), 10e9, delay, cfg)
+		tcfg := tcp.DefaultConfig()
+		r.b.Listen(port, tcp.NewListener(r.b, tcfg, nil))
+		s := tcp.NewSender(r.a, r.b.ID, port, 1_000_000, tcfg)
+		s.Start()
+		r.net.Eng.RunUntil(10 * sim.Second)
+		if !s.Done() {
+			b.Fatal("transfer incomplete")
+		}
+	}
+}
+
+// BenchmarkTokenBucket isolates the SYN-ACK pacer.
+func BenchmarkTokenBucket(b *testing.B) {
+	tb := newTokenBucket(4, 1000)
+	for i := 0; i < b.N; i++ {
+		tb.take(int64(i) * 300)
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+// tokenBucket is the SYN-ACK pacer: Burst tokens, one regenerated every
+// refill ns. take returns 0 if a token is available now, otherwise the
+// delay until the caller's turn (callers queue FIFO by reserving future
+// tokens).
+type tokenBucket struct {
+	burst  int
+	refill int64
+
+	tokens    float64
+	lastUpd   int64
+	reservedT int64 // time at which the furthest reservation matures
+}
+
+func newTokenBucket(burst int, refill int64) *tokenBucket {
+	return &tokenBucket{burst: burst, refill: refill, tokens: float64(burst)}
+}
+
+// take requests one token at time now; returns the delay (0 = immediate).
+func (b *tokenBucket) take(now int64) int64 {
+	if b.burst <= 0 {
+		return 0 // pacing disabled
+	}
+	// Accrue tokens since the last update.
+	if b.refill > 0 {
+		b.tokens += float64(now-b.lastUpd) / float64(b.refill)
+		if b.tokens > float64(b.burst) {
+			b.tokens = float64(b.burst)
+		}
+	}
+	b.lastUpd = now
+	if b.tokens >= 1 {
+		b.tokens--
+		if b.reservedT < now {
+			b.reservedT = now
+		}
+		return 0
+	}
+	// Reserve the next future token after all earlier reservations.
+	need := (1 - b.tokens) * float64(b.refill)
+	at := now + int64(need)
+	if at <= b.reservedT {
+		at = b.reservedT + b.refill
+	}
+	b.reservedT = at
+	b.tokens-- // the reservation consumes the token being generated
+	return at - now
+}

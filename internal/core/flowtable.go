@@ -1,0 +1,64 @@
+package core
+
+import (
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+// flowEntry is one row of the shim's flow table, keyed by the 4-tuple of
+// the *data direction* (sender -> receiver), exactly like the paper's
+// hash-table indexed by source/destination IPs and ports. It stores the
+// window-scale factor exchanged at setup, the ECN mark accounting, and the
+// current window verdict.
+type flowEntry struct {
+	key  netem.FlowKey
+	role role
+
+	// Receiver side: the guest's advertised window scale, captured from
+	// the SYN-ACK so clamps re-encode correctly (Section IV-E).
+	wscale   int8
+	guestECN bool // guest negotiated ECN itself; don't dye its packets
+
+	// Rule 2 state.
+	probesSeen   int
+	probesMarked int
+	stamped      bool // SYN-ACK already rewritten
+
+	// Rule 1 state: per-epoch data-packet mark accounting.
+	unmarked    int
+	marked      int
+	cleanEpochs int // consecutive epochs without a mark
+	wndSegs     int // current clamp; <0 until established
+	epoch       *sim.Event
+
+	lastActive int64 // last packet seen, for idle GC
+	closed     bool
+}
+
+// flowTable maps data-direction keys to entries.
+type flowTable struct {
+	entries map[netem.FlowKey]*flowEntry
+}
+
+func newFlowTable() *flowTable {
+	return &flowTable{entries: make(map[netem.FlowKey]*flowEntry)}
+}
+
+func (t *flowTable) get(k netem.FlowKey) *flowEntry { return t.entries[k] }
+
+func (t *flowTable) ensure(k netem.FlowKey, r role) (*flowEntry, bool) {
+	if e, ok := t.entries[k]; ok {
+		return e, false
+	}
+	e := &flowEntry{key: k, role: r, wndSegs: -1}
+	t.entries[k] = e
+	return e, true
+}
+
+func (t *flowTable) remove(k netem.FlowKey) *flowEntry {
+	e := t.entries[k]
+	delete(t.entries, k)
+	return e
+}
+
+func (t *flowTable) len() int { return len(t.entries) }

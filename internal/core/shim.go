@@ -1,0 +1,447 @@
+package core
+
+import (
+	"sort"
+
+	"hwatch/internal/binpack"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+// Shim is the HWatch hypervisor module for one physical server. It plays
+// the sender-side role (probing, SYN holding) for flows the local guests
+// originate and the receiver-side role (mark accounting, rwnd stamping,
+// SYN-ACK pacing) for flows the local guests terminate — exactly as in
+// the paper, where the module is deployed at both ends.
+//
+// A Shim attaches to one or more netem.Hosts. One-host attachment models
+// the NetFilter deployment; attaching several hosts (guest VMs on one
+// server) models the patched-OvS datapath, where a single kernel module —
+// one flow table, one SYN-ACK pacer, one statistics block — processes
+// inter-VM, intra-host and inter-host traffic for the whole server
+// (Section IV-D).
+type Shim struct {
+	cfg    Config
+	eng    *sim.Engine
+	rng    *sim.RNG
+	table  *flowTable
+	bucket *tokenBucket
+	stats  Stats
+	hosts  int
+}
+
+// Attach builds a Shim and installs it on the host's filter chains (the
+// NetFilter-style single-host deployment).
+func Attach(host *netem.Host, cfg Config) *Shim {
+	s := NewShim(host.Eng, cfg, int64(host.ID))
+	s.AttachHost(host)
+	return s
+}
+
+// NewShim builds an unattached shim (the OvS-style deployment: call
+// AttachHost for every guest VM on the server). seedSalt differentiates
+// the jitter streams of shims sharing one Config.
+func NewShim(eng *sim.Engine, cfg Config, seedSalt int64) *Shim {
+	if cfg.MSS <= 0 {
+		panic("core: config needs a positive MSS")
+	}
+	if cfg.MinWndSegs < 1 {
+		cfg.MinWndSegs = 1
+	}
+	s := &Shim{
+		cfg:    cfg,
+		eng:    eng,
+		rng:    sim.NewRNG(cfg.Seed + seedSalt),
+		table:  newFlowTable(),
+		bucket: newTokenBucket(cfg.SynAckBurst, cfg.RefillEvery),
+	}
+	if cfg.GCInterval > 0 && cfg.IdleTimeout > 0 {
+		s.eng.Schedule(cfg.GCInterval, s.gcSweep)
+	}
+	return s
+}
+
+// AttachHost installs the shim on a (further) host's filter chains. All
+// attached hosts share the flow table, statistics and SYN-ACK pacer, as VM
+// ports on one OvS do.
+func (s *Shim) AttachHost(host *netem.Host) {
+	host.AddFilter(&hostTap{shim: s, host: host})
+	s.hosts++
+}
+
+// Hosts returns how many hosts the shim is attached to.
+func (s *Shim) Hosts() int { return s.hosts }
+
+// hostTap binds the shared shim to one host's filter chains, carrying the
+// host identity the injection paths need.
+type hostTap struct {
+	shim *Shim
+	host *netem.Host
+}
+
+// Name implements netem.Filter.
+func (t *hostTap) Name() string { return "hwatch" }
+
+// Outbound implements netem.Filter.
+func (t *hostTap) Outbound(p *netem.Packet) netem.Verdict {
+	return t.shim.outbound(t.host, p)
+}
+
+// Inbound implements netem.Filter.
+func (t *hostTap) Inbound(p *netem.Packet) netem.Verdict {
+	return t.shim.inbound(t.host, p)
+}
+
+// gcSweep expires entries whose flows went silent without a FIN (crashed
+// guests, migrated VMs): the paper's flow table must not grow unboundedly.
+func (s *Shim) gcSweep() {
+	now := s.eng.Now()
+	for _, e := range s.table.entries {
+		if !e.closed && now-e.lastActive > s.cfg.IdleTimeout {
+			s.expire(e)
+		}
+	}
+	s.eng.Schedule(s.cfg.GCInterval, s.gcSweep)
+}
+
+// Stats returns a copy of the shim counters.
+func (s *Shim) Stats() Stats { return s.stats }
+
+// TrackedFlows returns the current flow-table size.
+func (s *Shim) TrackedFlows() int { return s.table.len() }
+
+// FlowInfo is an operator-visible view of one tracked flow (the rows the
+// paper's flow table holds).
+type FlowInfo struct {
+	Key          netem.FlowKey
+	Receiver     bool // this host terminates the data
+	WndSegs      int  // current window verdict (-1 before establishment)
+	ProbesSeen   int
+	ProbesMarked int
+	Marked       int // current epoch's CE count
+	Unmarked     int
+	Closed       bool
+}
+
+// Snapshot returns the flow table's rows, ordered by 4-tuple, for
+// debugging and operations tooling.
+func (s *Shim) Snapshot() []FlowInfo {
+	out := make([]FlowInfo, 0, s.table.len())
+	for _, e := range s.table.entries {
+		out = append(out, FlowInfo{
+			Key:          e.key,
+			Receiver:     e.role == roleReceiver,
+			WndSegs:      e.wndSegs,
+			ProbesSeen:   e.probesSeen,
+			ProbesMarked: e.probesMarked,
+			Marked:       e.marked,
+			Unmarked:     e.unmarked,
+			Closed:       e.closed,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.SrcPort != b.SrcPort {
+			return a.SrcPort < b.SrcPort
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.DstPort < b.DstPort
+	})
+	return out
+}
+
+// batcher builds the Next Fit batcher with this shim's policy.
+func (s *Shim) batcher() binpack.Batcher {
+	return binpack.Batcher{
+		MergeFirstTwo:     s.cfg.MergeBatch1,
+		MinBatch:          s.cfg.MinWndSegs,
+		StartMarkedCredit: s.cfg.StartMarkedCredit,
+		Rand:              s.rng.Float64,
+	}
+}
+
+// outbound handles guest -> network packets for one attached host.
+func (s *Shim) outbound(h *netem.Host, p *netem.Packet) netem.Verdict {
+	switch {
+	case p.Flags.Has(netem.FlagSYN) && !p.Flags.Has(netem.FlagACK):
+		return s.outSYN(h, p)
+	case p.Flags.Has(netem.FlagSYN) && p.Flags.Has(netem.FlagACK):
+		return s.outSynAck(h, p)
+	default:
+		return s.outEstablished(p)
+	}
+}
+
+// outSYN is the Rule 2 sender side: hold the guest's SYN behind a probe
+// train so the receiver shim can measure path congestion first.
+func (s *Shim) outSYN(h *netem.Host, p *netem.Packet) netem.Verdict {
+	e, created := s.table.ensure(p.FlowKey(), roleSender)
+	e.lastActive = s.eng.Now()
+	if created {
+		s.stats.FlowsTracked++
+		e.guestECN = p.Flags.Has(netem.FlagECE) && p.Flags.Has(netem.FlagCWR)
+	}
+	if !created || s.cfg.ProbeCount <= 0 {
+		// Retransmitted SYN, or probing disabled: pass straight through.
+		return netem.VerdictPass
+	}
+	s.stats.SynsHeld++
+	s.sendProbeTrain(h, p.FlowKey())
+	syn := p
+	s.eng.Schedule(s.cfg.ProbeSpan, func() { h.InjectOutbound(syn) })
+	return netem.VerdictStolen
+}
+
+// sendProbeTrain emits the probe packets with non-uniform inter-departure
+// times within ProbeSpan (Section IV-C: spacing must be neither zero nor
+// uniform for an unbiased queue sample).
+func (s *Shim) sendProbeTrain(h *netem.Host, k netem.FlowKey) {
+	n := s.cfg.ProbeCount
+	base := s.cfg.ProbeSpan / int64(n+1)
+	for i := 0; i < n; i++ {
+		at := base * int64(i+1)
+		if !s.cfg.UniformProbeSpacing {
+			at = base*int64(i) + s.rng.UniformRange(base/4, base)
+		}
+		if at >= s.cfg.ProbeSpan {
+			at = s.cfg.ProbeSpan - 1
+		}
+		probe := &netem.Packet{
+			ID:        h.NextPacketID(),
+			Src:       k.Src,
+			Dst:       k.Dst,
+			SrcPort:   k.SrcPort,
+			DstPort:   k.DstPort,
+			ECN:       netem.ECT0, // probes are always markable
+			Probe:     true,
+			Wire:      s.cfg.ProbeWire,
+			WScaleOpt: -1,
+			SentAt:    s.eng.Now(),
+		}
+		netem.SetChecksum(probe)
+		s.stats.ProbesSent++
+		s.eng.Schedule(at, func() { h.InjectOutbound(probe) })
+	}
+}
+
+// outSynAck is the Rule 2 receiver side: stamp the guest's SYN-ACK with the
+// probe-derived initial window and pace correlated SYN-ACK bursts.
+func (s *Shim) outSynAck(h *netem.Host, p *netem.Packet) netem.Verdict {
+	key := p.FlowKey().Reverse() // table is keyed by data direction
+	e, created := s.table.ensure(key, roleReceiver)
+	e.lastActive = s.eng.Now()
+	if created {
+		s.stats.FlowsTracked++
+	}
+	if p.WScaleOpt >= 0 {
+		e.wscale = p.WScaleOpt
+	}
+	if !e.stamped {
+		e.stamped = true
+		e.wndSegs = s.batcher().StartWindow(e.probesSeen, e.probesMarked, s.cfg.DefaultICW)
+		s.stats.SynAcksStamped++
+		s.startEpoch(e)
+	}
+	s.clampRwnd(p, e)
+
+	if d := s.bucket.take(s.eng.Now()); d > 0 {
+		s.stats.SynAcksPaced++
+		sa := p
+		s.eng.Schedule(d, func() { h.InjectOutbound(sa) })
+		return netem.VerdictStolen
+	}
+	return netem.VerdictPass
+}
+
+// outEstablished handles post-handshake egress: rwnd clamping on the
+// receiver side, ECT dyeing on the sender side, FIN cleanup on both.
+func (s *Shim) outEstablished(p *netem.Packet) netem.Verdict {
+	// Receiver side: ACKs leaving toward the data sender.
+	if e := s.table.get(p.FlowKey().Reverse()); e != nil && e.role == roleReceiver {
+		e.lastActive = s.eng.Now()
+		if p.Flags.Has(netem.FlagACK) {
+			s.clampRwnd(p, e)
+		}
+		if p.Flags.Has(netem.FlagFIN) || p.Flags.Has(netem.FlagRST) {
+			s.expire(e)
+		}
+		return netem.VerdictPass
+	}
+	// Sender side: data leaving toward the receiver.
+	if e := s.table.get(p.FlowKey()); e != nil && e.role == roleSender {
+		e.lastActive = s.eng.Now()
+		if s.cfg.DyeECT && !e.guestECN && p.ECN == netem.NotECT && (p.IsData() || p.Flags.Has(netem.FlagFIN)) {
+			updateECN(p, netem.ECT0)
+			s.stats.Dyed++
+		}
+		if p.Flags.Has(netem.FlagFIN) || p.Flags.Has(netem.FlagRST) {
+			s.expire(e)
+		}
+	}
+	return netem.VerdictPass
+}
+
+// inbound handles network -> guest packets for one attached host.
+func (s *Shim) inbound(h *netem.Host, p *netem.Packet) netem.Verdict {
+	if p.Probe {
+		return s.inProbe(p)
+	}
+	switch {
+	case p.Flags.Has(netem.FlagSYN) && !p.Flags.Has(netem.FlagACK):
+		s.inSYN(p)
+	default:
+		s.inEstablished(p)
+	}
+	return netem.VerdictPass
+}
+
+// inProbe is the receiver-side probe counter: consume the probe, record
+// whether the fabric marked it.
+func (s *Shim) inProbe(p *netem.Packet) netem.Verdict {
+	e, created := s.table.ensure(p.FlowKey(), roleReceiver)
+	e.lastActive = s.eng.Now()
+	if created {
+		s.stats.FlowsTracked++
+	}
+	e.probesSeen++
+	s.stats.ProbesSeen++
+	if p.ECN == netem.CE {
+		e.probesMarked++
+		s.stats.ProbesMarked++
+	}
+	return netem.VerdictStolen
+}
+
+func (s *Shim) inSYN(p *netem.Packet) {
+	e, created := s.table.ensure(p.FlowKey(), roleReceiver)
+	e.lastActive = s.eng.Now()
+	if created {
+		s.stats.FlowsTracked++
+	}
+	// If the guests negotiate ECN themselves, the shim must not repaint
+	// codepoints they rely on.
+	e.guestECN = p.Flags.Has(netem.FlagECE) && p.Flags.Has(netem.FlagCWR)
+}
+
+func (s *Shim) inEstablished(p *netem.Packet) {
+	// Receiver side: account data marks for Rule 1, clear CE for non-ECN
+	// guests.
+	if e := s.table.get(p.FlowKey()); e != nil && e.role == roleReceiver {
+		e.lastActive = s.eng.Now()
+		if p.IsData() || p.Flags.Has(netem.FlagFIN) {
+			if p.ECN == netem.CE {
+				e.marked++
+				if s.cfg.DyeECT && !e.guestECN {
+					updateECN(p, netem.ECT0)
+					s.stats.CECleared++
+				}
+			} else {
+				e.unmarked++
+			}
+		}
+		if p.Flags.Has(netem.FlagFIN) || p.Flags.Has(netem.FlagRST) {
+			s.expire(e)
+		}
+	}
+}
+
+// clampRwnd applies the current window verdict to an outgoing ACK/SYN-ACK.
+func (s *Shim) clampRwnd(p *netem.Packet, e *flowEntry) {
+	if e.wndSegs < 0 {
+		return
+	}
+	wndBytes := int64(e.wndSegs) * int64(s.cfg.MSS)
+	if cur := int64(p.Rwnd) << uint(e.wscale); cur > wndBytes {
+		field := encodeCeil(wndBytes, e.wscale)
+		if field != p.Rwnd {
+			updateRwnd(p, field)
+			s.stats.RwndRewrites++
+		}
+	}
+}
+
+// encodeCeil converts bytes to the raw window field rounding up, so a clamp
+// of exactly MinWndSegs segments never quantizes to less under scaling.
+func encodeCeil(bytes int64, scale int8) uint16 {
+	unit := int64(1) << uint(scale)
+	v := (bytes + unit - 1) >> uint(scale)
+	if v > 0xffff {
+		v = 0xffff
+	}
+	return uint16(v)
+}
+
+// startEpoch begins the Rule 1 per-RTT accounting loop for a flow.
+func (s *Shim) startEpoch(e *flowEntry) {
+	if s.cfg.BaseRTT <= 0 {
+		return
+	}
+	e.epoch = s.eng.Schedule(s.cfg.BaseRTT, func() { s.closeEpoch(e) })
+}
+
+// closeEpoch re-derives the flow's window from this epoch's mark counts via
+// the Next Fit batch rule, then opens the next epoch.
+func (s *Shim) closeEpoch(e *flowEntry) {
+	if e.closed {
+		return
+	}
+	s.stats.EpochsClosed++
+	switch {
+	case e.marked == 0 && e.unmarked == 0:
+		// Idle epoch: no evidence either way; hold the window.
+	case e.marked == 0:
+		// Clean epoch: grow additively, one step per GrowthEvery clean
+		// epochs (slower than per-RTT AIMD so the aggregate of many
+		// regulated flows does not outrun the marking threshold).
+		e.cleanEpochs++
+		every := s.cfg.GrowthEvery
+		if every < 1 {
+			every = 1
+		}
+		if e.cleanEpochs >= every {
+			e.cleanEpochs = 0
+			e.wndSegs += s.cfg.GrowthSegs
+			if e.wndSegs > s.cfg.MaxWndSegs {
+				e.wndSegs = s.cfg.MaxWndSegs
+			}
+		}
+	default:
+		e.cleanEpochs = 0
+		// Congested epoch: W' = X_UM (+ X_M/2 if batches merged).
+		plan := s.batcher().Split(e.unmarked, e.marked)
+		w := plan.Sizes[0]
+		if w > s.cfg.MaxWndSegs {
+			w = s.cfg.MaxWndSegs
+		}
+		e.wndSegs = w
+	}
+	e.marked, e.unmarked = 0, 0
+	e.epoch = s.eng.Schedule(s.cfg.BaseRTT, func() { s.closeEpoch(e) })
+}
+
+// expire schedules flow-table cleanup after a linger period (so
+// retransmitted FINs and the final ACK are still handled consistently).
+func (s *Shim) expire(e *flowEntry) {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.epoch != nil {
+		e.epoch.Cancel()
+	}
+	linger := 4 * s.cfg.BaseRTT
+	if linger <= 0 {
+		linger = sim.Millisecond
+	}
+	s.eng.Schedule(linger, func() {
+		if s.table.get(e.key) == e {
+			s.table.remove(e.key)
+			s.stats.FlowsExpired++
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hwatch/internal/core"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out, on the
+// Fig. 9 scenario (100 sources, HWatch scheme, byte-accounted buffers) —
+// the scale at which the protective mechanisms actually bind; at 50
+// sources every variant below survives without drops.
+
+// AblationPoint is one configuration's outcome.
+type AblationPoint struct {
+	Label      string
+	MeanFCTms  float64
+	P99FCTms   float64
+	Timeouts   int64
+	Drops      int64
+	Goodput    float64 // mean long-flow goodput, bit/s
+	Done, All  int
+	SetupDelay int64 // probe span (connection-setup cost), ns
+}
+
+func point(label string, r *Run, setupDelay int64) AblationPoint {
+	return AblationPoint{
+		Label:      label,
+		MeanFCTms:  r.ShortFCTms.Mean(),
+		P99FCTms:   r.ShortFCTms.Quantile(0.99),
+		Timeouts:   r.Timeouts,
+		Drops:      r.Drops,
+		Goodput:    r.LongGoodputBps.Mean(),
+		Done:       r.ShortDone,
+		All:        r.ShortAll,
+		SetupDelay: setupDelay,
+	}
+}
+
+// String renders the point as a table row.
+func (p AblationPoint) String() string {
+	return fmt.Sprintf("%-22s meanFCT=%8.2fms p99=%8.2fms rto=%4d drops=%5d goodput=%5.2fGb/s done=%d/%d",
+		p.Label, p.MeanFCTms, p.P99FCTms, p.Timeouts, p.Drops, p.Goodput/1e9, p.Done, p.All)
+}
+
+func ablationBase(scale float64) DumbbellParams {
+	p := scaled(PaperDumbbell(50, 50), scale)
+	p.ByteBuffers = true
+	return p
+}
+
+// AblationProbes sweeps the probe count and compares uniform vs.
+// non-uniform spacing (the paper argues for 10 probes, jittered).
+func AblationProbes(scale float64) []AblationPoint {
+	var out []AblationPoint
+	for _, n := range []int{0, 2, 5, 10, 20} {
+		n := n
+		p := ablationBase(scale)
+		p.ShimTweak = func(c *core.Config) { c.ProbeCount = n }
+		r := RunDumbbell(SchemeHWatch, p)
+		out = append(out, point(fmt.Sprintf("probes=%d", n), r, 0))
+	}
+	// Spacing comparison at the paper's probe count.
+	p := ablationBase(scale)
+	p.ShimTweak = func(c *core.Config) { c.UniformProbeSpacing = true }
+	r := RunDumbbell(SchemeHWatch, p)
+	out = append(out, point("probes=10 uniform", r, 0))
+	return out
+}
+
+// AblationThreshold sweeps the ECN marking threshold as a fraction of the
+// buffer (the paper fixes 20%).
+func AblationThreshold(scale float64) []AblationPoint {
+	var out []AblationPoint
+	for _, frac := range []float64{0.05, 0.10, 0.20, 0.35, 0.50} {
+		p := ablationBase(scale)
+		p.MarkFrac = frac
+		r := RunDumbbell(SchemeHWatch, p)
+		out = append(out, point(fmt.Sprintf("K=%.0f%%", frac*100), r, 0))
+	}
+	return out
+}
+
+// AblationStartWindow compares initial-window policies: the cautious
+// default (marked probes earn nothing), the Corollary IV.2.2 credit
+// (marked probes earn half), full credit (probing only confirms
+// reachability), and probing disabled (stock ICW always).
+func AblationStartWindow(scale float64) []AblationPoint {
+	cases := []struct {
+		label  string
+		credit float64
+		probes int
+	}{
+		{"credit=0 (cautious)", 0, 10},
+		{"credit=0.5 (merged)", 0.5, 10},
+		{"credit=1.0", 1.0, 10},
+		{"no probing (ICW)", 0, 0},
+	}
+	var out []AblationPoint
+	for _, c := range cases {
+		c := c
+		p := ablationBase(scale)
+		p.ShimTweak = func(cc *core.Config) {
+			cc.StartMarkedCredit = c.credit
+			cc.ProbeCount = c.probes
+		}
+		r := RunDumbbell(SchemeHWatch, p)
+		out = append(out, point(c.label, r, 0))
+	}
+	return out
+}
+
+// AblationBatches compares Rule 1 batch policies: merged first+second
+// batches (Cor IV.2.2) vs. the strict three-batch split, and the growth
+// cadence.
+func AblationBatches(scale float64) []AblationPoint {
+	cases := []struct {
+		label string
+		merge bool
+		every int
+	}{
+		{"merge batches, grow/4", true, 4},
+		{"merge batches, grow/1", true, 1},
+		{"3 batches, grow/4", false, 4},
+		{"3 batches, grow/1", false, 1},
+	}
+	var out []AblationPoint
+	for _, c := range cases {
+		c := c
+		p := ablationBase(scale)
+		p.ShimTweak = func(cc *core.Config) {
+			cc.MergeBatch1 = c.merge
+			cc.GrowthEvery = c.every
+		}
+		r := RunDumbbell(SchemeHWatch, p)
+		out = append(out, point(c.label, r, 0))
+	}
+	return out
+}
+
+// AblationPacing toggles the SYN-ACK token bucket.
+func AblationPacing(scale float64) []AblationPoint {
+	cases := []struct {
+		label string
+		burst int
+		every int64
+	}{
+		{"pacing on (default)", 4, 0}, // 0 = keep default refill
+		{"pacing off", 0, 0},
+		{"pacing slow", 2, 200 * sim.Microsecond},
+	}
+	var out []AblationPoint
+	for _, c := range cases {
+		c := c
+		p := ablationBase(scale)
+		p.ShimTweak = func(cc *core.Config) {
+			cc.SynAckBurst = c.burst
+			if c.every > 0 {
+				cc.RefillEvery = c.every
+			}
+		}
+		r := RunDumbbell(SchemeHWatch, p)
+		out = append(out, point(c.label, r, 0))
+	}
+	return out
+}
+
+// AblationGuestStacks quantifies requirement R3 (VM autonomy): HWatch must
+// deliver its guarantee regardless of what the unmodified guest stack
+// happens to be. Each variant runs the 100-source scenario with a
+// different guest flavour under the same shims.
+func AblationGuestStacks(scale float64) []AblationPoint {
+	newReno := tcp.DefaultConfig()
+	sack := tcp.DefaultConfig()
+	sack.SACK = true
+	delack := tcp.DefaultConfig()
+	delack.DelayedAck = true
+	cubic := tcp.CubicConfig()
+	cases := []struct {
+		label string
+		cfg   tcp.Config
+	}{
+		{"guest=newreno", newReno},
+		{"guest=newreno+sack", sack},
+		{"guest=newreno+delack", delack},
+		{"guest=cubic", cubic},
+	}
+	var out []AblationPoint
+	for _, c := range cases {
+		c := c
+		p := ablationBase(scale)
+		r := runHWatchWithGuest(p, c.cfg)
+		out = append(out, point(c.label, r, 0))
+	}
+	return out
+}
+
+// runHWatchWithGuest is RunDumbbell(SchemeHWatch, ...) with an explicit
+// guest stack configuration instead of the scheme's default.
+func runHWatchWithGuest(p DumbbellParams, guest tcp.Config) *Run {
+	rng := sim.NewRNG(p.Seed)
+	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
+	baseRTT := 4 * p.LinkDelay
+	markK := int(float64(p.BufferPkts) * p.MarkFrac)
+	var eng func() int64
+	clock := func() int64 {
+		if eng == nil {
+			return 0
+		}
+		return eng()
+	}
+	setup := buildSchemeTweaked(SchemeHWatch, p.BufferPkts, markK, meanPkt, baseRTT,
+		p.ICW, p.MinRTO, true, rng, clock, p.ShimTweak)
+	setup.tcpConfig = guest
+
+	run := &Run{Label: "TCP-HWATCH/" + guest.Variant.String()}
+	runCustom(run, setup, p, rng, func(int, *netem.Host) tcp.Config { return guest }, &eng)
+	return run
+}

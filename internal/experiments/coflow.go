@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/stats"
+	"hwatch/internal/tcp"
+	"hwatch/internal/workload"
+)
+
+// CoflowResult is one scheme's job-completion outcome: the application-
+// level metric the paper's introduction motivates (a job of parallel flows
+// finishes with its slowest flow; one RTO victim delays the whole job).
+type CoflowResult struct {
+	Scheme    Scheme
+	JCTms     stats.Sample // job completion times
+	Straggler stats.Sample // JCT / median constituent FCT, per job
+	JobsDone  int
+	JobsAll   int
+}
+
+// String renders the result as a table row.
+func (r CoflowResult) String() string {
+	return fmt.Sprintf("%-12s JCT p50/p99=%8.2f/%9.2fms straggler p50=%5.1fx done=%d/%d",
+		r.Scheme, r.JCTms.Quantile(0.5), r.JCTms.Quantile(0.99),
+		r.Straggler.Quantile(0.5), r.JobsDone, r.JobsAll)
+}
+
+// CoflowParams configures the job-completion study.
+type CoflowParams struct {
+	LongSources  int
+	ShortSources int
+	Width        int // parallel flows per job
+	FlowSize     int64
+	Jobs         int
+	JobEvery     int64
+	Duration     int64
+	Seed         int64
+}
+
+// DefaultCoflow returns partition-aggregate style jobs on the paper's
+// dumbbell: 16-wide jobs of 10 KB flows against 25 background elephants.
+func DefaultCoflow() CoflowParams {
+	return CoflowParams{
+		LongSources:  25,
+		ShortSources: 25,
+		Width:        16,
+		FlowSize:     10_000,
+		Jobs:         8,
+		JobEvery:     150 * sim.Millisecond,
+		Duration:     1500 * sim.Millisecond,
+		Seed:         17,
+	}
+}
+
+// RunCoflow executes the study for the given schemes.
+func RunCoflow(schemes []Scheme, p CoflowParams) []CoflowResult {
+	var out []CoflowResult
+	for _, sc := range schemes {
+		out = append(out, runCoflowCell(sc, p))
+	}
+	return out
+}
+
+func runCoflowCell(sc Scheme, p CoflowParams) CoflowResult {
+	rng := sim.NewRNG(p.Seed)
+	dp := PaperDumbbell(p.LongSources, p.ShortSources)
+	dp.ByteBuffers = true
+	dp.Duration = p.Duration
+	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / dp.BottleneckBps
+	baseRTT := 4 * dp.LinkDelay
+	markK := int(float64(dp.BufferPkts) * dp.MarkFrac)
+
+	var eng func() int64
+	clock := func() int64 {
+		if eng == nil {
+			return 0
+		}
+		return eng()
+	}
+	setup := buildScheme(sc, dp.BufferPkts, markK, meanPkt, baseRTT, 0, 0, true, rng, clock)
+	d := newDumbbellFabric(setup, dp)
+	eng = d.Net.Eng.Now
+	if setup.attachShim != nil {
+		for _, h := range d.Senders {
+			setup.attachShim(h)
+		}
+		setup.attachShim(d.Receiver)
+	}
+
+	tcfg := setup.tcpConfig
+	d.Receiver.Listen(svcPort, tcp.NewListener(d.Receiver, tcfg, nil))
+
+	// Background elephants from the first LongSources hosts.
+	workload.StartLongLived(d.Senders[:p.LongSources], d.Receiver.ID, tcfg,
+		workload.LongLivedConfig{Port: svcPort, Jitter: dp.LinkDelay, Rng: rng.Fork()})
+
+	res := CoflowResult{Scheme: sc}
+	segTime := int64(netem.DefaultMTU) * 8 * sim.Second / dp.BottleneckBps
+	co := workload.RunCoflows(d.Senders[p.LongSources:], d.Receiver.ID, tcfg,
+		workload.CoflowConfig{
+			Port:     svcPort,
+			Width:    p.Width,
+			FlowSize: p.FlowSize,
+			Jobs:     p.Jobs,
+			FirstJob: 100 * sim.Millisecond,
+			JobEvery: p.JobEvery,
+			Jitter:   segTime,
+			Rng:      rng.Fork(),
+		}, nil)
+
+	d.Net.Eng.RunUntil(p.Duration)
+	res.JobsAll = p.Jobs
+	res.JobsDone = co.JobsCompleted
+	for _, j := range co.JCTs {
+		res.JCTms.Add(float64(j) / float64(sim.Millisecond))
+	}
+	for _, r := range co.StragglerRatio {
+		res.Straggler.Add(r)
+	}
+	return res
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/stats"
+	"hwatch/internal/tcp"
+	"hwatch/internal/workload"
+)
+
+// EmpiricalResult is one (scheme, load) cell of the trace-driven extension
+// study: FCT statistics split by flow size, the standard data-center
+// evaluation the paper's related work uses.
+type EmpiricalResult struct {
+	Scheme    Scheme
+	Load      float64
+	SmallFCT  stats.Sample // flows < 100 KB, ms
+	LargeFCT  stats.Sample // flows >= 1 MB, ms
+	AllFCT    stats.Sample
+	Started   int
+	Completed int
+	Timeouts  int64
+}
+
+// String renders the cell as a table row.
+func (r EmpiricalResult) String() string {
+	return fmt.Sprintf("%-12s load=%.0f%%  small p50/p99=%7.2f/%8.2fms  large p50=%8.1fms  done=%d/%d rto=%d",
+		r.Scheme, r.Load*100,
+		r.SmallFCT.Quantile(0.5), r.SmallFCT.Quantile(0.99),
+		r.LargeFCT.Quantile(0.5),
+		r.Completed, r.Started, r.Timeouts)
+}
+
+// EmpiricalParams configures the trace-driven study.
+type EmpiricalParams struct {
+	Sources       int
+	Dist          workload.SizeDist
+	Loads         []float64
+	Duration      int64
+	BottleneckBps int64
+	BufferPkts    int
+	MarkFrac      float64
+	LinkDelay     int64
+	Seed          int64
+}
+
+// DefaultEmpirical returns a web-search workload on the paper's dumbbell.
+func DefaultEmpirical() EmpiricalParams {
+	return EmpiricalParams{
+		Sources:       20,
+		Dist:          workload.WebSearch(),
+		Loads:         []float64{0.3, 0.6},
+		Duration:      500 * sim.Millisecond,
+		BottleneckBps: 10e9,
+		BufferPkts:    250,
+		MarkFrac:      0.20,
+		LinkDelay:     25 * sim.Microsecond,
+		Seed:          13,
+	}
+}
+
+// RunEmpirical executes the study for the given schemes.
+func RunEmpirical(schemes []Scheme, p EmpiricalParams) []EmpiricalResult {
+	var out []EmpiricalResult
+	for _, load := range p.Loads {
+		for _, sc := range schemes {
+			out = append(out, runEmpiricalCell(sc, load, p))
+		}
+	}
+	return out
+}
+
+func runEmpiricalCell(sc Scheme, load float64, p EmpiricalParams) EmpiricalResult {
+	rng := sim.NewRNG(p.Seed)
+	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
+	baseRTT := 4 * p.LinkDelay
+	markK := int(float64(p.BufferPkts) * p.MarkFrac)
+
+	var eng func() int64
+	clock := func() int64 {
+		if eng == nil {
+			return 0
+		}
+		return eng()
+	}
+	setup := buildScheme(sc, p.BufferPkts, markK, meanPkt, baseRTT, 0, 0, true, rng, clock)
+	dp := DumbbellParams{
+		LongSources: p.Sources, ShortSources: 0,
+		BottleneckBps: p.BottleneckBps, EdgeBps: p.BottleneckBps,
+		LinkDelay: p.LinkDelay, BufferPkts: p.BufferPkts,
+	}
+	d := newDumbbellFabric(setup, dp)
+	eng = d.Net.Eng.Now
+	if setup.attachShim != nil {
+		for _, h := range d.Senders {
+			setup.attachShim(h)
+		}
+		setup.attachShim(d.Receiver)
+	}
+
+	res := EmpiricalResult{Scheme: sc, Load: load}
+	tcfg := setup.tcpConfig
+	d.Receiver.Listen(svcPort, tcp.NewListener(d.Receiver, tcfg, nil))
+
+	po := workload.RunPoisson(d.Senders, d.Receiver.ID, tcfg, workload.PoissonConfig{
+		Port:        svcPort,
+		ArrivalRate: workload.LoadFor(load, p.BottleneckBps, p.Dist),
+		Dist:        p.Dist,
+		StartAt:     0,
+		StopAt:      p.Duration,
+		Rng:         rng.Fork(),
+	}, func(fct, size int64) {
+		ms := float64(fct) / float64(sim.Millisecond)
+		res.AllFCT.Add(ms)
+		if size < 100_000 {
+			res.SmallFCT.Add(ms)
+		}
+		if size >= 1_000_000 {
+			res.LargeFCT.Add(ms)
+		}
+	})
+
+	// Run past the arrival window so in-flight flows can finish.
+	d.Net.Eng.RunUntil(p.Duration + 2*sim.Second)
+	res.Started = po.Started
+	res.Completed = po.Completed
+	return res
+}

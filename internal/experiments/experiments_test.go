@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hwatch/internal/core"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// Small-scale shape checks: these assert the *qualitative* results the
+// paper reports (who wins, what fails, what stays flat), not absolute
+// numbers. Full-scale regeneration lives in cmd/figgen and the root
+// benchmarks.
+
+func TestFig8ShapeSmall(t *testing.T) {
+	r := figScheme(6, 6, 1) // small source count, full duration
+	hw := r.Runs[SchemeHWatch]
+	dt := r.Runs[SchemeDropTail]
+
+	// HWatch: every short flow completes, no RTO, no drops (the headline).
+	if hw.Timeouts != 0 {
+		t.Errorf("HWatch short flows hit %d RTOs", hw.Timeouts)
+	}
+	if hw.ShortDone != hw.ShortAll {
+		t.Errorf("HWatch completed %d/%d", hw.ShortDone, hw.ShortAll)
+	}
+	if hw.Drops != 0 {
+		t.Errorf("HWatch bottleneck dropped %d packets", hw.Drops)
+	}
+	// DropTail: bloated queue and strictly worse mean FCT.
+	if dt.QueuePkts.Mean() <= hw.QueuePkts.Mean() {
+		t.Errorf("DropTail queue (%.0f) not above HWatch (%.0f)",
+			dt.QueuePkts.Mean(), hw.QueuePkts.Mean())
+	}
+	if dt.ShortFCTms.Mean() <= hw.ShortFCTms.Mean() {
+		t.Errorf("DropTail FCT mean %.2f not worse than HWatch %.2f",
+			dt.ShortFCTms.Mean(), hw.ShortFCTms.Mean())
+	}
+	// Long-flow goodput comparable across schemes (R2): no scheme may
+	// collapse the elephants.
+	base := r.Runs[SchemeDCTCP].LongGoodputBps.Mean()
+	for _, s := range r.Order {
+		g := r.Runs[s].LongGoodputBps.Mean()
+		if g < 0.3*base {
+			t.Errorf("%v long goodput collapsed: %.2g vs %.2g", s, g, base)
+		}
+	}
+	// The bottleneck stays busy for every scheme.
+	for _, s := range r.Order {
+		if u := r.Runs[s].Utilization.Mean(); u < 0.5 {
+			t.Errorf("%v bottleneck utilization %.2f too low", s, u)
+		}
+	}
+}
+
+func TestFig1ShapeSmall(t *testing.T) {
+	// Sweep only the endpoints at reduced scale: small ICW clean, large
+	// ICW in the drop/RTO regime.
+	// The incast only overflows at the paper's full source count, so keep
+	// 25/25 and shorten the run instead.
+	mk := func(icw int) *Run {
+		p := PaperDumbbell(25, 25)
+		p.Duration = 500 * sim.Millisecond
+		p.Epochs = 3
+		p.ICW = icw
+		return RunDumbbell(SchemeDCTCP, p)
+	}
+	small, large := mk(1), mk(20)
+	if small.Timeouts != 0 || small.Drops != 0 {
+		t.Errorf("ICW=1 not clean: rto=%d drops=%d", small.Timeouts, small.Drops)
+	}
+	if large.Drops == 0 {
+		t.Error("ICW=20 caused no drops; incast surge missing")
+	}
+	if large.ShortFCTms.Quantile(0.99) < 10*small.ShortFCTms.Quantile(0.99) {
+		t.Errorf("ICW=20 p99 %.2fms not an order above ICW=1 %.2fms",
+			large.ShortFCTms.Quantile(0.99), small.ShortFCTms.Quantile(0.99))
+	}
+	// Long-flow goodput unaffected by ICW (Fig. 1c).
+	g1, g20 := small.LongGoodputBps.Mean(), large.LongGoodputBps.Mean()
+	if g20 < 0.8*g1 || g20 > 1.2*g1 {
+		t.Errorf("long goodput moved with ICW: %.3g vs %.3g", g1, g20)
+	}
+}
+
+func TestFig2ShapeSmall(t *testing.T) {
+	p := PaperDumbbell(12, 12)
+	p.Duration = 600 * sim.Millisecond
+	p.Epochs = 4
+	dctcp := RunDumbbell(SchemeDCTCP, p)
+	mix := runMix(p, false)
+
+	// Coexistence destroys queue regulation (Fig. 2b)...
+	if mix.QueuePkts.Mean() <= 1.5*dctcp.QueuePkts.Mean() {
+		t.Errorf("MIX queue %.0f not far above DCTCP %.0f",
+			mix.QueuePkts.Mean(), dctcp.QueuePkts.Mean())
+	}
+	// ...and blows up FCT variance (Fig. 2a)...
+	if mix.ShortFCTms.Var() <= dctcp.ShortFCTms.Var() {
+		t.Errorf("MIX FCT variance %.1f not above DCTCP %.1f",
+			mix.ShortFCTms.Var(), dctcp.ShortFCTms.Var())
+	}
+	// Per-source AVG/VAR samples (the actual Fig. 2a curves) exist, one
+	// per short source.
+	if mix.PerSourceAvgMs.N() != 12 || mix.PerSourceVarMs.N() != 12 {
+		t.Errorf("per-source samples: avg=%d var=%d, want 12",
+			mix.PerSourceAvgMs.N(), mix.PerSourceVarMs.N())
+	}
+	if mix.PerSourceVarMs.Mean() <= dctcp.PerSourceVarMs.Mean() {
+		t.Errorf("MIX per-source variance %.1f not above DCTCP %.1f",
+			mix.PerSourceVarMs.Mean(), dctcp.PerSourceVarMs.Mean())
+	}
+	// Extension: HWatch shims over the same MIX restore queue regulation
+	// (the transport-agnostic claim): the deaf tenant is disciplined via
+	// its receive window.
+	mixHW := runMix(p, true)
+	if mixHW.QueuePkts.Mean() >= mix.QueuePkts.Mean()/2 {
+		t.Errorf("HWatch over MIX left queue at %.0f (MIX alone %.0f)",
+			mixHW.QueuePkts.Mean(), mix.QueuePkts.Mean())
+	}
+	if mixHW.Timeouts >= mix.Timeouts {
+		t.Errorf("HWatch over MIX: %d RTOs vs MIX %d", mixHW.Timeouts, mix.Timeouts)
+	}
+	// ...while the link stays fully utilized either way (Fig. 2d).
+	if u := mix.Utilization.Mean(); u < 0.7 {
+		t.Errorf("MIX utilization %.2f too low", u)
+	}
+}
+
+func TestFig11ShapeTiny(t *testing.T) {
+	p := PaperTestbed()
+	p.HostsPerRack = 6
+	p.LongPerRack = 2
+	p.WebServers = 2
+	p.WebClients = 2
+	p.Parallel = 4
+	p.Epochs = 2
+	p.Duration = p.FirstEpoch + int64(p.Epochs)*p.EpochInterval
+	tcpRun := RunTestbed(false, p)
+	hwRun := RunTestbed(true, p)
+
+	if hwRun.ShortDone != hwRun.ShortAll {
+		t.Errorf("HWatch testbed completed %d/%d", hwRun.ShortDone, hwRun.ShortAll)
+	}
+	if hwRun.ShortFCTms.Mean() >= tcpRun.ShortFCTms.Mean() {
+		t.Errorf("HWatch mean FCT %.1fms not better than TCP %.1fms",
+			hwRun.ShortFCTms.Mean(), tcpRun.ShortFCTms.Mean())
+	}
+	if hwRun.LongGoodputBps.Mean() < 0.5*tcpRun.LongGoodputBps.Mean() {
+		t.Error("HWatch crushed the long flows (violates R2)")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	p := PaperDumbbell(4, 4)
+	p.Duration = 300 * sim.Millisecond
+	p.Epochs = 2
+	p.ByteBuffers = true
+	a := RunDumbbell(SchemeHWatch, p)
+	b := RunDumbbell(SchemeHWatch, p)
+	if a.ShortFCTms.N() != b.ShortFCTms.N() {
+		t.Fatalf("flow counts differ: %d vs %d", a.ShortFCTms.N(), b.ShortFCTms.N())
+	}
+	av, bv := a.ShortFCTms.Values(), b.ShortFCTms.Values()
+	for i := range av {
+		if av[i] != bv[i] {
+			t.Fatalf("same seed diverged at %d: %f vs %f", i, av[i], bv[i])
+		}
+	}
+	if a.Drops != b.Drops || a.Marks != b.Marks {
+		t.Fatalf("telemetry diverged: %d/%d vs %d/%d", a.Drops, a.Marks, b.Drops, b.Marks)
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[Scheme]string{
+		SchemeDropTail: "TCP-DropTail",
+		SchemeRED:      "TCP-RED",
+		SchemeDCTCP:    "DCTCP",
+		SchemeHWatch:   "TCP-HWATCH",
+	}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d -> %q, want %q", s, s.String(), w)
+		}
+	}
+	if len(AllSchemes()) != 4 {
+		t.Error("AllSchemes must list the paper's four systems")
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := PaperDumbbell(25, 25)
+	s := scaled(p, 0.2)
+	if s.LongSources != 5 || s.ShortSources != 5 {
+		t.Fatalf("scaled sources = %d/%d", s.LongSources, s.ShortSources)
+	}
+	if s.Duration >= p.Duration {
+		t.Fatal("scaled duration not reduced")
+	}
+	if s.Epochs < 1 {
+		t.Fatal("scaled epochs vanished")
+	}
+	// Degenerate scales are identity.
+	for _, sc := range []float64{0, 1, 2} {
+		got := scaled(p, sc)
+		if got.LongSources != p.LongSources || got.Duration != p.Duration || got.Epochs != p.Epochs {
+			t.Fatalf("degenerate scale %v not identity", sc)
+		}
+	}
+	// Floors.
+	tiny := scaled(p, 0.01)
+	if tiny.LongSources < 2 || tiny.ShortSources < 2 {
+		t.Fatal("scaled below source floor")
+	}
+}
+
+func TestRunSummaryFormat(t *testing.T) {
+	p := PaperDumbbell(2, 2)
+	p.Duration = 50 * sim.Millisecond
+	p.Epochs = 1
+	p.FirstEpoch = 5 * sim.Millisecond
+	r := RunDumbbell(SchemeDropTail, p)
+	s := r.Summary()
+	for _, want := range []string{"TCP-DropTail", "shortFCT", "longGoodput", "drops="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEmpiricalShapeSmall(t *testing.T) {
+	p := DefaultEmpirical()
+	p.Sources = 10
+	p.Loads = []float64{0.4}
+	p.Duration = 150 * sim.Millisecond
+	res := RunEmpirical([]Scheme{SchemeHWatch, SchemeDCTCP}, p)
+	if len(res) != 2 {
+		t.Fatalf("cells = %d", len(res))
+	}
+	for _, r := range res {
+		if r.Started == 0 {
+			t.Fatalf("%v: no arrivals", r.Scheme)
+		}
+		if r.Completed < r.Started*9/10 {
+			t.Fatalf("%v: completed %d/%d", r.Scheme, r.Completed, r.Started)
+		}
+		if r.SmallFCT.N() == 0 {
+			t.Fatalf("%v: no small-flow samples", r.Scheme)
+		}
+		// At 40%% load neither scheme should be in the RTO regime for the
+		// median small flow.
+		if r.SmallFCT.Quantile(0.5) > 50 {
+			t.Fatalf("%v: small p50 %.1fms at 40%% load", r.Scheme, r.SmallFCT.Quantile(0.5))
+		}
+	}
+}
+
+func TestIncastSweepShape(t *testing.T) {
+	p := DefaultIncastSweep()
+	p.Degrees = []int{8, 48}
+	p.Epochs = 2
+	p.Duration = 500 * sim.Millisecond
+	pts := RunIncastSweep([]Scheme{SchemeHWatch}, p)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Timeouts != 0 || pt.Done != pt.All {
+			t.Fatalf("HWatch cliff at degree %d: %+v", pt.Degree, pt)
+		}
+	}
+}
+
+func TestCoflowShapeSmall(t *testing.T) {
+	p := DefaultCoflow()
+	p.LongSources = 12
+	p.ShortSources = 16
+	p.Jobs = 3
+	p.Duration = 700 * sim.Millisecond
+	res := RunCoflow([]Scheme{SchemeDropTail, SchemeHWatch}, p)
+	dt, hw := res[0], res[1]
+	if hw.JobsDone != hw.JobsAll {
+		t.Fatalf("HWatch jobs %d/%d", hw.JobsDone, hw.JobsAll)
+	}
+	if hw.JCTms.N() == 0 || dt.JCTms.N() == 0 {
+		t.Fatal("no JCT samples")
+	}
+	if hw.JCTms.Quantile(0.99) >= dt.JCTms.Quantile(0.99) {
+		t.Fatalf("HWatch JCT p99 %.1fms not below DropTail %.1fms",
+			hw.JCTms.Quantile(0.99), dt.JCTms.Quantile(0.99))
+	}
+	// Straggler ratios are >= 1 by construction.
+	if hw.Straggler.Min() < 1 {
+		t.Fatalf("straggler ratio below 1: %f", hw.Straggler.Min())
+	}
+}
+
+func TestPacingIsLoadBearingAt100Sources(t *testing.T) {
+	// The headline ablation finding: at 100 sources HWatch without SYN-ACK
+	// pacing re-admits the correlated-start overflow.
+	base := PaperDumbbell(50, 50)
+	base.ByteBuffers = true
+	base.Duration = 600 * sim.Millisecond
+	base.Epochs = 3
+
+	withPacing := base
+	r1 := RunDumbbell(SchemeHWatch, withPacing)
+
+	noPacing := base
+	noPacing.ShimTweak = func(c *core.Config) { c.SynAckBurst = 0 }
+	r2 := RunDumbbell(SchemeHWatch, noPacing)
+
+	if r1.Drops != 0 || r1.Timeouts != 0 {
+		t.Fatalf("paced run not clean: %+v", Summarize(r1))
+	}
+	if r2.Drops == 0 && r2.Timeouts == 0 {
+		t.Fatalf("unpaced run survived; the ablation's premise broke: %+v", Summarize(r2))
+	}
+}
+
+func TestGuestAgnosticismSmall(t *testing.T) {
+	// R3: HWatch's guarantee must not depend on the guest stack flavour.
+	base := PaperDumbbell(25, 25)
+	base.ByteBuffers = true
+	base.Duration = 500 * sim.Millisecond
+	base.Epochs = 3
+	cubic := tcp.CubicConfig()
+	sack := tcp.DefaultConfig()
+	sack.SACK = true
+	for _, guest := range []tcp.Config{cubic, sack} {
+		r := runHWatchWithGuest(base, guest)
+		if r.Drops != 0 || r.Timeouts != 0 || r.ShortDone != r.ShortAll {
+			t.Fatalf("guest %v broke the guarantee: %+v", guest.Variant, Summarize(r))
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"strconv"
+	"sync"
+
+	"hwatch/internal/core"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// Fig1Result holds one run per initial congestion window value.
+type Fig1Result struct {
+	ICWs []int
+	Runs map[int]*Run
+}
+
+// Fig1 reproduces the DCTCP initial-window study (Fig. 1a-d): DCTCP
+// background flows plus incast surges, sweeping ICW over the paper's
+// values. scale in (0,1] shrinks source counts and duration for quick runs.
+func Fig1(scale float64) *Fig1Result {
+	icws := []int{1, 5, 10, 15, 20}
+	out := &Fig1Result{ICWs: icws, Runs: make(map[int]*Run)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, icw := range icws {
+		icw := icw
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := scaled(PaperDumbbell(25, 25), scale)
+			p.ICW = icw
+			p.Seed = 42 // identical traffic across ICW values
+			r := RunDumbbell(SchemeDCTCP, p)
+			r.Label = schemeICWLabel(icw)
+			mu.Lock()
+			out.Runs[icw] = r
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func schemeICWLabel(icw int) string {
+	return "ICWND=" + strconv.Itoa(icw)
+}
+
+// Fig2Result holds the coexistence study: DCTCP alone vs. the MIX of
+// controllers sharing the fabric, plus the extension run where HWatch
+// shims govern the same MIX (not in the paper; it demonstrates the
+// transport-agnostic claim — the hypervisor watch disciplines even the
+// ECN-deaf tenant via its receive window).
+type Fig2Result struct {
+	DCTCP     *Run
+	Mix       *Run
+	MixHWatch *Run
+}
+
+// Fig2 reproduces the controller-coexistence study (Fig. 2a-d): the same
+// scenario run with all-DCTCP tenants and with tenants split evenly across
+// DCTCP, ECN-responsive NewReno, and ECN-non-responsive NewReno — and,
+// as an extension, the MIX again with HWatch shims on every host.
+func Fig2(scale float64) *Fig2Result {
+	p := scaled(PaperDumbbell(25, 25), scale)
+	res := &Fig2Result{}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		res.DCTCP = RunDumbbell(SchemeDCTCP, p)
+		res.DCTCP.Label = "DCTCP"
+	}()
+	go func() {
+		defer wg.Done()
+		res.Mix = runMix(p, false)
+		res.Mix.Label = "MIX"
+	}()
+	go func() {
+		defer wg.Done()
+		res.MixHWatch = runMix(p, true)
+		res.MixHWatch.Label = "MIX+HWatch"
+	}()
+	wg.Wait()
+	return res
+}
+
+// runMix executes the dumbbell with per-host controller flavours over the
+// DCTCP marking discipline (threshold marking, as in the paper's rerun of
+// the same experiment). withShims additionally installs HWatch on every
+// host (the extension run).
+func runMix(p DumbbellParams, withShims bool) *Run {
+	rng := sim.NewRNG(p.Seed)
+	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
+	baseRTT := 4 * p.LinkDelay
+
+	var engClock func() int64
+	clock := func() int64 {
+		if engClock == nil {
+			return 0
+		}
+		return engClock()
+	}
+	setup := buildScheme(SchemeDCTCP, p.BufferPkts,
+		int(float64(p.BufferPkts)*p.MarkFrac), meanPkt, baseRTT,
+		p.ICW, p.MinRTO, p.ByteBuffers, rng, clock)
+
+	dctcpCfg := setup.tcpConfig
+	renoEcn := tcp.DefaultConfig()
+	renoEcn.ECN = true
+	renoEcn.ECNResponsive = true
+	renoDeaf := tcp.DefaultConfig()
+	renoDeaf.ECN = true
+	renoDeaf.ECNResponsive = false
+	for _, c := range []*tcp.Config{&renoEcn, &renoDeaf} {
+		if p.ICW > 0 {
+			c.InitCwnd = p.ICW
+		}
+		if p.MinRTO > 0 {
+			c.MinRTO = p.MinRTO
+			c.InitRTO = p.MinRTO
+		}
+	}
+	flavours := []tcp.Config{dctcpCfg, renoEcn, renoDeaf}
+
+	if withShims {
+		shimCfg := core.DefaultConfig(baseRTT)
+		shimCfg.MSS = netem.DefaultMSS
+		if p.ShimTweak != nil {
+			p.ShimTweak(&shimCfg)
+		}
+		setup.attachShim = func(h *netem.Host) *core.Shim { return core.Attach(h, shimCfg) }
+	}
+
+	run := &Run{Label: "MIX"}
+	runCustom(run, setup, p, rng, func(i int, h *netem.Host) tcp.Config {
+		return flavours[i%len(flavours)]
+	}, &engClock)
+	return run
+}
+
+// Fig8Result maps each compared scheme to its run.
+type Fig8Result struct {
+	Order []Scheme
+	Runs  map[Scheme]*Run
+}
+
+// Fig8 reproduces the 50-source comparison (Fig. 8a-d): 25 long-lived and
+// 25 short-lived sources, schemes TCP-DropTail / TCP-RED / TCP-HWatch /
+// DCTCP.
+func Fig8(scale float64) *Fig8Result {
+	return figScheme(25, 25, scale)
+}
+
+// Fig9 reproduces the 100-source scalability rerun (Fig. 9a-d).
+func Fig9(scale float64) *Fig8Result {
+	return figScheme(50, 50, scale)
+}
+
+// figScheme runs the four schemes concurrently; every run owns its engine
+// and seeded RNG, so parallelism does not affect determinism.
+func figScheme(longN, shortN int, scale float64) *Fig8Result {
+	out := &Fig8Result{Order: AllSchemes(), Runs: make(map[Scheme]*Run)}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, s := range out.Order {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := scaled(PaperDumbbell(longN, shortN), scale)
+			p.ByteBuffers = true // Fig. 8c/9c report queue occupancy in bytes
+			r := RunDumbbell(s, p)
+			mu.Lock()
+			out.Runs[s] = r
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// scaled shrinks a scenario for fast runs: source counts scale linearly,
+// epochs and duration stay (they bound wall-clock less than event volume).
+func scaled(p DumbbellParams, scale float64) DumbbellParams {
+	if scale >= 1 || scale <= 0 {
+		return p
+	}
+	shrink := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 2 {
+			v = 2
+		}
+		return v
+	}
+	p.LongSources = shrink(p.LongSources)
+	p.ShortSources = shrink(p.ShortSources)
+	p.Duration = int64(float64(p.Duration) * scaleClamp(scale*2))
+	p.Epochs = int(float64(p.Epochs)*scaleClamp(scale*2)) + 1
+	return p
+}
+
+func scaleClamp(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// runCustom is RunDumbbell's core with an externally supplied per-host
+// flavour assignment (index-based).
+func runCustom(run *Run, setup schemeSetup, p DumbbellParams, rng *sim.RNG,
+	flavourFor func(i int, h *netem.Host) tcp.Config, engClock *func() int64) {
+
+	d := newDumbbellFabric(setup, p)
+	*engClock = d.Net.Eng.Now
+	if setup.attachShim != nil {
+		for _, h := range d.Senders {
+			setup.attachShim(h)
+		}
+		setup.attachShim(d.Receiver)
+	}
+
+	idx := map[netem.NodeID]int{}
+	for i, h := range d.Senders {
+		idx[h.ID] = i
+	}
+	cfgFor := func(h *netem.Host) tcp.Config { return flavourFor(idx[h.ID], h) }
+	res := newDumbbellHarness(d, cfgFor, p, rng, run)
+	d.Net.Eng.RunUntil(p.Duration)
+	res.finish(p, run)
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import "testing"
+
+// FuzzParseSpec: arbitrary bytes must never panic the spec parser, and an
+// accepted spec must produce runnable parameters.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{"kind":"dumbbell","scheme":"hwatch"}`))
+	f.Add([]byte(`{"kind":"testbed","scheme":"hwatch","racks":2}`))
+	f.Add([]byte(`{"kind":"ring"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"kind":"dumbbell","scheme":"dctcp","mark_percent":1e300}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := ParseSpec(raw)
+		if err != nil {
+			return
+		}
+		// Accepted specs must yield internally consistent parameters
+		// without panicking.
+		switch s.Kind {
+		case "dumbbell":
+			p := s.dumbbellParams()
+			if p.LongSources <= 0 || p.BufferPkts <= 0 || p.Duration <= 0 {
+				t.Fatalf("accepted spec produced bad params: %+v", p)
+			}
+		case "testbed":
+			p := s.testbedParams()
+			if p.Racks <= 0 || p.HostsPerRack <= 0 {
+				t.Fatalf("accepted spec produced bad params: %+v", p)
+			}
+			if p.WebServers > p.HostsPerRack || p.WebClients > p.HostsPerRack {
+				t.Fatalf("rack roles exceed rack size: %+v", p)
+			}
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hwatch/internal/sim"
+	"hwatch/internal/stats"
+)
+
+// IncastPoint is one (scheme, degree) cell of the incast-cliff sweep: where
+// does each system fall off the latency cliff as the number of
+// synchronized senders grows? This generalizes the paper's fixed-degree
+// scenarios into the full curve.
+type IncastPoint struct {
+	Scheme   Scheme
+	Degree   int
+	FCTms    stats.Sample
+	Drops    int64
+	Timeouts int64
+	Done     int
+	All      int
+}
+
+// String renders the point as a table row.
+func (p IncastPoint) String() string {
+	return fmt.Sprintf("%-12s degree=%3d fct p50/p99=%8.2f/%9.2fms drops=%5d rto=%4d done=%d/%d",
+		p.Scheme, p.Degree, p.FCTms.Quantile(0.5), p.FCTms.Quantile(0.99),
+		p.Drops, p.Timeouts, p.Done, p.All)
+}
+
+// IncastSweepParams configures the cliff sweep.
+type IncastSweepParams struct {
+	Degrees     []int
+	LongSources int
+	FlowSize    int64
+	Epochs      int
+	Duration    int64
+	Seed        int64
+}
+
+// DefaultIncastSweep sweeps the degrees the incast example explores.
+func DefaultIncastSweep() IncastSweepParams {
+	return IncastSweepParams{
+		Degrees:     []int{8, 16, 32, 64},
+		LongSources: 8,
+		FlowSize:    10_000,
+		Epochs:      3,
+		Duration:    700 * sim.Millisecond,
+		Seed:        42,
+	}
+}
+
+// RunIncastSweep executes the sweep for the given schemes.
+func RunIncastSweep(schemes []Scheme, p IncastSweepParams) []IncastPoint {
+	var out []IncastPoint
+	for _, sc := range schemes {
+		for _, deg := range p.Degrees {
+			dp := PaperDumbbell(p.LongSources, deg)
+			dp.ByteBuffers = true
+			dp.ShortSize = p.FlowSize
+			dp.Epochs = p.Epochs
+			dp.Duration = p.Duration
+			dp.Seed = p.Seed
+			r := RunDumbbell(sc, dp)
+			out = append(out, IncastPoint{
+				Scheme:   sc,
+				Degree:   deg,
+				FCTms:    r.ShortFCTms,
+				Drops:    r.Drops,
+				Timeouts: r.Timeouts,
+				Done:     r.ShortDone,
+				All:      r.ShortAll,
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// WritePlotScript emits a gnuplot script rendering one figure panel from
+// the CSV curves SaveRun wrote: `gnuplot out/<name>.plt` produces
+// out/<name>.png. Curves maps legend labels to CSV file names (relative to
+// dir).
+func WritePlotScript(dir, name, title, xlabel, ylabel string, logX bool, curves []PlotCurve) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Auto-generated: gnuplot %s.plt\n", name)
+	fmt.Fprintf(&b, "set terminal pngcairo size 800,600\n")
+	fmt.Fprintf(&b, "set output %q\n", name+".png")
+	fmt.Fprintf(&b, "set datafile separator ','\n")
+	fmt.Fprintf(&b, "set title %q\n", title)
+	fmt.Fprintf(&b, "set xlabel %q\nset ylabel %q\n", xlabel, ylabel)
+	fmt.Fprintf(&b, "set key bottom right\nset grid\n")
+	if logX {
+		fmt.Fprintf(&b, "set logscale x\n")
+	}
+	b.WriteString("plot ")
+	for i, c := range curves {
+		if i > 0 {
+			b.WriteString(", \\\n     ")
+		}
+		fmt.Fprintf(&b, "%q using 1:2 with lines lw 2 title %q", c.File, c.Label)
+	}
+	b.WriteString("\n")
+	return os.WriteFile(filepath.Join(dir, name+".plt"), []byte(b.String()), 0o644)
+}
+
+// PlotCurve is one line of a plot: a legend label and its CSV file.
+type PlotCurve struct {
+	Label string
+	File  string
+}
+
+// WriteFigurePlots emits the standard four-panel scripts for a set of runs
+// whose curves were saved with the given prefixes.
+func WriteFigurePlots(dir, figName string, labels, prefixes []string) error {
+	mk := func(suffix string) []PlotCurve {
+		var cs []PlotCurve
+		for i := range prefixes {
+			cs = append(cs, PlotCurve{Label: labels[i], File: prefixes[i] + "_" + suffix + ".csv"})
+		}
+		return cs
+	}
+	if err := WritePlotScript(dir, figName+"_fct", figName+": short-flow FCT CDF",
+		"FCT (ms)", "CDF", true, mk("fct_cdf")); err != nil {
+		return err
+	}
+	if err := WritePlotScript(dir, figName+"_goodput", figName+": long-flow goodput CDF",
+		"goodput (bit/s)", "CDF", false, mk("goodput_cdf")); err != nil {
+		return err
+	}
+	if err := WritePlotScript(dir, figName+"_queue", figName+": bottleneck queue",
+		"time (ns)", "queue (bytes)", false, mk("queue_bytes")); err != nil {
+		return err
+	}
+	return WritePlotScript(dir, figName+"_util", figName+": bottleneck utilization",
+		"time (ns)", "fraction of line rate", false, mk("util"))
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hwatch/internal/sim"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"kind":"dumbbell","scheme":"hwatch"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.dumbbellParams()
+	if p.LongSources != 25 || p.ShortSources != 25 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	if !p.ByteBuffers {
+		t.Fatal("byte buffers should default on")
+	}
+}
+
+func TestParseSpecOverrides(t *testing.T) {
+	raw := []byte(`{
+		"kind": "dumbbell", "scheme": "dctcp",
+		"long_sources": 4, "short_sources": 6,
+		"bottleneck_gbps": 1, "buffer_pkts": 100, "mark_percent": 10,
+		"rtt_us": 200, "icw": 5, "duration_ms": 250, "epochs": 2,
+		"short_kb": 20, "seed": 99
+	}`)
+	s, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.dumbbellParams()
+	if p.LongSources != 4 || p.ShortSources != 6 || p.BufferPkts != 100 {
+		t.Fatalf("overrides lost: %+v", p)
+	}
+	if p.BottleneckBps != 1e9 || p.MarkFrac != 0.10 || p.ICW != 5 {
+		t.Fatalf("conversions wrong: %+v", p)
+	}
+	if p.LinkDelay != 50*sim.Microsecond || p.Duration != 250*sim.Millisecond {
+		t.Fatalf("time conversions wrong: %+v", p)
+	}
+	if p.ShortSize != 20_000 || p.Seed != 99 {
+		t.Fatalf("size/seed wrong: %+v", p)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for name, raw := range map[string]string{
+		"bad json":   `{kind}`,
+		"bad kind":   `{"kind":"ring"}`,
+		"bad scheme": `{"kind":"dumbbell","scheme":"bbr"}`,
+		"bad mark":   `{"kind":"dumbbell","scheme":"dctcp","mark_percent":150}`,
+	} {
+		if _, err := ParseSpec([]byte(raw)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestSpecRunEndToEnd(t *testing.T) {
+	raw := []byte(`{
+		"kind": "dumbbell", "scheme": "hwatch",
+		"long_sources": 3, "short_sources": 3,
+		"duration_ms": 200, "epochs": 1
+	}`)
+	s, err := ParseSpec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ShortDone != run.ShortAll || run.ShortAll != 3 {
+		t.Fatalf("spec run incomplete: %d/%d", run.ShortDone, run.ShortAll)
+	}
+}
+
+func TestLoadSpecFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(path, []byte(`{"kind":"testbed","scheme":"hwatch","racks":2,"hosts_per_rack":4,"parallel":2,"epochs":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.testbedParams()
+	if p.Racks != 2 || p.HostsPerRack != 4 || p.Parallel != 2 || p.Epochs != 1 {
+		t.Fatalf("testbed params: %+v", p)
+	}
+	if _, err := LoadSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSpecTestbedRun(t *testing.T) {
+	s := &Spec{Kind: "testbed", Scheme: "hwatch", Racks: 2, HostsPerRack: 4, Parallel: 2, Epochs: 1}
+	run, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Label != "TCP-HWatch" {
+		t.Fatalf("label = %q", run.Label)
+	}
+	if run.ShortAll == 0 || run.ShortDone != run.ShortAll {
+		t.Fatalf("testbed spec run: %d/%d", run.ShortDone, run.ShortAll)
+	}
+}
+
+func TestWritePlotScripts(t *testing.T) {
+	dir := t.TempDir()
+	err := WriteFigurePlots(dir, "figX", []string{"A", "B"}, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"figX_fct.plt", "figX_goodput.plt", "figX_queue.plt", "figX_util.plt"} {
+		raw, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+		s := string(raw)
+		if !strings.Contains(s, "a_") || !strings.Contains(s, `title "B"`) {
+			t.Fatalf("%s content wrong: %s", f, s)
+		}
+		if !strings.Contains(s, "pngcairo") {
+			t.Fatalf("%s missing terminal", f)
+		}
+	}
+	// The FCT panel is log-x (the paper plots FCT on a log axis).
+	raw, _ := os.ReadFile(filepath.Join(dir, "figX_fct.plt"))
+	if !strings.Contains(string(raw), "logscale x") {
+		t.Fatal("FCT panel not log-x")
+	}
+}
+
+func TestJSONSummaries(t *testing.T) {
+	p := PaperDumbbell(2, 2)
+	p.Duration = 150 * sim.Millisecond
+	p.Epochs = 1
+	p.FirstEpoch = 10 * sim.Millisecond
+	p.ByteBuffers = true
+	r := RunDumbbell(SchemeHWatch, p)
+	out, err := JSON([]*Run{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"label": "TCP-HWATCH"`, `"fct_p50_ms"`, `"short_all": 2`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package model
+
+// CongestionEstimator implements Section III-D's observation: packets of
+// one flow leave the sender back to back, but under congestion other
+// tenants' packets interleave in the shared queue, so the receiver-side
+// inter-arrival gaps stretch relative to the send gaps. The ratio of the
+// two, smoothed, is a stochastic congestion signal that needs no switch
+// support at all — HWatch's "Probe2" information channel.
+type CongestionEstimator struct {
+	// Gain is the EWMA weight for new samples (default 1/8).
+	Gain float64
+	// BurstGap, when positive, restricts sampling to packet pairs sent at
+	// most BurstGap apart (back to back at the sender). ACK-clocked pairs
+	// already carry the bottleneck spacing in their *send* gaps and would
+	// dilute the signal; only bursts reveal cross-traffic interleaving.
+	BurstGap int64
+
+	lastSend    int64
+	lastArrival int64
+	have        bool
+	ratio       float64 // smoothed arrival-gap / send-gap (spaced pairs)
+	samples     int64
+	spacing     float64 // smoothed arrival gap of burst pairs, ns
+	burstN      int64
+	owd         float64 // smoothed one-way delay, ns
+	owdMin      int64   // observed floor (propagation + serialization)
+}
+
+// NewCongestionEstimator returns an estimator with the default gain.
+func NewCongestionEstimator() *CongestionEstimator {
+	return &CongestionEstimator{Gain: 0.125}
+}
+
+// Observe feeds one packet's send timestamp and arrival timestamp (both in
+// ns, from the same flow, in order).
+func (e *CongestionEstimator) Observe(sentAt, arrivedAt int64) {
+	if d := arrivedAt - sentAt; d > 0 {
+		if e.owdMin == 0 || d < e.owdMin {
+			e.owdMin = d
+		}
+		if e.owd == 0 {
+			e.owd = float64(d)
+		} else {
+			e.owd = (1-e.Gain)*e.owd + e.Gain*float64(d)
+		}
+	}
+	if !e.have {
+		e.lastSend, e.lastArrival = sentAt, arrivedAt
+		e.have = true
+		return
+	}
+	sendGap := sentAt - e.lastSend
+	arrGap := arrivedAt - e.lastArrival
+	e.lastSend, e.lastArrival = sentAt, arrivedAt
+	if sendGap <= e.BurstGap && arrGap > 0 {
+		// A burst pair: its arrival gap is one service round of the
+		// bottleneck, stretched by whatever cross traffic interleaved.
+		if e.burstN == 0 {
+			e.spacing = float64(arrGap)
+		} else {
+			e.spacing = (1-e.Gain)*e.spacing + e.Gain*float64(arrGap)
+		}
+		e.burstN++
+	}
+	if sendGap <= 0 {
+		return // simultaneous sends carry no gap-ratio information
+	}
+	r := float64(arrGap) / float64(sendGap)
+	if e.samples == 0 {
+		e.ratio = r
+	} else {
+		e.ratio = (1-e.Gain)*e.ratio + e.Gain*r
+	}
+	e.samples++
+}
+
+// Samples returns how many gap samples were incorporated.
+func (e *CongestionEstimator) Samples() int64 { return e.samples }
+
+// Ratio returns the smoothed dilation. The absolute value reflects the
+// edge-to-bottleneck rate ratio for burst pairs; what signals congestion
+// is its *increase* over the flow's uncongested baseline (cross traffic
+// interleaving stretches arrival gaps further).
+func (e *CongestionEstimator) Ratio() float64 {
+	if e.samples == 0 {
+		return 1
+	}
+	return e.ratio
+}
+
+// BurstSpacing returns the smoothed arrival gap (ns) of burst pairs
+// (pairs sent within BurstGap of each other): the bottleneck's effective
+// per-packet service time for this flow, inflated by interleaved cross
+// traffic. 0 until a burst pair was observed.
+func (e *CongestionEstimator) BurstSpacing() float64 { return e.spacing }
+
+// BurstSamples returns how many burst pairs were incorporated.
+func (e *CongestionEstimator) BurstSamples() int64 { return e.burstN }
+
+// Delay returns the smoothed one-way delay (ns); 0 before any sample.
+// Comparing it against an uncongested-epoch baseline is the most robust of
+// the Section III-D channels.
+func (e *CongestionEstimator) Delay() float64 { return e.owd }
+
+// DelayInflation returns the smoothed one-way delay divided by the
+// observed floor. Note the caveat: under *persistent* congestion the
+// floor itself is inflated (the flow never sees an empty queue), so this
+// ratio understates standing queues; prefer comparing Delay across
+// epochs.
+func (e *CongestionEstimator) DelayInflation() float64 {
+	if e.owdMin == 0 {
+		return 1
+	}
+	return e.owd / float64(e.owdMin)
+}
+
+// Congested applies a simple threshold verdict: either the gap ratio or
+// the delay inflation exceeds 1+margin.
+func (e *CongestionEstimator) Congested(margin float64) bool {
+	return e.Ratio() > 1+margin || e.DelayInflation() > 1+margin
+}

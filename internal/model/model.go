@@ -1,0 +1,99 @@
+// Package model implements the paper's analytical framework (Sections III
+// and IV): the buffer-sizing rules of thumb, the batch arithmetic that
+// maps a packet burst onto buffer drain rounds (the bin-packing view), and
+// the queue bounds of Theorems IV.1-IV.2 with the delivery-time results of
+// Lemma IV.3. The experiment suite cross-checks the simulator against
+// these closed forms.
+package model
+
+import "hwatch/internal/sim"
+
+// Params describes one congestion point.
+type Params struct {
+	RTT     int64 // round-trip time, ns
+	RateBps int64 // link capacity, bits/s
+	PktSize int   // bytes per packet (MTU)
+}
+
+// CapacityPktsPerRTT returns C*RTT in packets — the bandwidth-delay
+// product, the paper's (and the Internet's) buffer rule of thumb B.
+func (p Params) CapacityPktsPerRTT() float64 {
+	return float64(p.RateBps) * float64(p.RTT) / float64(sim.Second) / 8 / float64(p.PktSize)
+}
+
+// RuleOfThumbBuffer returns B = RTT*C in packets (Appenzeller et al.; the
+// paper notes production DCs deploy this, not the 3x variant).
+func (p Params) RuleOfThumbBuffer() int {
+	return int(p.CapacityPktsPerRTT())
+}
+
+// RecommendedK returns the DCTCP marking threshold the paper adopts,
+// K = (1/7) * RTT * C, in packets.
+func (p Params) RecommendedK() int {
+	return int(p.CapacityPktsPerRTT() / 7)
+}
+
+// DrainTime returns the time to drain q packets at link rate.
+func (p Params) DrainTime(q int) int64 {
+	return int64(q) * int64(p.PktSize) * 8 * sim.Second / p.RateBps
+}
+
+// BatchesForBurst is the Section III-A decomposition: X packets arriving
+// at a buffer of size B currently holding Q packets need
+// ceil((X-(B-Q))/B) + 1 batches to avoid overflow (1 if the burst already
+// fits the headroom).
+func BatchesForBurst(x, b, q int) int {
+	if b <= 0 {
+		panic("model: non-positive buffer")
+	}
+	if q < 0 || q > b {
+		panic("model: queue outside [0, buffer]")
+	}
+	headroom := b - q
+	if x <= headroom {
+		return 1
+	}
+	over := x - headroom
+	return (over+b-1)/b + 1
+}
+
+// Theorem IV.1: if each of n flows transmits only its unmarked count
+// X_UM, the aggregate queue is bounded. The bound depends on the standing
+// traffic when the burst arrives:
+//
+//	case 1 (empty buffer):     Q <= K
+//	case 2 (buffer at K):      Q <= 2K
+//	case 3 (buffer beyond K):  Q <= 3K  (worst case, still <= B since
+//	                           K = B/7 style thresholds keep 3K < B)
+const (
+	QueueBoundEmptyFactor  = 1
+	QueueBoundPrimedFactor = 2
+	QueueBoundWorstFactor  = 3
+)
+
+// MaxQueueUnderTheorem41 returns the worst-case queue (packets) when all
+// flows obey the X_UM rule with threshold k.
+func MaxQueueUnderTheorem41(k int) int { return QueueBoundWorstFactor * k }
+
+// SafeUnderTheorem41 reports whether the worst-case bound fits the buffer.
+func SafeUnderTheorem41(k, buffer int) bool {
+	return MaxQueueUnderTheorem41(k) <= buffer
+}
+
+// Theorem IV.2 / Corollaries: the marked count X_M must be split in two
+// batches; with the merged first batch (Cor. IV.2.2) the queue peaks at
+// Q = 2K + K + (B-K)/2 = (6/7)*RTT*C when K = RTT*C/7 — still below B.
+
+// MergedBatchPeakQueue returns that peak (packets) for threshold k and
+// buffer b.
+func MergedBatchPeakQueue(k, b int) int { return 3*k + (b-k)/2 }
+
+// Lemma IV.3: three batches complete within 2 RTTs through a single
+// switch; Corollary IV.3.1: within RTT + 2T for paths of >= 3 hops, where
+// T is the full-buffer drain time.
+
+// DeliveryBoundSingleSwitch returns the Lemma IV.3 bound.
+func DeliveryBoundSingleSwitch(rtt int64) int64 { return 2 * rtt }
+
+// DeliveryBoundMultiHop returns the Corollary IV.3.1 bound.
+func DeliveryBoundMultiHop(rtt, drainTime int64) int64 { return rtt + 2*drainTime }

@@ -1,0 +1,187 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/core"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+	"hwatch/internal/topo"
+)
+
+func paperParams() Params {
+	// The simulation setup of Section V: 10 Gb/s, RTT 100 us, 1500 B MTU.
+	return Params{RTT: 100 * sim.Microsecond, RateBps: 10e9, PktSize: 1500}
+}
+
+func TestCapacityArithmetic(t *testing.T) {
+	p := paperParams()
+	// 10 Gb/s * 100 us = 125 KB = ~83 packets.
+	if got := p.CapacityPktsPerRTT(); got < 83 || got > 84 {
+		t.Fatalf("BDP = %f pkts, want ~83.3", got)
+	}
+	if got := p.RuleOfThumbBuffer(); got != 83 {
+		t.Fatalf("rule-of-thumb buffer = %d", got)
+	}
+	if got := p.RecommendedK(); got != 11 {
+		t.Fatalf("K = %d, want 11 (RTT*C/7)", got)
+	}
+	// Draining 83 packets at 10 Gb/s takes ~99.6 us ≈ one RTT, by
+	// construction of the rule of thumb.
+	d := p.DrainTime(83)
+	if d < 99*sim.Microsecond || d > 101*sim.Microsecond {
+		t.Fatalf("drain(B) = %d ns, want ~RTT", d)
+	}
+}
+
+func TestBatchesForBurst(t *testing.T) {
+	cases := []struct{ x, b, q, want int }{
+		{10, 100, 0, 1},   // fits headroom
+		{100, 100, 0, 1},  // exactly fits
+		{101, 100, 0, 2},  // one packet over
+		{100, 100, 50, 2}, // primed queue halves headroom
+		{250, 100, 0, 3},  // 150 over = 2 extra bins
+		{1, 1, 0, 1},
+		{1, 1, 1, 2},
+	}
+	for _, c := range cases {
+		if got := BatchesForBurst(c.x, c.b, c.q); got != c.want {
+			t.Errorf("BatchesForBurst(%d,%d,%d) = %d, want %d", c.x, c.b, c.q, got, c.want)
+		}
+	}
+}
+
+// Property: the batch decomposition never overflows — each batch fits the
+// buffer, and batches cover the whole burst.
+func TestPropertyBatchesSufficient(t *testing.T) {
+	f := func(xr, br, qr uint16) bool {
+		b := 1 + int(br%500)
+		q := int(qr) % (b + 1)
+		x := int(xr)
+		n := BatchesForBurst(x, b, q)
+		// First batch may use the headroom, later batches a full buffer.
+		capacity := (b - q) + (n-1)*b
+		return capacity >= x && n >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decomposition is minimal — one fewer batch cannot cover
+// the burst.
+func TestPropertyBatchesMinimal(t *testing.T) {
+	f := func(xr, br, qr uint16) bool {
+		b := 1 + int(br%500)
+		q := int(qr) % (b + 1)
+		x := int(xr)
+		n := BatchesForBurst(x, b, q)
+		if n == 1 {
+			return true
+		}
+		capacity := (b - q) + (n-2)*b
+		return capacity < x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchesValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero buffer": func() { BatchesForBurst(1, 0, 0) },
+		"neg queue":   func() { BatchesForBurst(1, 10, -1) },
+		"queue > buf": func() { BatchesForBurst(1, 10, 11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTheoremBounds(t *testing.T) {
+	// With K = B/7 (the paper's threshold), every bound fits the buffer.
+	b := 250
+	k := b / 7 // 35
+	if !SafeUnderTheorem41(k, b) {
+		t.Fatal("Theorem IV.1 bound should fit the buffer at K=B/7")
+	}
+	if MaxQueueUnderTheorem41(k) != 105 {
+		t.Fatalf("3K = %d", MaxQueueUnderTheorem41(k))
+	}
+	// Merged-batch peak (Cor. IV.2.2): 3K + (B-K)/2 <= B requires small K;
+	// at K = B/7 it is 6B/7 < B.
+	peak := MergedBatchPeakQueue(k, b)
+	if peak > b {
+		t.Fatalf("merged-batch peak %d exceeds buffer %d", peak, b)
+	}
+	if peak != 3*k+(b-k)/2 {
+		t.Fatal("peak formula broken")
+	}
+	if DeliveryBoundSingleSwitch(100) != 200 {
+		t.Fatal("Lemma IV.3 bound")
+	}
+	if DeliveryBoundMultiHop(100, 30) != 160 {
+		t.Fatal("Cor IV.3.1 bound")
+	}
+}
+
+// Simulation cross-check of Theorem IV.1's spirit: a fleet of long-lived
+// flows regulated by HWatch's Rule 1 at threshold K holds the peak queue
+// within the 3K worst-case bound (plus one in-flight burst of slack for
+// discretization).
+func TestSimQueueStaysWithinTheorem41Bound(t *testing.T) {
+	const (
+		bufferPkts = 250
+		k          = 50
+	)
+	q := aqm.NewMarkThresholdBytes(bufferPkts*netem.DefaultMTU, k*netem.DefaultMTU)
+	d := topo.NewDumbbell(topo.DumbbellConfig{
+		Senders:       8,
+		EdgeRateBps:   100e9,
+		BottleneckBps: 10e9,
+		LinkDelay:     25 * sim.Microsecond,
+		BottleneckQ:   func() netem.Queue { return q },
+		EdgeQ:         func() netem.Queue { return aqm.NewDropTail(100000) },
+	})
+	shimCfg := core.DefaultConfig(100 * sim.Microsecond)
+	for _, h := range d.Senders {
+		core.Attach(h, shimCfg)
+	}
+	core.Attach(d.Receiver, shimCfg)
+
+	tcfg := tcp.DefaultConfig()
+	d.Receiver.Listen(80, tcp.NewListener(d.Receiver, tcfg, nil))
+	for _, h := range d.Senders {
+		tcp.NewSender(h, d.Receiver.ID, 80, tcp.Infinite, tcfg).Start()
+	}
+
+	peak := 0
+	var sample func()
+	sample = func() {
+		if d.Net.Eng.Now() > 50*sim.Millisecond { // after convergence
+			if v := q.Len(); v > peak {
+				peak = v
+			}
+		}
+		d.Net.Eng.Schedule(50*sim.Microsecond, sample)
+	}
+	d.Net.Eng.Schedule(0, sample)
+	d.Net.Eng.RunUntil(300 * sim.Millisecond)
+
+	bound := MaxQueueUnderTheorem41(k) + 10 // discretization slack
+	if peak > bound {
+		t.Fatalf("regulated peak queue %d pkts exceeds Theorem IV.1 bound %d", peak, bound)
+	}
+	if peak == 0 {
+		t.Fatal("no queue observed; scenario broken")
+	}
+}

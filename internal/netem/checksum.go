@@ -1,0 +1,84 @@
+package netem
+
+import "encoding/binary"
+
+// The TCP checksum in this model is the RFC 1071 one's-complement sum over a
+// canonical serialization of the header fields a middlebox may observe or
+// rewrite. It exists so the HWatch shim must do the same work a real
+// hypervisor datapath does when it rewrites the receive window: either
+// recompute the sum in full or patch it incrementally per RFC 1624.
+
+// headerBytes serializes the checksummed header fields. The checksum field
+// itself is excluded (treated as zero), as in real TCP.
+func headerBytes(p *Packet) []byte {
+	var b [128]byte
+	binary.BigEndian.PutUint32(b[0:], uint32(p.Src))
+	binary.BigEndian.PutUint32(b[4:], uint32(p.Dst))
+	binary.BigEndian.PutUint16(b[8:], p.SrcPort)
+	binary.BigEndian.PutUint16(b[10:], p.DstPort)
+	binary.BigEndian.PutUint64(b[12:], uint64(p.Seq))
+	binary.BigEndian.PutUint64(b[20:], uint64(p.Ack))
+	b[28] = byte(p.Flags)
+	// b[29] deliberately stays zero: the ECN codepoint lives in the IP
+	// header, which the TCP checksum does not cover — switches may CE-mark
+	// in flight without invalidating the transport checksum.
+	binary.BigEndian.PutUint16(b[30:], p.Rwnd)
+	b[32] = byte(p.WScaleOpt)
+	binary.BigEndian.PutUint64(b[34:], uint64(p.TSVal))
+	binary.BigEndian.PutUint64(b[42:], uint64(p.TSEcr))
+	binary.BigEndian.PutUint32(b[50:], uint32(p.Payload))
+	if p.SackOK {
+		b[54] = 1
+	}
+	n := 55
+	for _, sb := range p.Sack {
+		binary.BigEndian.PutUint64(b[n:], uint64(sb.Start))
+		binary.BigEndian.PutUint64(b[n+8:], uint64(sb.End))
+		n += 16
+		if n+16 > len(b) {
+			break
+		}
+	}
+	return b[:n]
+}
+
+// onesSum accumulates the one's-complement sum of 16-bit words.
+func onesSum(data []byte) uint32 {
+	var sum uint32
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	return sum
+}
+
+func fold(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return uint16(sum)
+}
+
+// Checksum computes the full checksum of the packet header.
+func Checksum(p *Packet) uint16 {
+	return ^fold(onesSum(headerBytes(p)))
+}
+
+// SetChecksum stamps the packet with its freshly computed checksum.
+func SetChecksum(p *Packet) { p.Checksum = Checksum(p) }
+
+// VerifyChecksum reports whether the stored checksum matches the header.
+func VerifyChecksum(p *Packet) bool { return p.Checksum == Checksum(p) }
+
+// UpdateChecksum16 incrementally patches a checksum after a 16-bit header
+// field changed from old to new, per RFC 1624 (eqn. 3):
+//
+//	HC' = ~(~HC + ~m + m')
+//
+// HWatch uses this when rewriting the rwnd field of in-flight ACKs.
+func UpdateChecksum16(sum uint16, old, new uint16) uint16 {
+	v := uint32(^sum&0xffff) + uint32(^old&0xffff) + uint32(new)
+	return ^fold(v)
+}

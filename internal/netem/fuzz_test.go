@@ -1,0 +1,33 @@
+package netem
+
+import "testing"
+
+// Fuzz targets double as regression seeds under plain `go test` and can be
+// expanded with `go test -fuzz=Fuzz...`.
+
+func FuzzIncrementalChecksum(f *testing.F) {
+	f.Add(int32(1), int32(2), uint16(3), uint16(4), int64(5), int64(6), uint16(100), uint16(200))
+	f.Add(int32(-1), int32(1<<30), uint16(0), uint16(65535), int64(-9), int64(1<<60), uint16(0), uint16(65535))
+	f.Fuzz(func(t *testing.T, src, dst int32, sp, dp uint16, seq, ack int64, oldW, newW uint16) {
+		p := &Packet{
+			Src: NodeID(src), Dst: NodeID(dst), SrcPort: sp, DstPort: dp,
+			Seq: seq, Ack: ack, Flags: FlagACK, Rwnd: oldW, WScaleOpt: -1,
+		}
+		SetChecksum(p)
+		patched := UpdateChecksum16(p.Checksum, p.Rwnd, newW)
+		p.Rwnd = newW
+		if patched != Checksum(p) {
+			t.Fatalf("incremental %#x != full %#x", patched, Checksum(p))
+		}
+	})
+}
+
+func FuzzFlowHashStable(f *testing.F) {
+	f.Add(int32(1), int32(2), uint16(3), uint16(4))
+	f.Fuzz(func(t *testing.T, src, dst int32, sp, dp uint16) {
+		k := FlowKey{Src: NodeID(src), Dst: NodeID(dst), SrcPort: sp, DstPort: dp}
+		if flowHash(k) != flowHash(k) {
+			t.Fatal("hash not deterministic")
+		}
+	})
+}

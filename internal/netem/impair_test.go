@@ -1,0 +1,125 @@
+package netem
+
+import (
+	"testing"
+
+	"hwatch/internal/sim"
+)
+
+func impairNet(t *testing.T) (*Network, *Host, *Host) {
+	t.Helper()
+	n := NewNetwork()
+	a := n.NewHost("a")
+	b := n.NewHost("b")
+	sw := n.NewSwitch("sw")
+	n.LinkHostSwitch(a, sw, &unboundedQ{}, &unboundedQ{}, 1e9, sim.Microsecond)
+	n.LinkHostSwitch(b, sw, &unboundedQ{}, &unboundedQ{}, 1e9, sim.Microsecond)
+	return n, a, b
+}
+
+func sendN(n *Network, a, b *Host, count int) *recHandler {
+	h := &recHandler{}
+	b.Bind(ConnID{LocalPort: 80, Remote: a.ID, RemotePort: 1}, h)
+	for i := 0; i < count; i++ {
+		p := &Packet{
+			Src: a.ID, Dst: b.ID, SrcPort: 1, DstPort: 80,
+			Seq: int64(i), Payload: 100, Wire: 158, Flags: FlagACK, WScaleOpt: -1,
+		}
+		SetChecksum(p)
+		a.Send(p)
+	}
+	n.Eng.Run()
+	return h
+}
+
+func TestImpairmentDrop(t *testing.T) {
+	n, a, b := impairNet(t)
+	imp := AttachImpairment(a, &Impairment{Rng: sim.NewRNG(1), DropP: 0.3, SkipInbound: true})
+	h := sendN(n, a, b, 1000)
+	if imp.Dropped == 0 {
+		t.Fatal("no drops injected")
+	}
+	if got := len(h.pkts) + int(imp.Dropped); got != 1000 {
+		t.Fatalf("delivered+dropped = %d, want 1000", got)
+	}
+	frac := float64(imp.Dropped) / 1000
+	if frac < 0.2 || frac > 0.4 {
+		t.Fatalf("drop fraction %.2f, want ~0.3", frac)
+	}
+}
+
+func TestImpairmentDuplicate(t *testing.T) {
+	n, a, b := impairNet(t)
+	imp := AttachImpairment(a, &Impairment{Rng: sim.NewRNG(2), DupP: 0.25, SkipInbound: true})
+	h := sendN(n, a, b, 1000)
+	if imp.Duplicated == 0 {
+		t.Fatal("no duplicates injected")
+	}
+	if got := len(h.pkts); got != 1000+int(imp.Duplicated) {
+		t.Fatalf("delivered %d, want %d", got, 1000+imp.Duplicated)
+	}
+}
+
+func TestImpairmentReorder(t *testing.T) {
+	n, a, b := impairNet(t)
+	imp := AttachImpairment(a, &Impairment{
+		Rng: sim.NewRNG(3), ReorderP: 0.1,
+		ReorderDelay: 500 * sim.Microsecond, SkipInbound: true,
+	})
+	h := sendN(n, a, b, 500)
+	if imp.Reordered == 0 {
+		t.Fatal("no reordering injected")
+	}
+	if len(h.pkts) != 500 {
+		t.Fatalf("delivered %d, want all 500 (reordered, not lost)", len(h.pkts))
+	}
+	inversions := 0
+	for i := 1; i < len(h.pkts); i++ {
+		if h.pkts[i].Seq < h.pkts[i-1].Seq {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("no sequence inversions observed")
+	}
+}
+
+func TestImpairmentCorruptCaughtByVerification(t *testing.T) {
+	n, a, b := impairNet(t)
+	b.VerifyChecksums = true
+	imp := AttachImpairment(a, &Impairment{Rng: sim.NewRNG(4), CorruptP: 0.2, SkipInbound: true})
+	h := sendN(n, a, b, 1000)
+	if imp.Corrupted == 0 {
+		t.Fatal("no corruption injected")
+	}
+	st := b.Stats()
+	if st.ChecksumDrops != imp.Corrupted {
+		t.Fatalf("checksum drops %d != corrupted %d", st.ChecksumDrops, imp.Corrupted)
+	}
+	if len(h.pkts)+int(st.ChecksumDrops) != 1000 {
+		t.Fatalf("delivered %d + dropped %d != 1000", len(h.pkts), st.ChecksumDrops)
+	}
+}
+
+func TestImpairmentDirectionFlags(t *testing.T) {
+	n, a, b := impairNet(t)
+	// Impair only inbound on b: outbound traffic from a untouched.
+	imp := AttachImpairment(b, &Impairment{Rng: sim.NewRNG(5), DropP: 1.0, SkipOutbound: true})
+	h := sendN(n, a, b, 50)
+	if len(h.pkts) != 0 {
+		t.Fatal("inbound drop-all let packets through")
+	}
+	if imp.Dropped != 50 {
+		t.Fatalf("dropped %d", imp.Dropped)
+	}
+}
+
+func TestImpairmentRequiresRNG(t *testing.T) {
+	_, a, _ := impairNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic without RNG")
+		}
+	}()
+	AttachImpairment(a, &Impairment{})
+}

@@ -1,0 +1,87 @@
+package netem
+
+import (
+	"fmt"
+
+	"hwatch/internal/sim"
+)
+
+// Network owns an engine plus the hosts and switches of one simulated
+// fabric, and provides wiring helpers. Topology builders in internal/topo
+// assemble Networks.
+type Network struct {
+	Eng      *sim.Engine
+	hosts    map[NodeID]*Host
+	switches []*Switch
+	nextID   NodeID
+	pktID    uint64
+}
+
+// NewNetwork returns an empty network on a fresh engine.
+func NewNetwork() *Network {
+	return &Network{Eng: sim.New(), hosts: make(map[NodeID]*Host), nextID: 1}
+}
+
+// NewHost creates and registers a host with the next free address.
+func (n *Network) NewHost(name string) *Host {
+	id := n.nextID
+	n.nextID++
+	if name == "" {
+		name = fmt.Sprintf("h%d", id)
+	}
+	h := NewHost(n.Eng, id, name, &n.pktID)
+	n.hosts[id] = h
+	return h
+}
+
+// NewSwitch creates and registers a switch.
+func (n *Network) NewSwitch(name string) *Switch {
+	if name == "" {
+		name = fmt.Sprintf("sw%d", len(n.switches))
+	}
+	s := NewSwitch(name)
+	n.switches = append(n.switches, s)
+	return s
+}
+
+// Host returns the host with the given address.
+func (n *Network) Host(id NodeID) *Host { return n.hosts[id] }
+
+// Hosts returns all hosts, indexed by address (callers must not mutate).
+func (n *Network) Hosts() map[NodeID]*Host { return n.hosts }
+
+// Switches returns all switches.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// QueueFactory builds a fresh queue discipline for each port; topology
+// builders take one so every output port gets its own buffer.
+type QueueFactory func() Queue
+
+// LinkHostSwitch wires host <-> switch full duplex: the host's uplink port
+// (queue hq) toward the switch, and a switch port (queue sq) toward the
+// host. Returns the switch-side port index.
+func (n *Network) LinkHostSwitch(h *Host, s *Switch, hq, sq Queue, rateBps, delay int64) int {
+	up := NewPort(n.Eng, hq, rateBps, delay)
+	up.Label = h.Name + ".up"
+	up.Connect(s)
+	h.AttachUplink(up)
+
+	down := NewPort(n.Eng, sq, rateBps, delay)
+	down.Connect(h)
+	idx := s.AddPort(down)
+	s.Route(h.ID, idx)
+	return idx
+}
+
+// LinkSwitches wires a <-> b full duplex with per-direction queues.
+// Returns (port index on a toward b, port index on b toward a).
+func (n *Network) LinkSwitches(a, b *Switch, aq, bq Queue, rateBps, delay int64) (int, int) {
+	ab := NewPort(n.Eng, aq, rateBps, delay)
+	ab.Connect(b)
+	ai := a.AddPort(ab)
+
+	ba := NewPort(n.Eng, bq, rateBps, delay)
+	ba.Connect(a)
+	bi := b.AddPort(ba)
+	return ai, bi
+}

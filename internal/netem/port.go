@@ -1,0 +1,105 @@
+package netem
+
+import (
+	"fmt"
+
+	"hwatch/internal/sim"
+)
+
+// Deliverer receives packets from a link endpoint.
+type Deliverer interface {
+	Deliver(pkt *Packet)
+}
+
+// Queue is the output-queue discipline attached to a port. Implementations
+// live in internal/aqm; the interface is declared here, on the consumer
+// side, so netem does not depend on aqm.
+//
+// Enqueue may drop (returning false) or ECN-mark the packet according to the
+// discipline; Dequeue returns nil when empty.
+type Queue interface {
+	Enqueue(pkt *Packet) bool
+	Dequeue() *Packet
+	Len() int   // packets queued
+	Bytes() int // bytes queued
+}
+
+// PortStats counts traffic through a port. Drops at the queue are accounted
+// by the queue discipline's own statistics.
+type PortStats struct {
+	TxPackets int64
+	TxBytes   int64
+}
+
+// Port is one unidirectional link attachment: an output queue, a serializing
+// transmitter of RateBps, and a propagation delay to the peer. Full-duplex
+// links are modeled as one Port on each side.
+type Port struct {
+	Eng     *sim.Engine
+	Q       Queue
+	RateBps int64 // link rate, bits per second
+	Delay   int64 // one-way propagation delay, ns
+
+	Label string // for diagnostics ("sw0.p3")
+
+	peer  Deliverer
+	busy  bool
+	stats PortStats
+}
+
+// NewPort returns a port transmitting at rateBps with the given one-way
+// propagation delay and queue discipline.
+func NewPort(eng *sim.Engine, q Queue, rateBps, delay int64) *Port {
+	if rateBps <= 0 {
+		panic("netem: port rate must be positive")
+	}
+	return &Port{Eng: eng, Q: q, RateBps: rateBps, Delay: delay}
+}
+
+// Connect attaches the receiving end of the link.
+func (p *Port) Connect(peer Deliverer) { p.peer = peer }
+
+// Peer returns the connected receiver (nil if unconnected).
+func (p *Port) Peer() Deliverer { return p.peer }
+
+// Stats returns a copy of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// SerializationDelay returns the time to clock size bytes onto the wire.
+func (p *Port) SerializationDelay(size int) int64 {
+	return int64(size) * 8 * sim.Second / p.RateBps
+}
+
+// Send enqueues the packet for transmission, starting the transmitter if it
+// is idle. The queue discipline may drop or mark the packet.
+func (p *Port) Send(pkt *Packet) {
+	if p.peer == nil {
+		panic(fmt.Sprintf("netem: port %q unconnected", p.Label))
+	}
+	pkt.EnqueuedAt = p.Eng.Now()
+	if !p.Q.Enqueue(pkt) {
+		return // dropped by the discipline
+	}
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+func (p *Port) transmitNext() {
+	pkt := p.Q.Dequeue()
+	if pkt == nil {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	txTime := p.SerializationDelay(pkt.Wire)
+	p.stats.TxPackets++
+	p.stats.TxBytes += int64(pkt.Wire)
+	p.Eng.Schedule(txTime, func() {
+		// Last bit on the wire: deliver after propagation, then start the
+		// next packet.
+		dst := p.peer
+		p.Eng.Schedule(p.Delay, func() { dst.Deliver(pkt) })
+		p.transmitNext()
+	})
+}

@@ -1,0 +1,153 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is measured in integer nanoseconds. Events scheduled for the same
+// instant fire in scheduling order (FIFO), which makes runs with a fixed
+// seed bit-for-bit reproducible. The engine is single-goroutine by design:
+// all model code runs inside event callbacks.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Common durations, in nanoseconds.
+const (
+	Nanosecond  int64 = 1
+	Microsecond int64 = 1000 * Nanosecond
+	Millisecond int64 = 1000 * Microsecond
+	Second      int64 = 1000 * Millisecond
+)
+
+// Event is a scheduled callback. The zero value is invalid; events are
+// created by Engine.Schedule and Engine.At and may be cancelled with
+// Event.Cancel (or Engine.Cancel) before they fire.
+type Event struct {
+	Time int64 // absolute firing time, ns
+	seq  uint64
+	fn   func()
+	idx  int // heap index, -1 once removed
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.fn == nil }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.fn = nil }
+
+// Engine is a discrete-event scheduler.
+//
+// The zero value is not usable; call New.
+type Engine struct {
+	now     int64
+	seq     uint64
+	pq      eventHeap
+	stopped bool
+
+	// Processed counts events executed; useful for progress reporting
+	// and as a runaway guard in tests.
+	Processed uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Schedule runs fn after delay nanoseconds. A negative delay is an error in
+// the model and panics. It returns a handle usable to cancel the event.
+func (e *Engine) Schedule(delay int64, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t (ns). Scheduling in the past panics.
+func (e *Engine) At(t int64, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	ev := &Event{Time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, ev)
+	return ev
+}
+
+// Cancel cancels ev. Safe to call with a fired or nil event.
+func (e *Engine) Cancel(ev *Event) {
+	if ev != nil {
+		ev.Cancel()
+	}
+}
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet discarded).
+func (e *Engine) Pending() int { return len(e.pq) }
+
+// Stop makes Run and RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(1<<63 - 1)
+}
+
+// RunUntil executes events with Time <= horizon, then advances the clock to
+// horizon (if the run was not stopped early and the horizon is finite).
+func (e *Engine) RunUntil(horizon int64) {
+	e.stopped = false
+	for len(e.pq) > 0 && !e.stopped {
+		ev := e.pq[0]
+		if ev.Time > horizon {
+			break
+		}
+		heap.Pop(&e.pq)
+		if ev.fn == nil {
+			continue // cancelled
+		}
+		e.now = ev.Time
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+		e.Processed++
+	}
+	if !e.stopped && horizon < 1<<63-1 && e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// eventHeap orders by (Time, seq): earliest first, FIFO within an instant.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*h = old[:n-1]
+	return ev
+}

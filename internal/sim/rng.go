@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded math/rand source with distribution helpers used by the
+// traffic generators. All model randomness must flow through an RNG created
+// from the scenario seed so runs are reproducible.
+type RNG struct {
+	*rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child generator; use one child per traffic
+// source so adding a source does not perturb the others' streams.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Int63())
+}
+
+// Exp returns an exponentially distributed duration with the given mean (ns).
+func (r *RNG) Exp(mean int64) int64 {
+	if mean <= 0 {
+		return 0
+	}
+	return int64(r.ExpFloat64() * float64(mean))
+}
+
+// UniformRange returns a uniform duration in [lo, hi] (ns).
+func (r *RNG) UniformRange(lo, hi int64) int64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Int63n(hi-lo+1)
+}
+
+// Pareto returns a bounded Pareto sample with the given shape and scale
+// (minimum), truncated at max. Used for heavy-tailed flow sizes.
+func (r *RNG) Pareto(shape float64, scale, max int64) int64 {
+	if shape <= 0 || scale <= 0 {
+		return scale
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	v := float64(scale) / math.Pow(u, 1/shape)
+	if int64(v) > max {
+		return max
+	}
+	if int64(v) < scale {
+		return scale
+	}
+	return int64(v)
+}

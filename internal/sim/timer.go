@@ -1,0 +1,52 @@
+package sim
+
+// Timer is a restartable one-shot timer bound to an engine, in the style of
+// a TCP retransmission timer: Reset re-arms it, Stop disarms it, and the
+// callback supplied at construction fires when it expires.
+type Timer struct {
+	eng *Engine
+	ev  *Event
+	fn  func()
+}
+
+// NewTimer returns a disarmed timer that will invoke fn on expiry.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: nil timer func")
+	}
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re-)arms the timer to fire after d nanoseconds, cancelling any
+// previously armed expiry.
+func (t *Timer) Reset(d int64) {
+	t.Stop()
+	t.ev = t.eng.Schedule(d, t.expire)
+}
+
+// Stop disarms the timer. Reports whether a pending expiry was cancelled.
+func (t *Timer) Stop() bool {
+	if t.ev != nil && !t.ev.Cancelled() {
+		t.ev.Cancel()
+		t.ev = nil
+		return true
+	}
+	t.ev = nil
+	return false
+}
+
+// Armed reports whether the timer is currently pending.
+func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// Deadline returns the absolute expiry time, or -1 if disarmed.
+func (t *Timer) Deadline() int64 {
+	if !t.Armed() {
+		return -1
+	}
+	return t.ev.Time
+}
+
+func (t *Timer) expire() {
+	t.ev = nil
+	t.fn()
+}

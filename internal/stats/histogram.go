@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a log-bucketed counter for positive values spanning many
+// orders of magnitude (e.g. FCTs from microseconds to seconds). Bucket i
+// covers [Base^i, Base^(i+1)) times Unit.
+type Histogram struct {
+	Base float64 // bucket growth factor (> 1); default 2 via NewHistogram
+	Unit float64 // value of bucket 0's lower edge
+
+	counts map[int]int64
+	n      int64
+	under  int64 // values below Unit
+}
+
+// NewHistogram returns a histogram with the given smallest bucket edge and
+// growth factor (use 2 for doubling buckets, 10 for decades).
+func NewHistogram(unit, base float64) *Histogram {
+	if unit <= 0 || base <= 1 {
+		panic("stats: histogram needs unit > 0 and base > 1")
+	}
+	return &Histogram{Base: base, Unit: unit, counts: make(map[int]int64)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(v float64) {
+	h.n++
+	if v < h.Unit {
+		h.under++
+		return
+	}
+	i := int(math.Floor(math.Log(v/h.Unit) / math.Log(h.Base)))
+	h.counts[i]++
+}
+
+// N returns the total observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// Edges returns the [lo, hi) value range of bucket i.
+func (h *Histogram) Edges(i int) (float64, float64) {
+	lo := h.Unit * math.Pow(h.Base, float64(i))
+	return lo, lo * h.Base
+}
+
+// QuantileUpperBound returns an upper bound for the q-quantile: the upper
+// edge of the bucket containing it.
+func (h *Histogram) QuantileUpperBound(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(q * float64(h.n))
+	cum := h.under
+	if cum > target {
+		return h.Unit
+	}
+	maxI := 0
+	for i := range h.counts {
+		if i > maxI {
+			maxI = i
+		}
+	}
+	for i := 0; i <= maxI; i++ {
+		cum += h.counts[i]
+		if cum > target {
+			_, hi := h.Edges(i)
+			return hi
+		}
+	}
+	_, hi := h.Edges(maxI)
+	return hi
+}
+
+// String renders the non-empty buckets as "lo-hi: count" lines.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	if h.under > 0 {
+		fmt.Fprintf(&b, "<%g: %d\n", h.Unit, h.under)
+	}
+	maxI := -1
+	for i := range h.counts {
+		if i > maxI {
+			maxI = i
+		}
+	}
+	for i := 0; i <= maxI; i++ {
+		if c := h.counts[i]; c > 0 {
+			lo, hi := h.Edges(i)
+			fmt.Fprintf(&b, "%g-%g: %d\n", lo, hi, c)
+		}
+	}
+	return b.String()
+}
+
+// JainIndex computes Jain's fairness index over the values: 1 = perfectly
+// fair, 1/n = maximally unfair. Used to quantify the coexistence study's
+// unfairness (Fig. 2).
+func JainIndex(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1 // all zeros: degenerate but not unfair
+	}
+	return sum * sum / (float64(len(values)) * sumSq)
+}

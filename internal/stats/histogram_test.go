@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 2)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 100} {
+		h.Add(v)
+	}
+	if h.N() != 7 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bucket(0) != 2 { // [1,2): 1, 1.5
+		t.Fatalf("bucket0 = %d", h.Bucket(0))
+	}
+	if h.Bucket(1) != 2 { // [2,4): 2, 3
+		t.Fatalf("bucket1 = %d", h.Bucket(1))
+	}
+	if h.Bucket(2) != 1 { // [4,8): 4
+		t.Fatalf("bucket2 = %d", h.Bucket(2))
+	}
+	lo, hi := h.Edges(3)
+	if lo != 8 || hi != 16 {
+		t.Fatalf("edges(3) = %f,%f", lo, hi)
+	}
+	s := h.String()
+	if !strings.Contains(s, "<1: 1") {
+		t.Fatalf("underflow missing: %q", s)
+	}
+}
+
+func TestHistogramQuantileBound(t *testing.T) {
+	h := NewHistogram(1, 2)
+	var s Sample
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		v := math.Exp(rng.Float64() * 8) // 1 .. ~3000
+		h.Add(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := s.Quantile(q)
+		bound := h.QuantileUpperBound(q)
+		if bound < exact {
+			t.Fatalf("q=%v: bound %f below exact %f", q, bound, exact)
+		}
+		if bound > exact*2.1 { // one doubling bucket of slack
+			t.Fatalf("q=%v: bound %f too loose vs %f", q, bound, exact)
+		}
+	}
+	if (NewHistogram(1, 2)).QuantileUpperBound(0.5) != 0 {
+		t.Fatal("empty histogram quantile")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 2) },
+		func() { NewHistogram(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on bad histogram params")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: bucket counts sum to N, and every value lands in the bucket
+// whose edges contain it.
+func TestPropertyHistogramConservation(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHistogram(0.5, 2)
+		var total int64
+		for i := 0; i < int(n); i++ {
+			h.Add(rng.Float64() * 1000)
+			total++
+		}
+		var sum int64 = h.under
+		for i := range h.counts {
+			sum += h.counts[i]
+			lo, hi := h.Edges(i)
+			if hi <= lo {
+				return false
+			}
+		}
+		return sum == total && h.N() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Fatal("empty")
+	}
+	if v := JainIndex([]float64{5, 5, 5, 5}); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("equal shares: %f", v)
+	}
+	// One flow hogs everything: index -> 1/n.
+	if v := JainIndex([]float64{10, 0, 0, 0}); math.Abs(v-0.25) > 1e-12 {
+		t.Fatalf("hog: %f", v)
+	}
+	mid := JainIndex([]float64{8, 2, 2, 2})
+	if mid <= 0.25 || mid >= 1 {
+		t.Fatalf("mid = %f", mid)
+	}
+	if JainIndex([]float64{0, 0}) != 1 {
+		t.Fatal("all-zero degenerate case")
+	}
+}

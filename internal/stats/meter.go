@@ -1,0 +1,35 @@
+package stats
+
+// RateMeter converts a monotone byte counter into a rate time series
+// (bits/second per sampling window), e.g. goodput at a receiver or
+// utilization of a port.
+type RateMeter struct {
+	Series TimeSeries
+
+	lastT     int64
+	lastBytes int64
+	started   bool
+}
+
+// Observe records the counter value at time t and, if a previous sample
+// exists, appends the window's rate to the series.
+func (m *RateMeter) Observe(t, bytes int64) {
+	if m.started && t > m.lastT {
+		rate := float64(bytes-m.lastBytes) * 8 * 1e9 / float64(t-m.lastT)
+		m.Series.Add(t, rate)
+	}
+	m.started = true
+	m.lastT, m.lastBytes = t, bytes
+}
+
+// MeanRate returns the average of the recorded window rates (bits/s).
+func (m *RateMeter) MeanRate() float64 { return m.Series.Mean() }
+
+// Counter is a simple monotone accumulator for callbacks.
+type Counter struct{ v int64 }
+
+// Add increments by n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v }

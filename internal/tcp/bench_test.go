@@ -1,0 +1,44 @@
+package tcp
+
+import (
+	"testing"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/sim"
+)
+
+// BenchmarkBulkTransfer measures simulator cost per transferred megabyte
+// through the full TCP state machine.
+func BenchmarkBulkTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tn := newTestNet(aqm.NewDropTail(1000), 10e9, 10*sim.Microsecond)
+		cfg := DefaultConfig()
+		tn.listen(cfg)
+		s := NewSender(tn.a, tn.b.ID, testPort, 1_000_000, cfg)
+		s.Start()
+		run(tn, 10*sim.Second)
+		if !s.Done() {
+			b.Fatal("transfer incomplete")
+		}
+	}
+}
+
+// BenchmarkIncast measures a 20-flow incast epoch end to end.
+func BenchmarkIncast(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tn := newTestNet(aqm.NewMarkThreshold(250, 50), 10e9, 25*sim.Microsecond)
+		cfg := DCTCPConfig()
+		tn.listen(cfg)
+		done := 0
+		for j := 0; j < 20; j++ {
+			s := NewSender(tn.a, tn.b.ID, testPort, 10_000, cfg)
+			s.OnComplete = func(int64) { done++ }
+			s.Start()
+		}
+		run(tn, 10*sim.Second)
+		if done != 20 {
+			b.Fatalf("done=%d", done)
+		}
+	}
+}

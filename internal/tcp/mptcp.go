@@ -1,0 +1,124 @@
+package tcp
+
+import (
+	"fmt"
+
+	"hwatch/internal/netem"
+)
+
+// MPSender is the MPTCP extension the paper sketches as future work
+// (Section IV-F): one logical connection striped over several TCP
+// subflows. Per the protocol, the first subflow is a regular connection
+// establishment; additional subflows join only after it is up. Each
+// subflow is an ordinary Sender, so every HWatch mechanism (probe train,
+// start-window stamping, Rule 1 throttling, SYN-ACK pacing) applies to
+// each subflow independently — exactly the property the paper points out
+// makes the extension direct.
+type MPSender struct {
+	host *netem.Host
+	dst  netem.NodeID
+	port uint16
+	cfg  Config
+
+	subflows  []*Sender
+	shares    []int64
+	started   bool
+	startTime int64
+	doneCount int
+	lastFCT   int64
+
+	// OnComplete fires when every subflow finished; the logical FCT is the
+	// time until the *last* byte of any subflow is acknowledged.
+	OnComplete func(fct int64)
+}
+
+// NewMPSender prepares a logical connection carrying size bytes over
+// nSubflows subflows (size is split as evenly as possible; Infinite flows
+// give every subflow an infinite share).
+func NewMPSender(host *netem.Host, dst netem.NodeID, port uint16, size int64, nSubflows int, cfg Config) *MPSender {
+	if nSubflows < 1 {
+		panic("tcp: MPTCP needs at least one subflow")
+	}
+	m := &MPSender{host: host, dst: dst, port: port, cfg: cfg}
+	if size == Infinite {
+		for i := 0; i < nSubflows; i++ {
+			m.shares = append(m.shares, Infinite)
+		}
+		return m
+	}
+	if size < 0 {
+		panic("tcp: negative MPTCP size")
+	}
+	base := size / int64(nSubflows)
+	rem := size % int64(nSubflows)
+	for i := 0; i < nSubflows; i++ {
+		share := base
+		if int64(i) < rem {
+			share++
+		}
+		m.shares = append(m.shares, share)
+	}
+	return m
+}
+
+// Start opens the first subflow; the rest join on its establishment.
+func (m *MPSender) Start() {
+	if m.started {
+		panic("tcp: MPTCP Start twice")
+	}
+	m.started = true
+	m.startTime = m.host.Eng.Now()
+
+	first := m.newSubflow(m.shares[0])
+	first.OnEstablished = func() {
+		for _, share := range m.shares[1:] {
+			m.newSubflow(share).Start()
+		}
+	}
+	first.Start()
+}
+
+func (m *MPSender) newSubflow(share int64) *Sender {
+	s := NewSender(m.host, m.dst, m.port, share, m.cfg)
+	m.subflows = append(m.subflows, s)
+	s.OnComplete = func(int64) { m.subflowDone() }
+	return s
+}
+
+func (m *MPSender) subflowDone() {
+	m.doneCount++
+	if m.doneCount == len(m.shares) {
+		m.lastFCT = m.host.Eng.Now() - m.startTime
+		if m.OnComplete != nil {
+			m.OnComplete(m.lastFCT)
+		}
+	}
+}
+
+// Subflows returns the underlying senders (in creation order; index 0 is
+// the initial connection).
+func (m *MPSender) Subflows() []*Sender { return m.subflows }
+
+// Done reports whether every subflow completed.
+func (m *MPSender) Done() bool { return m.started && m.doneCount == len(m.shares) }
+
+// Stats aggregates the subflow counters.
+func (m *MPSender) Stats() Stats {
+	var agg Stats
+	for _, s := range m.subflows {
+		st := s.Stats()
+		agg.SegsSent += st.SegsSent
+		agg.Retransmits += st.Retransmits
+		agg.Timeouts += st.Timeouts
+		agg.FastRecovery += st.FastRecovery
+		agg.ECNReductions += st.ECNReductions
+		agg.EceAcks += st.EceAcks
+		agg.BytesAcked += st.BytesAcked
+	}
+	return agg
+}
+
+func (m *MPSender) String() string {
+	return fmt.Sprintf("mptcp %d->%d:%d subflows=%d done=%d",
+		m.host.ID, m.dst, m.port, len(m.shares), m.doneCount)
+}

@@ -1,0 +1,159 @@
+package tcp
+
+import (
+	"testing"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+func TestMPTCPBasicTransfer(t *testing.T) {
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 50*sim.Microsecond)
+	cfg := DefaultConfig()
+	rs := tn.listen(cfg)
+	var fct int64 = -1
+	m := NewMPSender(tn.a, tn.b.ID, testPort, 100_000, 4, cfg)
+	m.OnComplete = func(d int64) { fct = d }
+	m.Start()
+	run(tn, 10*sim.Second)
+
+	if fct < 0 || !m.Done() {
+		t.Fatalf("MPTCP connection incomplete: %v", m)
+	}
+	if len(m.Subflows()) != 4 {
+		t.Fatalf("subflows = %d", len(m.Subflows()))
+	}
+	if len(*rs) != 4 {
+		t.Fatalf("receivers = %d, want one per subflow", len(*rs))
+	}
+	var total int64
+	for _, r := range *rs {
+		total += r.Delivered()
+		if !r.Closed() {
+			t.Fatal("a subflow receiver never saw its FIN")
+		}
+	}
+	if total != 100_000 {
+		t.Fatalf("delivered %d bytes across subflows, want 100000", total)
+	}
+	if m.Stats().BytesAcked != 100_000+4 { // + one FIN seq slot per subflow
+		t.Fatalf("BytesAcked = %d", m.Stats().BytesAcked)
+	}
+}
+
+func TestMPTCPUnevenSplit(t *testing.T) {
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 10*sim.Microsecond)
+	cfg := DefaultConfig()
+	rs := tn.listen(cfg)
+	m := NewMPSender(tn.a, tn.b.ID, testPort, 10_001, 3, cfg) // 3334+3334+3333
+	done := false
+	m.OnComplete = func(int64) { done = true }
+	m.Start()
+	run(tn, 5*sim.Second)
+	if !done {
+		t.Fatal("uneven split did not complete")
+	}
+	var total int64
+	sizes := map[int64]bool{}
+	for _, r := range *rs {
+		total += r.Delivered()
+		sizes[r.Delivered()] = true
+	}
+	if total != 10_001 {
+		t.Fatalf("total %d", total)
+	}
+	if !sizes[3334] || !sizes[3333] {
+		t.Fatalf("unexpected share sizes: %v", sizes)
+	}
+}
+
+func TestMPTCPJoinAfterFirstEstablished(t *testing.T) {
+	// Only the first subflow's SYN may appear before its SYN-ACK returns.
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 100*sim.Microsecond)
+	cfg := DefaultConfig()
+	tn.listen(cfg)
+	counter := &synCounter{}
+	tn.a.AddFilter(counter)
+	m := NewMPSender(tn.a, tn.b.ID, testPort, 50_000, 3, cfg)
+	m.Start()
+	// Before one RTT (400 us base), only one SYN can have left.
+	tn.net.Eng.RunUntil(200 * sim.Microsecond)
+	if counter.syns != 1 {
+		t.Fatalf("%d SYNs before first establishment, want 1", counter.syns)
+	}
+	run(tn, 5*sim.Second)
+	if counter.syns != 3 {
+		t.Fatalf("total SYNs = %d, want 3", counter.syns)
+	}
+	if !m.Done() {
+		t.Fatal("connection incomplete")
+	}
+}
+
+type synCounter struct{ syns int }
+
+func (c *synCounter) Name() string { return "syncount" }
+func (c *synCounter) Inbound(p *netem.Packet) netem.Verdict {
+	return netem.VerdictPass
+}
+func (c *synCounter) Outbound(p *netem.Packet) netem.Verdict {
+	if p.Flags.Has(netem.FlagSYN) && !p.Flags.Has(netem.FlagACK) {
+		c.syns++
+	}
+	return netem.VerdictPass
+}
+
+func TestMPTCPSingleSubflowEqualsTCP(t *testing.T) {
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 10*sim.Microsecond)
+	cfg := DefaultConfig()
+	rs := tn.listen(cfg)
+	m := NewMPSender(tn.a, tn.b.ID, testPort, 30_000, 1, cfg)
+	m.Start()
+	run(tn, sim.Second)
+	if !m.Done() || (*rs)[0].Delivered() != 30_000 {
+		t.Fatal("single-subflow MPTCP broken")
+	}
+}
+
+func TestMPTCPInfinite(t *testing.T) {
+	tn := newTestNet(aqm.NewDropTail(200), 1e9, 50*sim.Microsecond)
+	cfg := DefaultConfig()
+	rs := tn.listen(cfg)
+	m := NewMPSender(tn.a, tn.b.ID, testPort, Infinite, 2, cfg)
+	m.Start()
+	run(tn, 50*sim.Millisecond)
+	if m.Done() {
+		t.Fatal("infinite MPTCP reported done")
+	}
+	if len(*rs) != 2 {
+		t.Fatalf("receivers = %d", len(*rs))
+	}
+	for _, r := range *rs {
+		if r.Delivered() == 0 {
+			t.Fatal("an infinite subflow delivered nothing")
+		}
+	}
+}
+
+func TestMPTCPValidation(t *testing.T) {
+	tn := newTestNet(aqm.NewDropTail(10), 1e9, 1000)
+	for name, fn := range map[string]func(){
+		"zero subflows": func() { NewMPSender(tn.a, tn.b.ID, testPort, 100, 0, DefaultConfig()) },
+		"negative size": func() { NewMPSender(tn.a, tn.b.ID, testPort, -5, 2, DefaultConfig()) },
+		"double start": func() {
+			m := NewMPSender(tn.a, tn.b.ID, testPort, 100, 1, DefaultConfig())
+			m.Start()
+			m.Start()
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,189 @@
+package tcp
+
+import (
+	"fmt"
+	"testing"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+// Robustness suite: TCP must deliver exactly the requested bytes and
+// terminate under every network fault the impairment filter can inject.
+
+func runImpaired(t *testing.T, imp *netem.Impairment, size int64, horizon int64) (*Sender, *Receiver) {
+	t.Helper()
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 50*sim.Microsecond)
+	cfg := DefaultConfig()
+	rs := tn.listen(cfg)
+	tn.a.VerifyChecksums = true
+	tn.b.VerifyChecksums = true
+	netem.AttachImpairment(tn.a, imp)
+	s := NewSender(tn.a, tn.b.ID, testPort, size, cfg)
+	s.Start()
+	run(tn, horizon)
+	if len(*rs) == 0 {
+		t.Fatal("connection never established")
+	}
+	return s, (*rs)[0]
+}
+
+func TestRobustRandomLoss(t *testing.T) {
+	for _, p := range []float64{0.01, 0.05} {
+		p := p
+		t.Run(fmt.Sprintf("loss=%v", p), func(t *testing.T) {
+			imp := &netem.Impairment{Rng: sim.NewRNG(21), DropP: p, SkipInbound: true}
+			s, r := runImpaired(t, imp, 200_000, 120*sim.Second)
+			if !s.Done() {
+				t.Fatalf("flow incomplete under %.0f%% loss: %v", p*100, s)
+			}
+			if r.Delivered() != 200_000 {
+				t.Fatalf("delivered %d", r.Delivered())
+			}
+			if s.Stats().Retransmits == 0 {
+				t.Fatal("loss injected but nothing retransmitted?")
+			}
+		})
+	}
+}
+
+func TestRobustReordering(t *testing.T) {
+	imp := &netem.Impairment{
+		Rng: sim.NewRNG(22), ReorderP: 0.05,
+		ReorderDelay: 300 * sim.Microsecond, SkipInbound: true,
+	}
+	s, r := runImpaired(t, imp, 300_000, 120*sim.Second)
+	if !s.Done() || r.Delivered() != 300_000 {
+		t.Fatalf("reordering broke delivery: done=%v delivered=%d", s.Done(), r.Delivered())
+	}
+	// Reordering alone may cause spurious fast retransmits but the data
+	// must still be exact (cumulative ACK + OOO buffer discard duplicates).
+}
+
+func TestRobustDuplication(t *testing.T) {
+	imp := &netem.Impairment{Rng: sim.NewRNG(23), DupP: 0.2, SkipInbound: true}
+	s, r := runImpaired(t, imp, 200_000, 60*sim.Second)
+	if !s.Done() {
+		t.Fatal("duplication broke the flow")
+	}
+	if r.Delivered() != 200_000 {
+		t.Fatalf("duplicates double-counted: delivered %d", r.Delivered())
+	}
+}
+
+func TestRobustCorruption(t *testing.T) {
+	imp := &netem.Impairment{Rng: sim.NewRNG(24), CorruptP: 0.03, SkipInbound: true}
+	s, r := runImpaired(t, imp, 150_000, 120*sim.Second)
+	if !s.Done() || r.Delivered() != 150_000 {
+		t.Fatalf("corruption broke delivery: done=%v delivered=%d", s.Done(), r.Delivered())
+	}
+	if imp.Corrupted == 0 {
+		t.Fatal("no corruption exercised")
+	}
+}
+
+func TestRobustEverythingAtOnce(t *testing.T) {
+	imp := &netem.Impairment{
+		Rng:   sim.NewRNG(25),
+		DropP: 0.02, DupP: 0.05, ReorderP: 0.03, CorruptP: 0.02,
+		ReorderDelay: 200 * sim.Microsecond, SkipInbound: true,
+	}
+	s, r := runImpaired(t, imp, 250_000, 300*sim.Second)
+	if !s.Done() || r.Delivered() != 250_000 {
+		t.Fatalf("combined faults broke delivery: done=%v delivered=%d stats=%+v",
+			s.Done(), r.Delivered(), s.Stats())
+	}
+}
+
+// flowControlChecker verifies the receive-window contract exactly at send
+// time: every outbound data byte must lie below the last advertised
+// ack + rwnd (plus one MSS of slack for the sub-MSS progress exception
+// when a middlebox clamps the window under one segment).
+type flowControlChecker struct {
+	t          *testing.T
+	mss        int64
+	lastAck    int64
+	lastRwnd   int64
+	peerWscale int8
+	sawAck     bool
+	violations int
+}
+
+func (c *flowControlChecker) Name() string { return "fcck" }
+
+func (c *flowControlChecker) Inbound(p *netem.Packet) netem.Verdict {
+	if p.Flags.Has(netem.FlagSYN) && p.Flags.Has(netem.FlagACK) && p.WScaleOpt >= 0 {
+		c.peerWscale = p.WScaleOpt
+	}
+	if p.Flags.Has(netem.FlagACK) && p.Ack >= c.lastAck {
+		c.lastAck = p.Ack
+		c.lastRwnd = DecodeRwnd(p.Rwnd, c.peerWscale)
+		c.sawAck = true
+	}
+	return netem.VerdictPass
+}
+
+func (c *flowControlChecker) Outbound(p *netem.Packet) netem.Verdict {
+	if p.IsData() && c.sawAck {
+		limit := c.lastAck + maxI64c(c.lastRwnd, c.mss)
+		if end := p.Seq + int64(p.Payload); end > limit {
+			c.violations++
+			c.t.Logf("data to %d beyond ack %d + rwnd %d", end, c.lastAck, c.lastRwnd)
+		}
+	}
+	return netem.VerdictPass
+}
+
+func maxI64c(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Invariant: under arbitrary faults the sender never transmits data beyond
+// the receiver's advertised window (checked exactly at send time).
+func TestRobustWindowInvariant(t *testing.T) {
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 50*sim.Microsecond)
+	cfg := DefaultConfig()
+	rcfg := DefaultConfig()
+	rcfg.RcvBuf = 64 << 10 // a tight window so the contract binds often
+	var rs []*Receiver
+	tn.b.Listen(testPort, NewListener(tn.b, rcfg, func(r *Receiver) { rs = append(rs, r) }))
+	check := &flowControlChecker{t: t, mss: int64(cfg.MSS)}
+	tn.a.AddFilter(check)
+	netem.AttachImpairment(tn.a, &netem.Impairment{
+		Rng: sim.NewRNG(26), DropP: 0.03, ReorderP: 0.02,
+		ReorderDelay: 200 * sim.Microsecond, SkipInbound: true,
+	})
+	s := NewSender(tn.a, tn.b.ID, testPort, 500_000, cfg)
+	s.Start()
+	run(tn, 60*sim.Second)
+	if check.violations > 0 {
+		t.Fatalf("%d flow-control violations", check.violations)
+	}
+	if !s.Done() {
+		t.Fatal("flow incomplete")
+	}
+}
+
+func TestRobustShimUnderLoss(t *testing.T) {
+	// HWatch's stolen-SYN path and rwnd machinery must tolerate loss of
+	// probes, SYNs, SYN-ACKs and ACKs alike: exercised by a lossy HWatch
+	// transfer at the TCP level (shim attached in internal/core tests;
+	// here we emulate a lossy receiver path against the rwnd rewriter).
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 50*sim.Microsecond)
+	cfg := DefaultConfig()
+	tn.listen(cfg)
+	tn.b.AddFilter(&rwndRewriter{clampBytes: 3 * int64(cfg.MSS)})
+	netem.AttachImpairment(tn.b, &netem.Impairment{
+		Rng: sim.NewRNG(27), DropP: 0.03, SkipInbound: true, // lose ACKs
+	})
+	s := NewSender(tn.a, tn.b.ID, testPort, 150_000, cfg)
+	s.Start()
+	run(tn, 120*sim.Second)
+	if !s.Done() {
+		t.Fatalf("clamped flow under ACK loss incomplete: %v", s)
+	}
+}

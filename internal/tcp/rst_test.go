@@ -1,0 +1,91 @@
+package tcp
+
+import (
+	"testing"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+func TestAbortSendsRSTAndClosesPeer(t *testing.T) {
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 20*sim.Microsecond)
+	cfg := DefaultConfig()
+	var rs []*Receiver
+	closed := 0
+	tn.b.Listen(testPort, NewListener(tn.b, cfg, func(r *Receiver) {
+		rs = append(rs, r)
+		r.OnClose = func() { closed++ }
+	}))
+	s := NewSender(tn.a, tn.b.ID, testPort, Infinite, cfg)
+	completed := false
+	s.OnComplete = func(int64) { completed = true }
+	s.Start()
+	tn.net.Eng.RunUntil(10 * sim.Millisecond)
+	s.Abort()
+	run(tn, 100*sim.Millisecond)
+
+	if !s.Aborted() {
+		t.Fatal("sender not marked aborted")
+	}
+	if completed {
+		t.Fatal("aborted flow fired OnComplete")
+	}
+	if closed != 1 || !rs[0].Closed() {
+		t.Fatal("peer did not close on RST")
+	}
+	// No lingering timers keep the engine busy forever.
+	tn.net.Eng.RunUntil(2 * sim.Second)
+	if s.State() != "finished" {
+		t.Fatalf("state = %s", s.State())
+	}
+}
+
+func TestAbortIdempotent(t *testing.T) {
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 20*sim.Microsecond)
+	cfg := DefaultConfig()
+	tn.listen(cfg)
+	s := NewSender(tn.a, tn.b.ID, testPort, 10_000, cfg)
+	s.Start()
+	run(tn, sim.Second) // completes normally
+	if !s.Done() {
+		t.Fatal("setup: flow incomplete")
+	}
+	s.Abort() // must be a no-op after completion
+	if s.Aborted() {
+		t.Fatal("Abort after completion flagged the connection")
+	}
+}
+
+func TestPeerRSTStopsSender(t *testing.T) {
+	// Simulate a receiver-side application kill: inject a RST at the
+	// sender via the ingress path.
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, 20*sim.Microsecond)
+	cfg := DefaultConfig()
+	tn.listen(cfg)
+	s := NewSender(tn.a, tn.b.ID, testPort, Infinite, cfg)
+	s.Start()
+	tn.net.Eng.RunUntil(5 * sim.Millisecond)
+	txBefore := tn.a.Stats().TxPackets
+
+	// Forge the peer's RST.
+	k := s.FlowKey()
+	p := &netem.Packet{
+		Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort,
+		Flags: netem.FlagRST | netem.FlagACK, Wire: netem.HeaderSize, WScaleOpt: -1,
+	}
+	netem.SetChecksum(p)
+	tn.a.InjectInbound(p)
+	tn.net.Eng.RunUntil(6 * sim.Millisecond)
+	if !s.Aborted() {
+		t.Fatal("sender ignored the peer RST")
+	}
+	// The sender must go quiet (only in-flight events drain).
+	tn.net.Eng.RunUntil(10 * sim.Millisecond)
+	quiesced := tn.a.Stats().TxPackets
+	tn.net.Eng.RunUntil(500 * sim.Millisecond)
+	if tn.a.Stats().TxPackets > quiesced {
+		t.Fatalf("sender kept transmitting after RST: %d -> %d (pre-RST %d)",
+			quiesced, tn.a.Stats().TxPackets, txBefore)
+	}
+}

@@ -1,0 +1,90 @@
+package tcp
+
+import (
+	"sort"
+
+	"hwatch/internal/netem"
+)
+
+// scoreboard is the sender-side SACK bookkeeping (RFC 2018/6675-lite): a
+// sorted, disjoint set of byte ranges the receiver has selectively
+// acknowledged. Holes below the highest sacked byte are candidates for
+// retransmission during recovery.
+type scoreboard struct {
+	ivs []netem.SackBlock // sorted by Start, pairwise disjoint
+}
+
+// add merges one SACK block into the board: insert, sort, coalesce.
+func (sb *scoreboard) add(b netem.SackBlock) {
+	if b.End <= b.Start {
+		return
+	}
+	ivs := append(sb.ivs, b)
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	merged := ivs[:0]
+	for _, iv := range ivs {
+		if n := len(merged); n > 0 && merged[n-1].End >= iv.Start {
+			if iv.End > merged[n-1].End {
+				merged[n-1].End = iv.End
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	sb.ivs = merged
+}
+
+// clearBelow drops everything below seq (cumulatively acknowledged).
+func (sb *scoreboard) clearBelow(seq int64) {
+	out := sb.ivs[:0]
+	for _, iv := range sb.ivs {
+		if iv.End <= seq {
+			continue
+		}
+		if iv.Start < seq {
+			iv.Start = seq
+		}
+		out = append(out, iv)
+	}
+	sb.ivs = out
+}
+
+// reset empties the board.
+func (sb *scoreboard) reset() { sb.ivs = sb.ivs[:0] }
+
+// highest returns the highest sacked byte (exclusive), or 0 if empty.
+func (sb *scoreboard) highest() int64 {
+	if len(sb.ivs) == 0 {
+		return 0
+	}
+	return sb.ivs[len(sb.ivs)-1].End
+}
+
+// sacked reports whether byte seq is covered.
+func (sb *scoreboard) sacked(seq int64) bool {
+	i := sort.Search(len(sb.ivs), func(i int) bool { return sb.ivs[i].End > seq })
+	return i < len(sb.ivs) && sb.ivs[i].Start <= seq
+}
+
+// nextHole returns the first unsacked range at or above from, bounded by
+// the next sacked block (or by highest() when from is beyond all blocks).
+// ok is false when no repairable hole below highest() exists.
+func (sb *scoreboard) nextHole(from int64) (start, end int64, ok bool) {
+	hi := sb.highest()
+	if from >= hi {
+		return 0, 0, false
+	}
+	for _, iv := range sb.ivs {
+		if iv.End <= from {
+			continue
+		}
+		if iv.Start > from {
+			return from, iv.Start, true // hole before this block
+		}
+		from = iv.End // inside the block; continue past it
+		if from >= hi {
+			return 0, 0, false
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,195 @@
+// Package tcp implements segment-level TCP endpoints over internal/netem,
+// at the fidelity of the ns-2 agents the HWatch paper simulates with:
+//
+//   - three-way handshake with window-scale and ECN negotiation,
+//   - slow start / congestion avoidance / fast retransmit / NewReno fast
+//     recovery, retransmission timeout per RFC 6298 with configurable
+//     minRTO (the 200 ms floor whose expiry dominates incast FCTs),
+//   - receive-window flow control (the knob HWatch turns),
+//   - RFC 3168 ECN response, a deliberately *non-responsive* ECN flavour
+//     (marks its packets ECT but ignores ECE — the unfair tenant in the
+//     paper's coexistence study), and
+//   - DCTCP's fraction-based proportional window reduction.
+//
+// Connections are unidirectional data transfers: the active opener (Sender)
+// transmits Size bytes — or runs forever for long-lived flows — to a
+// passive Receiver created by a host listener. Sequence space: the SYN
+// occupies seq 0, data bytes occupy [1, Size], the FIN occupies Size+1.
+package tcp
+
+import (
+	"fmt"
+
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+// Variant selects the congestion-control algorithm.
+type Variant int
+
+const (
+	// NewReno is RFC 6582 loss-based control (with RFC 3168 ECN response
+	// when Config.ECN and ECNResponsive are set).
+	NewReno Variant = iota
+	// DCTCP is the proportional ECN controller of Alizadeh et al.
+	DCTCP
+	// Cubic is RFC 8312's cubic-function controller (beta 0.7, C 0.4),
+	// with the TCP-friendly region; loss recovery machinery is shared
+	// with NewReno. The paper names Cubic as one of the tenant stacks that
+	// respond to ECE "by cutting the window once per RTT".
+	Cubic
+)
+
+func (v Variant) String() string {
+	switch v {
+	case NewReno:
+		return "newreno"
+	case DCTCP:
+		return "dctcp"
+	case Cubic:
+		return "cubic"
+	}
+	return "tcp?"
+}
+
+// Config parameterizes one endpoint. The zero value is not useful; start
+// from DefaultConfig.
+type Config struct {
+	MSS      int // payload bytes per full segment (wire = MSS + headers)
+	InitCwnd int // initial congestion window, segments (Linux default 10)
+	RcvBuf   int // receiver buffer advertised to the peer, bytes
+
+	MinRTO  int64 // RTO floor, ns (200 ms in most stacks)
+	InitRTO int64 // RTO before any RTT sample, ns
+	MaxRTO  int64 // RTO ceiling, ns
+
+	Variant       Variant
+	ECN           bool    // negotiate ECN and send data as ECT(0)
+	ECNResponsive bool    // react to ECE (ignored unless ECN)
+	DCTCPGain     float64 // DCTCP g (default 1/16)
+
+	// DelayedAck enables receiver-side ACK coalescing: one ACK per
+	// AckEvery in-order segments, or after DelAckTimeout, whichever comes
+	// first. Out-of-order arrivals and FINs always ACK immediately (so
+	// duplicate-ACK loss detection is unaffected), and a DCTCP receiver
+	// additionally flushes on every CE-state change, per the DCTCP paper's
+	// two-state ACK machine. Off by default, matching the ns-2 agents the
+	// paper simulates with.
+	DelayedAck    bool
+	AckEvery      int
+	DelAckTimeout int64
+
+	// SACK enables RFC 2018 selective acknowledgments (negotiated on the
+	// handshake; effective only if both ends enable it). During recovery
+	// the sender repairs known holes from the scoreboard instead of
+	// NewReno's one-hole-per-partial-ACK crawl. Off by default, matching
+	// the ns-2 agents the paper simulates with.
+	SACK bool
+
+	SsthreshInit int // initial ssthresh, segments
+}
+
+// DefaultConfig mirrors a Linux 3.18-era stack on a data-center host, as in
+// the paper's testbed: MSS sized so a full segment is 1500 B on the wire,
+// ICW 10, minRTO 200 ms.
+func DefaultConfig() Config {
+	return Config{
+		MSS:           netem.DefaultMSS,
+		InitCwnd:      10,
+		RcvBuf:        1 << 20,
+		MinRTO:        200 * sim.Millisecond,
+		InitRTO:       200 * sim.Millisecond,
+		MaxRTO:        60 * sim.Second,
+		Variant:       NewReno,
+		ECN:           false,
+		ECNResponsive: true,
+		DCTCPGain:     1.0 / 16,
+		DelayedAck:    false,
+		AckEvery:      2,
+		DelAckTimeout: 500 * sim.Microsecond,
+		SsthreshInit:  1 << 20, // effectively unbounded, as in ns-2
+	}
+}
+
+// CubicConfig returns DefaultConfig switched to Cubic.
+func CubicConfig() Config {
+	c := DefaultConfig()
+	c.Variant = Cubic
+	return c
+}
+
+// DCTCPConfig returns DefaultConfig switched to DCTCP with ECN on.
+func DCTCPConfig() Config {
+	c := DefaultConfig()
+	c.Variant = DCTCP
+	c.ECN = true
+	c.ECNResponsive = true
+	return c
+}
+
+// wscaleFor picks the window-scale shift needed to advertise buf bytes in a
+// 16-bit field, per RFC 7323.
+func wscaleFor(buf int) int8 {
+	var s int8
+	for buf>>uint(s) > 0xffff && s < 14 {
+		s++
+	}
+	return s
+}
+
+// EncodeRwnd converts a byte window to the raw 16-bit field under scale,
+// rounding *up* so a clamp of exactly one MSS never quantizes below it.
+func EncodeRwnd(bytes int64, scale int8) uint16 {
+	if bytes < 0 {
+		bytes = 0
+	}
+	unit := int64(1) << uint(scale)
+	v := (bytes + unit - 1) >> uint(scale)
+	if v > 0xffff {
+		v = 0xffff
+	}
+	return uint16(v)
+}
+
+// DecodeRwnd converts a raw window field to bytes under scale.
+func DecodeRwnd(field uint16, scale int8) int64 {
+	return int64(field) << uint(scale)
+}
+
+// Stats counts per-connection events.
+type Stats struct {
+	SegsSent      int64 // data/FIN segments put on the wire (incl. rexmits)
+	Retransmits   int64
+	Timeouts      int64 // RTO expiries
+	FastRecovery  int64 // fast-retransmit episodes
+	ECNReductions int64 // window cuts triggered by ECE/DCTCP
+	EceAcks       int64 // ACKs carrying ECE
+	BytesAcked    int64
+}
+
+// connState is the lifecycle of a Sender.
+type connState int
+
+const (
+	stateClosed connState = iota
+	stateSynSent
+	stateEstablished
+	stateFinished
+)
+
+func (s connState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateSynSent:
+		return "syn-sent"
+	case stateEstablished:
+		return "established"
+	case stateFinished:
+		return "finished"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Infinite marks a long-lived flow that never finishes.
+const Infinite int64 = -1

@@ -1,0 +1,139 @@
+package topo
+
+import (
+	"fmt"
+
+	"hwatch/internal/netem"
+)
+
+// FatTree builds a k-ary fat tree (Al-Fares et al., cited by the paper as
+// the canonical DCN topology): k pods, each with k/2 edge and k/2
+// aggregation switches, (k/2)^2 core switches, and (k/2)^2 hosts per pod.
+// Uplink routing uses per-flow ECMP across the equal-cost aggregation and
+// core layers (netem.Switch.RouteECMP): flows hash onto one path and stick
+// to it, so there is spreading without intra-flow reordering, as in real
+// fabrics.
+type FatTree struct {
+	Net  *netem.Network
+	K    int
+	Pods [][]*netem.Host // [pod][host]
+	Edge [][]*netem.Switch
+	Aggr [][]*netem.Switch
+	Core []*netem.Switch
+}
+
+// FatTreeConfig parameterizes the build. All links share one rate/delay
+// (the classic rearrangeably non-blocking configuration).
+type FatTreeConfig struct {
+	K       int // even, >= 2
+	RateBps int64
+	Delay   int64
+	Q       func() netem.Queue
+}
+
+// NewFatTree constructs the fabric with routing installed.
+func NewFatTree(cfg FatTreeConfig) *FatTree {
+	if cfg.K < 2 || cfg.K%2 != 0 {
+		panic("topo: fat tree needs an even k >= 2")
+	}
+	if cfg.Q == nil {
+		panic("topo: fat tree needs a queue factory")
+	}
+	k := cfg.K
+	half := k / 2
+	n := netem.NewNetwork()
+	ft := &FatTree{Net: n, K: k}
+
+	// Core switches.
+	for i := 0; i < half*half; i++ {
+		ft.Core = append(ft.Core, n.NewSwitch(fmt.Sprintf("core%d", i)))
+	}
+
+	type hostLoc struct {
+		pod, edge, idx int
+	}
+	locs := map[netem.NodeID]hostLoc{}
+
+	for p := 0; p < k; p++ {
+		var edges, aggrs []*netem.Switch
+		var hosts []*netem.Host
+		for e := 0; e < half; e++ {
+			edges = append(edges, n.NewSwitch(fmt.Sprintf("e%d.%d", p, e)))
+			aggrs = append(aggrs, n.NewSwitch(fmt.Sprintf("a%d.%d", p, e)))
+		}
+		// Hosts under each edge switch.
+		for e := 0; e < half; e++ {
+			for h := 0; h < half; h++ {
+				host := n.NewHost(fmt.Sprintf("p%de%dh%d", p, e, h))
+				n.LinkHostSwitch(host, edges[e], cfg.Q(), cfg.Q(), cfg.RateBps, cfg.Delay)
+				hosts = append(hosts, host)
+				locs[host.ID] = hostLoc{pod: p, edge: e, idx: h}
+			}
+		}
+		// Edge <-> aggregation full mesh within the pod.
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				n.LinkSwitches(edges[e], aggrs[a], cfg.Q(), cfg.Q(), cfg.RateBps, cfg.Delay)
+			}
+		}
+		// Aggregation <-> core: aggr a of each pod connects to cores
+		// [a*half, (a+1)*half).
+		for a := 0; a < half; a++ {
+			for c := 0; c < half; c++ {
+				n.LinkSwitches(aggrs[a], ft.Core[a*half+c], cfg.Q(), cfg.Q(), cfg.RateBps, cfg.Delay)
+			}
+		}
+		ft.Pods = append(ft.Pods, hosts)
+		ft.Edge = append(ft.Edge, edges)
+		ft.Aggr = append(ft.Aggr, aggrs)
+	}
+
+	// Routing. Port layouts established above:
+	//   edge e: ports [0,half) hosts, [half,2*half) aggrs
+	//   aggr a: ports [0,half) edges, [half,2*half) cores
+	//   core c: port p toward pod p's aggregation layer
+	upEdge := make([]int, half) // edge ports toward the aggregation layer
+	upAggr := make([]int, half) // aggr ports toward the core layer
+	for i := 0; i < half; i++ {
+		upEdge[i] = half + i
+		upAggr[i] = half + i
+	}
+	for dst, loc := range locs {
+		// Edge switches.
+		for p := 0; p < k; p++ {
+			for e := 0; e < half; e++ {
+				sw := ft.Edge[p][e]
+				if p == loc.pod && e == loc.edge {
+					sw.Route(dst, loc.idx) // local host port
+				} else {
+					sw.RouteECMP(dst, upEdge) // any aggr, per-flow hash
+				}
+			}
+		}
+		// Aggregation switches.
+		for p := 0; p < k; p++ {
+			for a := 0; a < half; a++ {
+				sw := ft.Aggr[p][a]
+				if p == loc.pod {
+					sw.Route(dst, loc.edge) // down to the right edge
+				} else {
+					sw.RouteECMP(dst, upAggr) // any core, per-flow hash
+				}
+			}
+		}
+		// Core switches: down to the destination pod.
+		for _, sw := range ft.Core {
+			sw.Route(dst, loc.pod)
+		}
+	}
+	return ft
+}
+
+// AllHosts returns every host, pod by pod.
+func (ft *FatTree) AllHosts() []*netem.Host {
+	var out []*netem.Host
+	for _, pod := range ft.Pods {
+		out = append(out, pod...)
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package topo
+
+import (
+	"fmt"
+
+	"hwatch/internal/netem"
+)
+
+// LeafSpine is the paper's testbed fabric: racks of hosts behind leaf (ToR)
+// switches, all leaves connected through one spine (the NetFPGA "reference
+// switch" in the paper). Cross-rack traffic shares the spine links — the
+// experiment's core bottleneck.
+type LeafSpine struct {
+	Net    *netem.Network
+	Racks  [][]*netem.Host
+	Leaves []*netem.Switch
+	Spine  *netem.Switch
+
+	// SpineDown[i] is the spine port toward leaf i (where cross-rack incast
+	// queues); LeafUp[i] is leaf i's port toward the spine.
+	SpineDown []*netem.Port
+	LeafUp    []*netem.Port
+	SpineQ    []netem.Queue // queue of SpineDown[i]
+	LeafUpQ   []netem.Queue
+}
+
+// LeafSpineConfig parameterizes the build. The paper's testbed: 4 racks,
+// 21 servers each (84 total), 1 Gb/s links everywhere, base RTT ~200 us.
+type LeafSpineConfig struct {
+	Racks        int
+	HostsPerRack int
+	EdgeRateBps  int64 // host <-> leaf
+	CoreRateBps  int64 // leaf <-> spine
+	EdgeDelay    int64 // per-hop, ns
+	CoreDelay    int64
+	EdgeQ        func() netem.Queue
+	CoreQ        func() netem.Queue // spine/leaf trunk ports (instrumented)
+}
+
+// NewLeafSpine builds the fabric with shortest-path routing installed:
+// intra-rack traffic switches at the leaf, cross-rack traffic goes
+// leaf -> spine -> leaf.
+func NewLeafSpine(cfg LeafSpineConfig) *LeafSpine {
+	if cfg.Racks <= 0 || cfg.HostsPerRack <= 0 {
+		panic("topo: leafspine needs racks and hosts")
+	}
+	if cfg.EdgeQ == nil || cfg.CoreQ == nil {
+		panic("topo: leafspine needs queue factories")
+	}
+	n := netem.NewNetwork()
+	ls := &LeafSpine{Net: n, Spine: n.NewSwitch("spine")}
+
+	for r := 0; r < cfg.Racks; r++ {
+		leaf := n.NewSwitch(fmt.Sprintf("leaf%d", r))
+		ls.Leaves = append(ls.Leaves, leaf)
+
+		// Trunk: leaf -> spine and spine -> leaf.
+		upQ, downQ := cfg.CoreQ(), cfg.CoreQ()
+		// The trunk is always the leaf's port 0; cross-rack leaf routes
+		// below rely on this.
+		up := netem.NewPort(n.Eng, upQ, cfg.CoreRateBps, cfg.CoreDelay)
+		up.Label = leaf.Name + ".up"
+		up.Connect(ls.Spine)
+		leaf.AddPort(up)
+
+		down := netem.NewPort(n.Eng, downQ, cfg.CoreRateBps, cfg.CoreDelay)
+		down.Label = fmt.Sprintf("spine.d%d", r)
+		down.Connect(leaf)
+		ls.Spine.AddPort(down)
+		downIdx := ls.Spine.NumPorts() - 1
+
+		ls.LeafUp = append(ls.LeafUp, up)
+		ls.SpineDown = append(ls.SpineDown, down)
+		ls.LeafUpQ = append(ls.LeafUpQ, upQ)
+		ls.SpineQ = append(ls.SpineQ, downQ)
+
+		var rack []*netem.Host
+		for h := 0; h < cfg.HostsPerRack; h++ {
+			host := n.NewHost(fmt.Sprintf("r%dh%d", r, h))
+			n.LinkHostSwitch(host, leaf, cfg.EdgeQ(), cfg.EdgeQ(), cfg.EdgeRateBps, cfg.EdgeDelay)
+			rack = append(rack, host)
+			// Spine routes every host of rack r through its down port.
+			ls.Spine.Route(host.ID, downIdx)
+		}
+		ls.Racks = append(ls.Racks, rack)
+	}
+
+	// Leaf default routes: hosts in other racks go via the spine.
+	for r, leaf := range ls.Leaves {
+		for r2, rack := range ls.Racks {
+			if r2 == r {
+				continue
+			}
+			for _, host := range rack {
+				// The leaf's up port index: find it. It was the first port
+				// added to the leaf.
+				leaf.Route(host.ID, 0)
+			}
+		}
+	}
+	return ls
+}
+
+// AllHosts returns every host in rack order.
+func (ls *LeafSpine) AllHosts() []*netem.Host {
+	var out []*netem.Host
+	for _, rack := range ls.Racks {
+		out = append(out, rack...)
+	}
+	return out
+}
+
+// BaseRTT returns the propagation-only cross-rack round trip.
+func (ls *LeafSpine) BaseRTT(cfg LeafSpineConfig) int64 {
+	return 2 * (2*cfg.EdgeDelay + 2*cfg.CoreDelay)
+}

@@ -1,0 +1,76 @@
+// Package topo assembles the network fabrics the paper evaluates on: the
+// ns-2 dumbbell (Sections II and V) and the 4-rack leaf-spine testbed
+// (Section VI), plus a k-ary fat tree as an extension. Builders take a
+// QueueFactory per port class so experiments control where marking/drops
+// happen.
+package topo
+
+import (
+	"fmt"
+
+	"hwatch/internal/netem"
+)
+
+// Dumbbell is N sender hosts and one aggregation host behind a single
+// bottleneck link: senders -> ToR switch -> (bottleneck) -> receiver.
+// This matches the paper's simulation setup where incast and buffer
+// pressure concentrate at one shared output port.
+type Dumbbell struct {
+	Net      *netem.Network
+	Senders  []*netem.Host
+	Receiver *netem.Host
+	Switch   *netem.Switch
+
+	// Bottleneck is the instrumented queue on the switch port toward the
+	// receiver.
+	Bottleneck netem.Queue
+	// BottleneckPort is the transmitting port, for utilization accounting.
+	BottleneckPort *netem.Port
+}
+
+// DumbbellConfig parameterizes the dumbbell build.
+type DumbbellConfig struct {
+	Senders       int
+	EdgeRateBps   int64 // sender/receiver NIC speed
+	BottleneckBps int64 // shared output port speed
+	LinkDelay     int64 // per-hop one-way propagation, ns
+	BottleneckQ   func() netem.Queue
+	EdgeQ         func() netem.Queue // per edge port (deep by default)
+}
+
+// NewDumbbell builds the fabric. The base RTT sender->receiver->sender is
+// 4*LinkDelay plus serialization.
+func NewDumbbell(cfg DumbbellConfig) *Dumbbell {
+	if cfg.Senders <= 0 {
+		panic("topo: dumbbell needs senders")
+	}
+	if cfg.BottleneckQ == nil || cfg.EdgeQ == nil {
+		panic("topo: dumbbell needs queue factories")
+	}
+	n := netem.NewNetwork()
+	sw := n.NewSwitch("tor")
+	recv := n.NewHost("agg")
+
+	bq := cfg.BottleneckQ()
+	down := netem.NewPort(n.Eng, bq, cfg.BottleneckBps, cfg.LinkDelay)
+	down.Label = "tor.bottleneck"
+	down.Connect(recv)
+	sw.Route(recv.ID, sw.AddPort(down))
+	up := netem.NewPort(n.Eng, cfg.EdgeQ(), cfg.EdgeRateBps, cfg.LinkDelay)
+	up.Connect(sw)
+	recv.AttachUplink(up)
+
+	d := &Dumbbell{
+		Net: n, Receiver: recv, Switch: sw,
+		Bottleneck: bq, BottleneckPort: down,
+	}
+	for i := 0; i < cfg.Senders; i++ {
+		h := n.NewHost(fmt.Sprintf("s%d", i))
+		n.LinkHostSwitch(h, sw, cfg.EdgeQ(), cfg.EdgeQ(), cfg.EdgeRateBps, cfg.LinkDelay)
+		d.Senders = append(d.Senders, h)
+	}
+	return d
+}
+
+// BaseRTT returns the no-queueing round-trip (propagation only).
+func (d *Dumbbell) BaseRTT(cfg DumbbellConfig) int64 { return 4 * cfg.LinkDelay }

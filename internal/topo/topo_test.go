@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"testing"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+const port = 80
+
+func q() netem.Queue { return aqm.NewDropTail(1000) }
+
+func TestDumbbellStructure(t *testing.T) {
+	d := NewDumbbell(DumbbellConfig{
+		Senders:       5,
+		EdgeRateBps:   10e9,
+		BottleneckBps: 1e9,
+		LinkDelay:     10 * sim.Microsecond,
+		BottleneckQ:   q,
+		EdgeQ:         q,
+	})
+	if len(d.Senders) != 5 {
+		t.Fatalf("senders = %d", len(d.Senders))
+	}
+	if d.BottleneckPort.RateBps != 1e9 {
+		t.Fatal("bottleneck port rate wrong")
+	}
+	// One port per sender, plus the bottleneck toward the receiver.
+	if d.Switch.NumPorts() != 6 {
+		t.Fatalf("switch ports = %d, want 6", d.Switch.NumPorts())
+	}
+	if rtt := d.BaseRTT(DumbbellConfig{LinkDelay: 10 * sim.Microsecond}); rtt != 40*sim.Microsecond {
+		t.Fatalf("BaseRTT = %d", rtt)
+	}
+}
+
+func TestDumbbellEverySenderReaches(t *testing.T) {
+	d := NewDumbbell(DumbbellConfig{
+		Senders:       8,
+		EdgeRateBps:   1e9,
+		BottleneckBps: 1e9,
+		LinkDelay:     10 * sim.Microsecond,
+		BottleneckQ:   q,
+		EdgeQ:         q,
+	})
+	cfg := tcp.DefaultConfig()
+	d.Receiver.Listen(port, tcp.NewListener(d.Receiver, cfg, nil))
+	done := 0
+	for _, h := range d.Senders {
+		s := tcp.NewSender(h, d.Receiver.ID, port, 2000, cfg)
+		s.OnComplete = func(int64) { done++ }
+		s.Start()
+	}
+	d.Net.Eng.RunUntil(sim.Second)
+	if done != 8 {
+		t.Fatalf("flows completed %d/8", done)
+	}
+}
+
+func TestDumbbellValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no senders": func() {
+			NewDumbbell(DumbbellConfig{Senders: 0, EdgeRateBps: 1, BottleneckBps: 1, BottleneckQ: q, EdgeQ: q})
+		},
+		"no queues": func() {
+			NewDumbbell(DumbbellConfig{Senders: 1, EdgeRateBps: 1, BottleneckBps: 1})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLeafSpineStructure(t *testing.T) {
+	ls := NewLeafSpine(LeafSpineConfig{
+		Racks: 4, HostsPerRack: 21,
+		EdgeRateBps: 1e9, CoreRateBps: 1e9,
+		EdgeDelay: 25 * sim.Microsecond, CoreDelay: 25 * sim.Microsecond,
+		EdgeQ: q, CoreQ: q,
+	})
+	if len(ls.AllHosts()) != 84 {
+		t.Fatalf("hosts = %d, want the testbed's 84", len(ls.AllHosts()))
+	}
+	if len(ls.Leaves) != 4 || len(ls.SpineDown) != 4 || len(ls.LeafUp) != 4 {
+		t.Fatal("trunk bookkeeping incomplete")
+	}
+	// Paper: base RTT ~200 us cross rack.
+	if rtt := ls.BaseRTT(LeafSpineConfig{EdgeDelay: 25 * sim.Microsecond, CoreDelay: 25 * sim.Microsecond}); rtt != 200*sim.Microsecond {
+		t.Fatalf("BaseRTT = %dus", rtt/sim.Microsecond)
+	}
+}
+
+func TestFatTreeConnectivity(t *testing.T) {
+	ft := NewFatTree(FatTreeConfig{K: 4, RateBps: 1e9, Delay: 5 * sim.Microsecond, Q: q})
+	hosts := ft.AllHosts()
+	if len(hosts) != 16 { // k^3/4
+		t.Fatalf("hosts = %d, want 16", len(hosts))
+	}
+	if len(ft.Core) != 4 {
+		t.Fatalf("cores = %d, want 4", len(ft.Core))
+	}
+	cfg := tcp.DefaultConfig()
+	for _, h := range hosts {
+		h.Listen(port, tcp.NewListener(h, cfg, nil))
+	}
+	// Every ordered pair must be able to complete a small flow: exercises
+	// intra-edge, intra-pod and cross-pod routing.
+	done := 0
+	want := 0
+	for i, src := range hosts {
+		for j, dst := range hosts {
+			if i == j {
+				continue
+			}
+			want++
+			s := tcp.NewSender(src, dst.ID, port, 1000, cfg)
+			s.OnComplete = func(int64) { done++ }
+			s.Start()
+		}
+	}
+	ft.Net.Eng.RunUntil(10 * sim.Second)
+	if done != want {
+		t.Fatalf("pairs completed %d/%d", done, want)
+	}
+}
+
+func TestFatTreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd k accepted")
+		}
+	}()
+	NewFatTree(FatTreeConfig{K: 3, RateBps: 1e9, Q: q})
+}
+
+func TestFatTreePathStability(t *testing.T) {
+	// Destination-spread routing must not reorder packets of one flow:
+	// send a window and check arrival order at the receiver.
+	ft := NewFatTree(FatTreeConfig{K: 4, RateBps: 1e9, Delay: 5 * sim.Microsecond, Q: q})
+	src := ft.Pods[0][0]
+	dst := ft.Pods[3][3]
+	var seqs []int64
+	rec := &orderRecorder{seqs: &seqs}
+	dst.Bind(netem.ConnID{LocalPort: 99, Remote: src.ID, RemotePort: 1234}, rec)
+	for i := 0; i < 50; i++ {
+		src.Send(&netem.Packet{
+			Src: src.ID, Dst: dst.ID, SrcPort: 1234, DstPort: 99,
+			Seq: int64(i), Payload: 1000, Wire: 1058, Flags: netem.FlagACK,
+		})
+	}
+	ft.Net.Eng.RunUntil(sim.Second)
+	if len(seqs) != 50 {
+		t.Fatalf("delivered %d/50", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != int64(i) {
+			t.Fatalf("reordered at %d: %v", i, seqs[:i+1])
+		}
+	}
+}
+
+type orderRecorder struct{ seqs *[]int64 }
+
+func (r *orderRecorder) HandlePacket(p *netem.Packet) { *r.seqs = append(*r.seqs, p.Seq) }

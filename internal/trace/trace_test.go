@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+func miniNet() (*netem.Network, *netem.Host, *netem.Host) {
+	n := netem.NewNetwork()
+	a, b := n.NewHost("a"), n.NewHost("b")
+	sw := n.NewSwitch("sw")
+	q := func() netem.Queue { return aqm.NewDropTail(1000) }
+	n.LinkHostSwitch(a, sw, q(), q(), 1e9, sim.Microsecond)
+	n.LinkHostSwitch(b, sw, q(), q(), 1e9, sim.Microsecond)
+	return n, a, b
+}
+
+func TestTracerCapturesBothDirections(t *testing.T) {
+	n, a, b := miniNet()
+	var sb strings.Builder
+	tr := NewTracer(&sb, 1000)
+	tr.Tap(a)
+	tr.Tap(b)
+
+	cfg := tcp.DefaultConfig()
+	b.Listen(80, tcp.NewListener(b, cfg, nil))
+	s := tcp.NewSender(a, b.ID, 80, 5000, cfg)
+	done := false
+	s.OnComplete = func(int64) { done = true }
+	s.Start()
+	n.Eng.RunUntil(sim.Second)
+	if !done {
+		t.Fatal("flow incomplete")
+	}
+
+	events := tr.Events()
+	if len(events) == 0 || tr.Total() == 0 {
+		t.Fatal("no events traced")
+	}
+	var sawSyn, sawOutA, sawInB bool
+	for _, e := range events {
+		if strings.Contains(e.Summary, "SYN") {
+			sawSyn = true
+		}
+		if e.Host == "a" && e.Dir == Out {
+			sawOutA = true
+		}
+		if e.Host == "b" && e.Dir == In {
+			sawInB = true
+		}
+	}
+	if !sawSyn || !sawOutA || !sawInB {
+		t.Fatalf("missing event classes: syn=%v outA=%v inB=%v", sawSyn, sawOutA, sawInB)
+	}
+	// Stream and dump agree in volume.
+	if strings.Count(sb.String(), "\n") != len(events) {
+		t.Fatalf("stream lines %d != ring %d", strings.Count(sb.String(), "\n"), len(events))
+	}
+	if !strings.Contains(tr.Dump(), "SYN") {
+		t.Fatal("dump lost the SYN")
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(nil, 4)
+	eng := sim.New()
+	for i := 0; i < 10; i++ {
+		tr.record(eng, "h", Out, &netem.Packet{ID: uint64(i)})
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(ev))
+	}
+	if !strings.Contains(ev[0].Summary, "#6") || !strings.Contains(ev[3].Summary, "#9") {
+		t.Fatalf("eviction order wrong: %v .. %v", ev[0].Summary, ev[3].Summary)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+}
+
+func TestTracerMatchFilter(t *testing.T) {
+	n, a, b := miniNet()
+	tr := NewTracer(nil, 1000)
+	key := netem.FlowKey{Src: a.ID, Dst: b.ID, SrcPort: 33000, DstPort: 80}
+	tr.Match = FlowMatch(key)
+	tr.Tap(a)
+
+	cfg := tcp.DefaultConfig()
+	b.Listen(80, tcp.NewListener(b, cfg, nil))
+	b.Listen(81, tcp.NewListener(b, cfg, nil))
+	tcp.NewSender(a, b.ID, 80, 3000, cfg).Start() // gets sport 33000
+	tcp.NewSender(a, b.ID, 81, 3000, cfg).Start() // sport 33001: filtered out
+	n.Eng.RunUntil(sim.Second)
+
+	for _, e := range tr.Events() {
+		if strings.Contains(e.Summary, ":81") || strings.Contains(e.Summary, "33001") {
+			t.Fatalf("unmatched flow traced: %s", e.Summary)
+		}
+	}
+	if tr.Total() == 0 {
+		t.Fatal("matched flow not traced")
+	}
+}
+
+func TestTracerZeroRing(t *testing.T) {
+	tr := NewTracer(nil, 0)
+	eng := sim.New()
+	tr.record(eng, "h", In, &netem.Packet{})
+	if tr.Events() != nil {
+		t.Fatal("zero-ring tracer retained events")
+	}
+	if tr.Total() != 1 {
+		t.Fatal("total not counted")
+	}
+	if tr.Dump() != "" {
+		t.Fatal("dump not empty")
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// CoflowConfig models the paper's application-level motivation: a job
+// (partition-aggregate round, shuffle stage) issues Width parallel flows
+// and completes only when the *last* one finishes, so one straggler —
+// typically an RTO victim — delays the whole job (Section II-B,
+// Observation 3 and the coflow citations).
+type CoflowConfig struct {
+	Port     uint16
+	Width    int   // parallel flows per job
+	FlowSize int64 // bytes per constituent flow
+	Jobs     int
+	FirstJob int64
+	JobEvery int64
+	Jitter   int64 // mean start jitter between a job's flows
+	Rng      *sim.RNG
+}
+
+// Coflows tracks job progress.
+type Coflows struct {
+	JobsStarted   int
+	JobsCompleted int
+	// JCTs holds each completed job's completion time (ns): the span from
+	// the job's first flow start to its last flow completion.
+	JCTs []int64
+	// StragglerRatio per job: JCT / median constituent FCT — how much the
+	// slowest flow stretched the job.
+	StragglerRatio []float64
+}
+
+// RunCoflows schedules the jobs: each picks Width distinct sources (round
+// robin over srcs) and sends FlowSize bytes to dst. onJob (optional) fires
+// per completed job with its JCT.
+func RunCoflows(srcs []*netem.Host, dst netem.NodeID, tcfg tcp.Config, cfg CoflowConfig, onJob func(jct int64)) *Coflows {
+	if cfg.Rng == nil {
+		panic("workload: coflows need an RNG")
+	}
+	if cfg.Width <= 0 || cfg.Width > len(srcs) {
+		panic("workload: coflow width must be in [1, len(srcs)]")
+	}
+	co := &Coflows{}
+	eng := srcs[0].Eng
+
+	for j := 0; j < cfg.Jobs; j++ {
+		jobStart := cfg.FirstJob + int64(j)*cfg.JobEvery
+		order := cfg.Rng.Perm(len(srcs))[:cfg.Width]
+		pending := cfg.Width
+		var fcts []int64
+		var startedAt int64 = -1
+		at := jobStart
+		for _, idx := range order {
+			h := srcs[idx]
+			at += cfg.Rng.Exp(cfg.Jitter)
+			start := at
+			eng.At(start, func() {
+				if startedAt < 0 {
+					startedAt = eng.Now()
+					co.JobsStarted++
+				}
+				s := tcp.NewSender(h, dst, cfg.Port, cfg.FlowSize, tcfg)
+				s.OnComplete = func(fct int64) {
+					fcts = append(fcts, fct)
+					pending--
+					if pending == 0 {
+						jct := eng.Now() - startedAt
+						co.JobsCompleted++
+						co.JCTs = append(co.JCTs, jct)
+						co.StragglerRatio = append(co.StragglerRatio, stragglerRatio(jct, fcts))
+						if onJob != nil {
+							onJob(jct)
+						}
+					}
+				}
+				s.Start()
+			})
+		}
+	}
+	return co
+}
+
+// stragglerRatio divides the job completion time by the median flow FCT.
+func stragglerRatio(jct int64, fcts []int64) float64 {
+	if len(fcts) == 0 {
+		return 0
+	}
+	// Median via partial sort (n is small).
+	sorted := append([]int64(nil), fcts...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	med := sorted[len(sorted)/2]
+	if med <= 0 {
+		return 0
+	}
+	return float64(jct) / float64(med)
+}

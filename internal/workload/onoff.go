@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// OnOffConfig models the ON-OFF traffic pattern data-center measurement
+// studies report (Benson et al., Kandula et al. — Section IV-A of the
+// paper): a source alternates between an ON period, during which it
+// transfers a burst, and an idle OFF period, with exponentially
+// distributed durations.
+type OnOffConfig struct {
+	Port      uint16
+	BurstSize int64 // bytes per ON period
+	MeanOff   int64 // mean OFF duration, ns
+	StartAt   int64
+	StopAt    int64 // no new bursts after this time
+	Rng       *sim.RNG
+}
+
+// OnOff tracks one ON-OFF source.
+type OnOff struct {
+	Bursts    int
+	Completed int
+}
+
+// StartOnOff runs the ON-OFF loop from src to dst. Each ON period is one
+// finite flow; the next burst starts an exponential OFF time after the
+// previous completes. onDone (optional) fires per burst with its FCT.
+func StartOnOff(src *netem.Host, dst netem.NodeID, tcfg tcp.Config, cfg OnOffConfig, onDone FlowDone) *OnOff {
+	if cfg.Rng == nil {
+		panic("workload: onoff needs an RNG")
+	}
+	oo := &OnOff{}
+	eng := src.Eng
+	var burst func()
+	burst = func() {
+		if eng.Now() >= cfg.StopAt {
+			return
+		}
+		oo.Bursts++
+		s := tcp.NewSender(src, dst, cfg.Port, cfg.BurstSize, tcfg)
+		s.OnComplete = func(fct int64) {
+			oo.Completed++
+			if onDone != nil {
+				onDone(fct, cfg.BurstSize)
+			}
+			off := cfg.Rng.Exp(cfg.MeanOff)
+			if off < sim.Microsecond {
+				off = sim.Microsecond
+			}
+			eng.Schedule(off, burst)
+		}
+		s.Start()
+	}
+	eng.At(cfg.StartAt, burst)
+	return oo
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// WebConfig reproduces the testbed workload of Section VI: web servers
+// deliver a fixed-size object (11.5 KB Apache page) to requesting clients
+// over Parallel lanes per (client, server) pair; a request epoch fires all
+// lanes near-simultaneously and epochs repeat.
+//
+// Data flows server -> client (the response), so servers are the active
+// openers in this model and clients listen; congestion builds at the core
+// port toward the client rack, as on the real testbed.
+type WebConfig struct {
+	Port          uint16
+	ObjectSize    int64 // paper: 11.5 KB
+	Parallel      int   // parallel connections per (client, server) pair
+	Epochs        int
+	FirstEpoch    int64
+	EpochInterval int64
+	JitterMean    int64 // mean start jitter between consecutive lanes
+	Rng           *sim.RNG
+}
+
+// Web tracks web-workload progress.
+type Web struct {
+	Started   int
+	Completed int
+	Senders   []*tcp.Sender
+}
+
+// RunWeb schedules Epochs rounds of Parallel fetches from every server to
+// every client. Clients must already be listening on cfg.Port.
+func RunWeb(servers, clients []*netem.Host, tcfg tcp.Config, cfg WebConfig, onDone FlowDone) *Web {
+	if cfg.Rng == nil {
+		panic("workload: web needs an RNG")
+	}
+	if len(servers) == 0 || len(clients) == 0 {
+		panic("workload: web needs servers and clients")
+	}
+	w := &Web{}
+	eng := servers[0].Eng
+	for e := 0; e < cfg.Epochs; e++ {
+		at := cfg.FirstEpoch + int64(e)*cfg.EpochInterval
+		for _, srv := range servers {
+			for _, cli := range clients {
+				for lane := 0; lane < cfg.Parallel; lane++ {
+					at += cfg.Rng.Exp(cfg.JitterMean)
+					srv, cli := srv, cli
+					start := at
+					eng.At(start, func() {
+						s := tcp.NewSender(srv, cli.ID, cfg.Port, cfg.ObjectSize, tcfg)
+						w.Senders = append(w.Senders, s)
+						w.Started++
+						s.OnComplete = func(fct int64) {
+							w.Completed++
+							if onDone != nil {
+								onDone(fct, cfg.ObjectSize)
+							}
+						}
+						s.Start()
+					})
+				}
+			}
+		}
+	}
+	return w
+}

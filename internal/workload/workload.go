@@ -1,0 +1,122 @@
+// Package workload generates the paper's traffic patterns: persistent
+// long-lived flows (iperf surrogates), correlated incast epochs of
+// short-lived flows (Section V), closed-loop web-object fetches for the
+// testbed scenario (Section VI), and ON-OFF background traffic.
+//
+// All generators schedule guest connections inside the simulation and
+// report per-flow completion times through callbacks; they never reach
+// around the public TCP API, so any shim/AQM combination applies.
+package workload
+
+import (
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// FlowDone receives a completed flow's FCT (ns) and byte size.
+type FlowDone func(fct int64, size int64)
+
+// LongLivedConfig describes a set of persistent bulk flows.
+type LongLivedConfig struct {
+	Port    uint16
+	StartAt int64 // all flows start here (with per-flow jitter below)
+	Jitter  int64 // uniform [0, Jitter) start offset per flow
+	Rng     *sim.RNG
+}
+
+// LongLived tracks the senders of a persistent-flow set.
+type LongLived struct {
+	Senders []*tcp.Sender
+}
+
+// StartLongLived launches one infinite flow from each src host to dst.
+// Receivers must already be listening on cfg.Port at dst.
+func StartLongLived(srcs []*netem.Host, dst netem.NodeID, tcfg tcp.Config, cfg LongLivedConfig) *LongLived {
+	ll := &LongLived{}
+	for _, h := range srcs {
+		h := h
+		s := tcp.NewSender(h, dst, cfg.Port, tcp.Infinite, tcfg)
+		ll.Senders = append(ll.Senders, s)
+		at := cfg.StartAt
+		if cfg.Jitter > 0 && cfg.Rng != nil {
+			at += cfg.Rng.UniformRange(0, cfg.Jitter-1)
+		}
+		h.Eng.At(at, s.Start)
+	}
+	return ll
+}
+
+// IncastConfig describes the paper's short-flow surge pattern: E epochs; in
+// each epoch every source transmits FlowSize bytes to the aggregator, in
+// random order, with inter-arrival times averaging one segment
+// transmission time — producing correlated starts (the incast problem).
+type IncastConfig struct {
+	Port          uint16
+	FlowSize      int64
+	Epochs        int
+	FirstEpoch    int64 // start of epoch 0
+	EpochInterval int64 // spacing between epoch starts
+	JitterMean    int64 // mean inter-arrival between consecutive flow starts
+	Rng           *sim.RNG
+}
+
+// Incast tracks generator progress.
+type Incast struct {
+	Started   int
+	Completed int
+	TimedOut  []*tcp.Sender // senders whose flows saw >= 1 RTO
+	Senders   []*tcp.Sender
+	// FCTsByHost groups completion times by source host, so per-source
+	// averages and variances across epochs can be computed (the paper's
+	// Fig. 2a plots exactly those AVG/VAR CDFs).
+	FCTsByHost map[netem.NodeID][]int64
+}
+
+// RunIncast schedules the epochs. onDone (optional) fires per completed
+// flow with its FCT.
+func RunIncast(srcs []*netem.Host, dst netem.NodeID, tcfg tcp.Config, cfg IncastConfig, onDone FlowDone) *Incast {
+	return RunIncastConfigs(srcs, dst, func(*netem.Host) tcp.Config { return tcfg }, cfg, onDone)
+}
+
+// RunIncastConfigs is RunIncast with a per-host guest configuration — the
+// coexistence scenarios give different tenants different congestion
+// controllers.
+func RunIncastConfigs(srcs []*netem.Host, dst netem.NodeID, cfgFor func(*netem.Host) tcp.Config, cfg IncastConfig, onDone FlowDone) *Incast {
+	if cfg.Rng == nil {
+		panic("workload: incast needs an RNG")
+	}
+	if len(srcs) == 0 || cfg.Epochs <= 0 {
+		panic("workload: incast needs sources and epochs")
+	}
+	inc := &Incast{FCTsByHost: make(map[netem.NodeID][]int64)}
+	eng := srcs[0].Eng
+	for e := 0; e < cfg.Epochs; e++ {
+		epochStart := cfg.FirstEpoch + int64(e)*cfg.EpochInterval
+		// Random sender order per epoch.
+		order := cfg.Rng.Perm(len(srcs))
+		at := epochStart
+		for _, idx := range order {
+			h := srcs[idx]
+			at += cfg.Rng.Exp(cfg.JitterMean)
+			start := at
+			eng.At(start, func() {
+				s := tcp.NewSender(h, dst, cfg.Port, cfg.FlowSize, cfgFor(h))
+				inc.Senders = append(inc.Senders, s)
+				inc.Started++
+				s.OnComplete = func(fct int64) {
+					inc.Completed++
+					inc.FCTsByHost[h.ID] = append(inc.FCTsByHost[h.ID], fct)
+					if s.Stats().Timeouts > 0 {
+						inc.TimedOut = append(inc.TimedOut, s)
+					}
+					if onDone != nil {
+						onDone(fct, cfg.FlowSize)
+					}
+				}
+				s.Start()
+			})
+		}
+	}
+	return inc
+}

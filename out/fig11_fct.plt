@@ -1,0 +1,12 @@
+# Auto-generated: gnuplot fig11_fct.plt
+set terminal pngcairo size 800,600
+set output "fig11_fct.png"
+set datafile separator ','
+set title "fig11: short-flow FCT CDF"
+set xlabel "FCT (ms)"
+set ylabel "CDF"
+set key bottom right
+set grid
+set logscale x
+plot "fig11_tcp_fct_cdf.csv" using 1:2 with lines lw 2 title "TCP", \
+     "fig11_hwatch_fct_cdf.csv" using 1:2 with lines lw 2 title "TCP-HWatch"

@@ -1,0 +1,11 @@
+# Auto-generated: gnuplot fig11_goodput.plt
+set terminal pngcairo size 800,600
+set output "fig11_goodput.png"
+set datafile separator ','
+set title "fig11: long-flow goodput CDF"
+set xlabel "goodput (bit/s)"
+set ylabel "CDF"
+set key bottom right
+set grid
+plot "fig11_tcp_goodput_cdf.csv" using 1:2 with lines lw 2 title "TCP", \
+     "fig11_hwatch_goodput_cdf.csv" using 1:2 with lines lw 2 title "TCP-HWatch"

@@ -1,0 +1,11 @@
+# Auto-generated: gnuplot fig11_queue.plt
+set terminal pngcairo size 800,600
+set output "fig11_queue.png"
+set datafile separator ','
+set title "fig11: bottleneck queue"
+set xlabel "time (ns)"
+set ylabel "queue (bytes)"
+set key bottom right
+set grid
+plot "fig11_tcp_queue_bytes.csv" using 1:2 with lines lw 2 title "TCP", \
+     "fig11_hwatch_queue_bytes.csv" using 1:2 with lines lw 2 title "TCP-HWatch"

@@ -1,0 +1,11 @@
+# Auto-generated: gnuplot fig11_util.plt
+set terminal pngcairo size 800,600
+set output "fig11_util.png"
+set datafile separator ','
+set title "fig11: bottleneck utilization"
+set xlabel "time (ns)"
+set ylabel "fraction of line rate"
+set key bottom right
+set grid
+plot "fig11_tcp_util.csv" using 1:2 with lines lw 2 title "TCP", \
+     "fig11_hwatch_util.csv" using 1:2 with lines lw 2 title "TCP-HWatch"

@@ -1,0 +1,15 @@
+# Auto-generated: gnuplot fig1_fct.plt
+set terminal pngcairo size 800,600
+set output "fig1_fct.png"
+set datafile separator ','
+set title "fig1: short-flow FCT CDF"
+set xlabel "FCT (ms)"
+set ylabel "CDF"
+set key bottom right
+set grid
+set logscale x
+plot "fig1_icw1_fct_cdf.csv" using 1:2 with lines lw 2 title "ICWND=1", \
+     "fig1_icw5_fct_cdf.csv" using 1:2 with lines lw 2 title "ICWND=5", \
+     "fig1_icw10_fct_cdf.csv" using 1:2 with lines lw 2 title "ICWND=10", \
+     "fig1_icw15_fct_cdf.csv" using 1:2 with lines lw 2 title "ICWND=15", \
+     "fig1_icw20_fct_cdf.csv" using 1:2 with lines lw 2 title "ICWND=20"

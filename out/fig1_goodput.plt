@@ -1,0 +1,14 @@
+# Auto-generated: gnuplot fig1_goodput.plt
+set terminal pngcairo size 800,600
+set output "fig1_goodput.png"
+set datafile separator ','
+set title "fig1: long-flow goodput CDF"
+set xlabel "goodput (bit/s)"
+set ylabel "CDF"
+set key bottom right
+set grid
+plot "fig1_icw1_goodput_cdf.csv" using 1:2 with lines lw 2 title "ICWND=1", \
+     "fig1_icw5_goodput_cdf.csv" using 1:2 with lines lw 2 title "ICWND=5", \
+     "fig1_icw10_goodput_cdf.csv" using 1:2 with lines lw 2 title "ICWND=10", \
+     "fig1_icw15_goodput_cdf.csv" using 1:2 with lines lw 2 title "ICWND=15", \
+     "fig1_icw20_goodput_cdf.csv" using 1:2 with lines lw 2 title "ICWND=20"

@@ -1,0 +1,14 @@
+# Auto-generated: gnuplot fig1_queue.plt
+set terminal pngcairo size 800,600
+set output "fig1_queue.png"
+set datafile separator ','
+set title "fig1: bottleneck queue"
+set xlabel "time (ns)"
+set ylabel "queue (bytes)"
+set key bottom right
+set grid
+plot "fig1_icw1_queue_bytes.csv" using 1:2 with lines lw 2 title "ICWND=1", \
+     "fig1_icw5_queue_bytes.csv" using 1:2 with lines lw 2 title "ICWND=5", \
+     "fig1_icw10_queue_bytes.csv" using 1:2 with lines lw 2 title "ICWND=10", \
+     "fig1_icw15_queue_bytes.csv" using 1:2 with lines lw 2 title "ICWND=15", \
+     "fig1_icw20_queue_bytes.csv" using 1:2 with lines lw 2 title "ICWND=20"

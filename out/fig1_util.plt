@@ -1,0 +1,14 @@
+# Auto-generated: gnuplot fig1_util.plt
+set terminal pngcairo size 800,600
+set output "fig1_util.png"
+set datafile separator ','
+set title "fig1: bottleneck utilization"
+set xlabel "time (ns)"
+set ylabel "fraction of line rate"
+set key bottom right
+set grid
+plot "fig1_icw1_util.csv" using 1:2 with lines lw 2 title "ICWND=1", \
+     "fig1_icw5_util.csv" using 1:2 with lines lw 2 title "ICWND=5", \
+     "fig1_icw10_util.csv" using 1:2 with lines lw 2 title "ICWND=10", \
+     "fig1_icw15_util.csv" using 1:2 with lines lw 2 title "ICWND=15", \
+     "fig1_icw20_util.csv" using 1:2 with lines lw 2 title "ICWND=20"

@@ -1,0 +1,13 @@
+# Auto-generated: gnuplot fig2_fct.plt
+set terminal pngcairo size 800,600
+set output "fig2_fct.png"
+set datafile separator ','
+set title "fig2: short-flow FCT CDF"
+set xlabel "FCT (ms)"
+set ylabel "CDF"
+set key bottom right
+set grid
+set logscale x
+plot "fig2_dctcp_fct_cdf.csv" using 1:2 with lines lw 2 title "DCTCP", \
+     "fig2_mix_fct_cdf.csv" using 1:2 with lines lw 2 title "MIX", \
+     "fig2_mix_hwatch_fct_cdf.csv" using 1:2 with lines lw 2 title "MIX+HWatch"

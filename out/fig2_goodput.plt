@@ -1,0 +1,12 @@
+# Auto-generated: gnuplot fig2_goodput.plt
+set terminal pngcairo size 800,600
+set output "fig2_goodput.png"
+set datafile separator ','
+set title "fig2: long-flow goodput CDF"
+set xlabel "goodput (bit/s)"
+set ylabel "CDF"
+set key bottom right
+set grid
+plot "fig2_dctcp_goodput_cdf.csv" using 1:2 with lines lw 2 title "DCTCP", \
+     "fig2_mix_goodput_cdf.csv" using 1:2 with lines lw 2 title "MIX", \
+     "fig2_mix_hwatch_goodput_cdf.csv" using 1:2 with lines lw 2 title "MIX+HWatch"

@@ -1,0 +1,12 @@
+# Auto-generated: gnuplot fig2_queue.plt
+set terminal pngcairo size 800,600
+set output "fig2_queue.png"
+set datafile separator ','
+set title "fig2: bottleneck queue"
+set xlabel "time (ns)"
+set ylabel "queue (bytes)"
+set key bottom right
+set grid
+plot "fig2_dctcp_queue_bytes.csv" using 1:2 with lines lw 2 title "DCTCP", \
+     "fig2_mix_queue_bytes.csv" using 1:2 with lines lw 2 title "MIX", \
+     "fig2_mix_hwatch_queue_bytes.csv" using 1:2 with lines lw 2 title "MIX+HWatch"

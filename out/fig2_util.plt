@@ -1,0 +1,12 @@
+# Auto-generated: gnuplot fig2_util.plt
+set terminal pngcairo size 800,600
+set output "fig2_util.png"
+set datafile separator ','
+set title "fig2: bottleneck utilization"
+set xlabel "time (ns)"
+set ylabel "fraction of line rate"
+set key bottom right
+set grid
+plot "fig2_dctcp_util.csv" using 1:2 with lines lw 2 title "DCTCP", \
+     "fig2_mix_util.csv" using 1:2 with lines lw 2 title "MIX", \
+     "fig2_mix_hwatch_util.csv" using 1:2 with lines lw 2 title "MIX+HWatch"

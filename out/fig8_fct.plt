@@ -1,0 +1,14 @@
+# Auto-generated: gnuplot fig8_fct.plt
+set terminal pngcairo size 800,600
+set output "fig8_fct.png"
+set datafile separator ','
+set title "fig8: short-flow FCT CDF"
+set xlabel "FCT (ms)"
+set ylabel "CDF"
+set key bottom right
+set grid
+set logscale x
+plot "fig8_tcp-droptail_fct_cdf.csv" using 1:2 with lines lw 2 title "TCP-DropTail", \
+     "fig8_tcp-red_fct_cdf.csv" using 1:2 with lines lw 2 title "TCP-RED", \
+     "fig8_tcp-hwatch_fct_cdf.csv" using 1:2 with lines lw 2 title "TCP-HWATCH", \
+     "fig8_dctcp_fct_cdf.csv" using 1:2 with lines lw 2 title "DCTCP"

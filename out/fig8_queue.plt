@@ -1,0 +1,13 @@
+# Auto-generated: gnuplot fig8_queue.plt
+set terminal pngcairo size 800,600
+set output "fig8_queue.png"
+set datafile separator ','
+set title "fig8: bottleneck queue"
+set xlabel "time (ns)"
+set ylabel "queue (bytes)"
+set key bottom right
+set grid
+plot "fig8_tcp-droptail_queue_bytes.csv" using 1:2 with lines lw 2 title "TCP-DropTail", \
+     "fig8_tcp-red_queue_bytes.csv" using 1:2 with lines lw 2 title "TCP-RED", \
+     "fig8_tcp-hwatch_queue_bytes.csv" using 1:2 with lines lw 2 title "TCP-HWATCH", \
+     "fig8_dctcp_queue_bytes.csv" using 1:2 with lines lw 2 title "DCTCP"

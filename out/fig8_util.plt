@@ -1,0 +1,13 @@
+# Auto-generated: gnuplot fig8_util.plt
+set terminal pngcairo size 800,600
+set output "fig8_util.png"
+set datafile separator ','
+set title "fig8: bottleneck utilization"
+set xlabel "time (ns)"
+set ylabel "fraction of line rate"
+set key bottom right
+set grid
+plot "fig8_tcp-droptail_util.csv" using 1:2 with lines lw 2 title "TCP-DropTail", \
+     "fig8_tcp-red_util.csv" using 1:2 with lines lw 2 title "TCP-RED", \
+     "fig8_tcp-hwatch_util.csv" using 1:2 with lines lw 2 title "TCP-HWATCH", \
+     "fig8_dctcp_util.csv" using 1:2 with lines lw 2 title "DCTCP"

@@ -1,0 +1,13 @@
+# Auto-generated: gnuplot fig9_goodput.plt
+set terminal pngcairo size 800,600
+set output "fig9_goodput.png"
+set datafile separator ','
+set title "fig9: long-flow goodput CDF"
+set xlabel "goodput (bit/s)"
+set ylabel "CDF"
+set key bottom right
+set grid
+plot "fig9_tcp-droptail_goodput_cdf.csv" using 1:2 with lines lw 2 title "TCP-DropTail", \
+     "fig9_tcp-red_goodput_cdf.csv" using 1:2 with lines lw 2 title "TCP-RED", \
+     "fig9_tcp-hwatch_goodput_cdf.csv" using 1:2 with lines lw 2 title "TCP-HWATCH", \
+     "fig9_dctcp_goodput_cdf.csv" using 1:2 with lines lw 2 title "DCTCP"

@@ -1,0 +1,13 @@
+# Auto-generated: gnuplot fig9_queue.plt
+set terminal pngcairo size 800,600
+set output "fig9_queue.png"
+set datafile separator ','
+set title "fig9: bottleneck queue"
+set xlabel "time (ns)"
+set ylabel "queue (bytes)"
+set key bottom right
+set grid
+plot "fig9_tcp-droptail_queue_bytes.csv" using 1:2 with lines lw 2 title "TCP-DropTail", \
+     "fig9_tcp-red_queue_bytes.csv" using 1:2 with lines lw 2 title "TCP-RED", \
+     "fig9_tcp-hwatch_queue_bytes.csv" using 1:2 with lines lw 2 title "TCP-HWATCH", \
+     "fig9_dctcp_queue_bytes.csv" using 1:2 with lines lw 2 title "DCTCP"

@@ -1,0 +1,13 @@
+# Auto-generated: gnuplot fig9_util.plt
+set terminal pngcairo size 800,600
+set output "fig9_util.png"
+set datafile separator ','
+set title "fig9: bottleneck utilization"
+set xlabel "time (ns)"
+set ylabel "fraction of line rate"
+set key bottom right
+set grid
+plot "fig9_tcp-droptail_util.csv" using 1:2 with lines lw 2 title "TCP-DropTail", \
+     "fig9_tcp-red_util.csv" using 1:2 with lines lw 2 title "TCP-RED", \
+     "fig9_tcp-hwatch_util.csv" using 1:2 with lines lw 2 title "TCP-HWATCH", \
+     "fig9_dctcp_util.csv" using 1:2 with lines lw 2 title "DCTCP"
