@@ -17,11 +17,15 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figgen: ")
 	var (
-		outDir = flag.String("out", "out", "directory for CSV curve data")
-		scale  = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
-		only   = flag.String("only", "", "comma-separated subset, e.g. fig8,fig11")
+		outDir   = flag.String("out", "out", "directory for CSV curve data")
+		scale    = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
+		only     = flag.String("only", "", "comma-separated subset, e.g. fig8,fig11")
+		parallel = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		check    = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
 	)
 	flag.Parse()
+	hwatch.SetParallel(*parallel)
+	hwatch.SetInvariantChecks(*check)
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -31,7 +35,12 @@ func main() {
 	}
 	selected := func(name string) bool { return len(want) == 0 || want[name] }
 
+	violations := 0
 	save := func(prefix string, r *hwatch.Run) {
+		for _, v := range r.InvariantViolations {
+			violations++
+			fmt.Printf("!! invariant violation [%s]: %s\n", r.Label, v)
+		}
 		if err := hwatch.SaveRun(*outDir, prefix, r); err != nil {
 			log.Fatalf("saving %s: %v", prefix, err)
 		}
@@ -103,4 +112,7 @@ func main() {
 	}
 	fmt.Printf("\nall selected figures regenerated in %v; curves under %s/\n",
 		time.Since(start).Round(time.Millisecond), *outDir)
+	if violations > 0 {
+		log.Fatalf("%d invariant violations", violations)
+	}
 }

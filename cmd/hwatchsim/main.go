@@ -30,10 +30,15 @@ func main() {
 		scheme = flag.String("scheme", "hwatch", "for -exp scheme: droptail|red|dctcp|hwatch")
 		longN  = flag.Int("long", 25, "for -exp scheme: long-lived sources")
 		shortN = flag.Int("short", 25, "for -exp scheme: short-lived sources")
-		seed   = flag.Int64("seed", 42, "scenario seed")
-		asJSON = flag.Bool("json", false, "emit run summaries as JSON")
+		seed     = flag.Int64("seed", 42, "scenario seed")
+		asJSON   = flag.Bool("json", false, "emit run summaries as JSON")
+		parallel = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		check    = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
+		digest   = flag.Bool("digest", false, "print only '<digest> <label>' per run (for CI diffing)")
 	)
 	flag.Parse()
+	hwatch.SetParallel(*parallel)
+	hwatch.SetInvariantChecks(*check)
 
 	var runs []*hwatch.Run
 	switch *exp {
@@ -84,13 +89,34 @@ func main() {
 		log.Fatalf("unknown experiment %q", *exp)
 	}
 
-	if *asJSON {
+	if *check {
+		bad := false
+		for _, r := range runs {
+			for _, v := range r.InvariantViolations {
+				bad = true
+				fmt.Fprintf(os.Stderr, "invariant violation [%s]: %s\n", r.Label, v)
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *digest:
+		// Digest lines carry no timing, so two invocations of the same spec
+		// and seed diff clean at any -parallel value.
+		for _, r := range runs {
+			fmt.Printf("%s %s\n", r.DigestHex(), r.Label)
+		}
+		return
+	case *asJSON:
 		out, err := hwatch.JSON(runs)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(out)
-	} else {
+	default:
 		fmt.Printf("experiment %s (scale %.2f)\n\n", *exp, *scale)
 		fmt.Print(hwatch.Table(runs))
 	}

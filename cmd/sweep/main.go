@@ -14,10 +14,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		what  = flag.String("what", "all", "ablation: probes|k|icw|batch|pacing|guests|empirical|coflow|incast|all")
-		scale = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
+		what     = flag.String("what", "all", "ablation: probes|k|icw|batch|pacing|guests|empirical|coflow|incast|all")
+		scale    = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
+		parallel = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		check    = flag.Bool("check", false, "run the physical-invariant checker on every cell")
 	)
 	flag.Parse()
+	hwatch.SetParallel(*parallel)
+	hwatch.SetInvariantChecks(*check)
 
 	if *what == "empirical" || *what == "all" {
 		fmt.Println("\n== empirical — web-search Poisson workload (extension) ==")

@@ -25,9 +25,28 @@ package hwatch
 import (
 	"hwatch/internal/core"
 	"hwatch/internal/experiments"
+	"hwatch/internal/harness"
 	"hwatch/internal/stats"
 	"hwatch/internal/tcp"
 )
+
+// SetParallel bounds how many scenario runs execute concurrently across
+// every figure, ablation and sweep (n <= 0 restores the default,
+// GOMAXPROCS). Parallelism never affects results: every run owns its
+// simulation engine and seeded RNG, so the same spec and seed digest
+// identically at any setting.
+func SetParallel(n int) { experiments.SetParallel(n) }
+
+// SetInvariantChecks enables the physical-invariant checker (packet
+// conservation at the bottleneck, TCP sequence monotonicity, cwnd/rwnd
+// floors) on every subsequent run; findings land in
+// Run.InvariantViolations.
+func SetInvariantChecks(on bool) { experiments.SetInvariantChecks(on) }
+
+// SeedFor derives a deterministic per-run seed from a spec identity string
+// and a base seed (FNV-64a of the spec, mixed with the base through one
+// splitmix64 step).
+func SeedFor(spec string, base int64) int64 { return harness.SeedFor(spec, base) }
 
 // Scheme identifies one of the systems the paper compares.
 type Scheme = experiments.Scheme

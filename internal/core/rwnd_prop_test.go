@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+// TestClampRwndProperties drives the datapath rwnd rewrite with random
+// window fields, scale factors and clamp verdicts and checks the three
+// properties the deployment depends on: the incrementally-maintained
+// checksum still verifies, the effective window never widens past what the
+// guest advertised, and (while the encoding fits the 16-bit field) the
+// round-up quantization never grants less than the verdict — the clamp of
+// exactly MinWndSegs segments must survive window scaling.
+func TestClampRwndProperties(t *testing.T) {
+	cfg := DefaultConfig(100 * sim.Microsecond)
+	s := NewShim(sim.New(), cfg, 0)
+	mss := int64(cfg.MSS)
+
+	prop := func(rwnd uint16, scaleRaw uint8, segsRaw uint16, seq int64) bool {
+		scale := int8(scaleRaw % 15)  // RFC 7323 caps the shift at 14
+		segs := int(segsRaw%2048) - 1 // -1 (no verdict yet) .. 2046 segments
+		e := &flowEntry{wndSegs: segs, wscale: scale}
+		p := &netem.Packet{
+			Src: 1, Dst: 2, SrcPort: 3, DstPort: 4,
+			Seq: seq, Flags: netem.FlagACK, Rwnd: rwnd, WScaleOpt: -1,
+		}
+		netem.SetChecksum(p)
+		before := int64(rwnd) << uint(scale)
+
+		s.clampRwnd(p, e)
+
+		if !netem.VerifyChecksum(p) {
+			t.Logf("checksum broken: rwnd=%d scale=%d segs=%d", rwnd, scale, segs)
+			return false
+		}
+		after := int64(p.Rwnd) << uint(scale)
+		if after > before {
+			t.Logf("window widened %d -> %d: rwnd=%d scale=%d segs=%d", before, after, rwnd, scale, segs)
+			return false
+		}
+		if segs < 0 {
+			return p.Rwnd == rwnd // no verdict: the packet must pass untouched
+		}
+		wnd := int64(segs) * mss
+		if before <= wnd {
+			return p.Rwnd == rwnd // under the clamp already: untouched
+		}
+		// Rewritten. Round-up encoding must not under-grant unless the raw
+		// field saturated at 0xffff.
+		if after < wnd && p.Rwnd != 0xffff {
+			t.Logf("under-granted %d < verdict %d: rwnd=%d scale=%d segs=%d", after, wnd, rwnd, scale, segs)
+			return false
+		}
+		return true
+	}
+	qc := &quick.Config{
+		MaxCount: 10000,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+	if err := quick.Check(prop, qc); err != nil {
+		t.Fatal(err)
+	}
+}

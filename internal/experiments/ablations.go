@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hwatch/internal/core"
+	"hwatch/internal/harness"
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 	"hwatch/internal/tcp"
@@ -52,36 +54,70 @@ func ablationBase(scale float64) DumbbellParams {
 	return p
 }
 
+// ablationCase is one row of an ablation sweep: a label, an optional
+// scenario adjustment, and an optional explicit guest stack (used by the
+// R3 agnosticism study instead of the scheme's default).
+type ablationCase struct {
+	label string
+	prep  func(*DumbbellParams)
+	guest *tcp.Config
+}
+
+// runAblation executes the cases through the harness pool, preserving case
+// order in the output.
+func runAblation(scale float64, cases []ablationCase) []AblationPoint {
+	out, _ := harness.Map(context.Background(), ParallelN(), cases,
+		func(_ context.Context, c ablationCase) (AblationPoint, error) {
+			p := ablationBase(scale)
+			if c.prep != nil {
+				c.prep(&p)
+			}
+			var r *Run
+			if c.guest != nil {
+				r = runHWatchWithGuest(p, *c.guest)
+			} else {
+				r = RunDumbbell(SchemeHWatch, p)
+			}
+			return point(c.label, r, 0), nil
+		})
+	return out
+}
+
 // AblationProbes sweeps the probe count and compares uniform vs.
 // non-uniform spacing (the paper argues for 10 probes, jittered).
 func AblationProbes(scale float64) []AblationPoint {
-	var out []AblationPoint
+	var cases []ablationCase
 	for _, n := range []int{0, 2, 5, 10, 20} {
 		n := n
-		p := ablationBase(scale)
-		p.ShimTweak = func(c *core.Config) { c.ProbeCount = n }
-		r := RunDumbbell(SchemeHWatch, p)
-		out = append(out, point(fmt.Sprintf("probes=%d", n), r, 0))
+		cases = append(cases, ablationCase{
+			label: fmt.Sprintf("probes=%d", n),
+			prep: func(p *DumbbellParams) {
+				p.ShimTweak = func(c *core.Config) { c.ProbeCount = n }
+			},
+		})
 	}
 	// Spacing comparison at the paper's probe count.
-	p := ablationBase(scale)
-	p.ShimTweak = func(c *core.Config) { c.UniformProbeSpacing = true }
-	r := RunDumbbell(SchemeHWatch, p)
-	out = append(out, point("probes=10 uniform", r, 0))
-	return out
+	cases = append(cases, ablationCase{
+		label: "probes=10 uniform",
+		prep: func(p *DumbbellParams) {
+			p.ShimTweak = func(c *core.Config) { c.UniformProbeSpacing = true }
+		},
+	})
+	return runAblation(scale, cases)
 }
 
 // AblationThreshold sweeps the ECN marking threshold as a fraction of the
 // buffer (the paper fixes 20%).
 func AblationThreshold(scale float64) []AblationPoint {
-	var out []AblationPoint
+	var cases []ablationCase
 	for _, frac := range []float64{0.05, 0.10, 0.20, 0.35, 0.50} {
-		p := ablationBase(scale)
-		p.MarkFrac = frac
-		r := RunDumbbell(SchemeHWatch, p)
-		out = append(out, point(fmt.Sprintf("K=%.0f%%", frac*100), r, 0))
+		frac := frac
+		cases = append(cases, ablationCase{
+			label: fmt.Sprintf("K=%.0f%%", frac*100),
+			prep:  func(p *DumbbellParams) { p.MarkFrac = frac },
+		})
 	}
-	return out
+	return runAblation(scale, cases)
 }
 
 // AblationStartWindow compares initial-window policies: the cautious
@@ -99,18 +135,20 @@ func AblationStartWindow(scale float64) []AblationPoint {
 		{"credit=1.0", 1.0, 10},
 		{"no probing (ICW)", 0, 0},
 	}
-	var out []AblationPoint
+	var rows []ablationCase
 	for _, c := range cases {
 		c := c
-		p := ablationBase(scale)
-		p.ShimTweak = func(cc *core.Config) {
-			cc.StartMarkedCredit = c.credit
-			cc.ProbeCount = c.probes
-		}
-		r := RunDumbbell(SchemeHWatch, p)
-		out = append(out, point(c.label, r, 0))
+		rows = append(rows, ablationCase{
+			label: c.label,
+			prep: func(p *DumbbellParams) {
+				p.ShimTweak = func(cc *core.Config) {
+					cc.StartMarkedCredit = c.credit
+					cc.ProbeCount = c.probes
+				}
+			},
+		})
 	}
-	return out
+	return runAblation(scale, rows)
 }
 
 // AblationBatches compares Rule 1 batch policies: merged first+second
@@ -127,18 +165,20 @@ func AblationBatches(scale float64) []AblationPoint {
 		{"3 batches, grow/4", false, 4},
 		{"3 batches, grow/1", false, 1},
 	}
-	var out []AblationPoint
+	var rows []ablationCase
 	for _, c := range cases {
 		c := c
-		p := ablationBase(scale)
-		p.ShimTweak = func(cc *core.Config) {
-			cc.MergeBatch1 = c.merge
-			cc.GrowthEvery = c.every
-		}
-		r := RunDumbbell(SchemeHWatch, p)
-		out = append(out, point(c.label, r, 0))
+		rows = append(rows, ablationCase{
+			label: c.label,
+			prep: func(p *DumbbellParams) {
+				p.ShimTweak = func(cc *core.Config) {
+					cc.MergeBatch1 = c.merge
+					cc.GrowthEvery = c.every
+				}
+			},
+		})
 	}
-	return out
+	return runAblation(scale, rows)
 }
 
 // AblationPacing toggles the SYN-ACK token bucket.
@@ -152,20 +192,22 @@ func AblationPacing(scale float64) []AblationPoint {
 		{"pacing off", 0, 0},
 		{"pacing slow", 2, 200 * sim.Microsecond},
 	}
-	var out []AblationPoint
+	var rows []ablationCase
 	for _, c := range cases {
 		c := c
-		p := ablationBase(scale)
-		p.ShimTweak = func(cc *core.Config) {
-			cc.SynAckBurst = c.burst
-			if c.every > 0 {
-				cc.RefillEvery = c.every
-			}
-		}
-		r := RunDumbbell(SchemeHWatch, p)
-		out = append(out, point(c.label, r, 0))
+		rows = append(rows, ablationCase{
+			label: c.label,
+			prep: func(p *DumbbellParams) {
+				p.ShimTweak = func(cc *core.Config) {
+					cc.SynAckBurst = c.burst
+					if c.every > 0 {
+						cc.RefillEvery = c.every
+					}
+				}
+			},
+		})
 	}
-	return out
+	return runAblation(scale, rows)
 }
 
 // AblationGuestStacks quantifies requirement R3 (VM autonomy): HWatch must
@@ -188,14 +230,12 @@ func AblationGuestStacks(scale float64) []AblationPoint {
 		{"guest=newreno+delack", delack},
 		{"guest=cubic", cubic},
 	}
-	var out []AblationPoint
+	var rows []ablationCase
 	for _, c := range cases {
-		c := c
-		p := ablationBase(scale)
-		r := runHWatchWithGuest(p, c.cfg)
-		out = append(out, point(c.label, r, 0))
+		cfg := c.cfg
+		rows = append(rows, ablationCase{label: c.label, guest: &cfg})
 	}
-	return out
+	return runAblation(scale, rows)
 }
 
 // runHWatchWithGuest is RunDumbbell(SchemeHWatch, ...) with an explicit

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"hwatch/internal/harness"
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 	"hwatch/internal/stats"
@@ -55,12 +57,13 @@ func DefaultCoflow() CoflowParams {
 	}
 }
 
-// RunCoflow executes the study for the given schemes.
+// RunCoflow executes the study for the given schemes through the harness
+// pool; every scheme sees the same seed and hence the same job arrivals.
 func RunCoflow(schemes []Scheme, p CoflowParams) []CoflowResult {
-	var out []CoflowResult
-	for _, sc := range schemes {
-		out = append(out, runCoflowCell(sc, p))
-	}
+	out, _ := harness.Map(context.Background(), ParallelN(), schemes,
+		func(_ context.Context, sc Scheme) (CoflowResult, error) {
+			return runCoflowCell(sc, p), nil
+		})
 	return out
 }
 

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_digests.json from this run")
+
+const goldenPath = "testdata/golden_digests.json"
+
+// goldenRuns executes the small-scale Fig. 2 and Fig. 8 scenarios and
+// returns their digests keyed by figure/label.
+func goldenRuns() map[string]string {
+	got := map[string]string{}
+	f2 := Fig2(0.1)
+	got["fig2/dctcp"] = f2.DCTCP.DigestHex()
+	got["fig2/mix"] = f2.Mix.DigestHex()
+	got["fig2/mix+hwatch"] = f2.MixHWatch.DigestHex()
+	f8 := Fig8(0.1)
+	for _, s := range f8.Order {
+		got["fig8/"+strings.ToLower(s.String())] = f8.Runs[s].DigestHex()
+	}
+	return got
+}
+
+// TestGoldenDigests locks the small-scale Fig. 2 and Fig. 8 outcomes to
+// checked-in digests: any change to packet timing, AQM accounting, TCP
+// dynamics or the shim shows up here first. Regenerate deliberately with
+//
+//	go test ./internal/experiments -run TestGoldenDigests -args -update
+func TestGoldenDigests(t *testing.T) {
+	got := goldenRuns()
+
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d digests", goldenPath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden digests (regenerate with -args -update): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, run produced %d", len(want), len(got))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok {
+			t.Errorf("%s: missing from run", k)
+		} else if g != w {
+			t.Errorf("%s: digest %s, golden %s", k, g, w)
+		}
+	}
+
+	// Same seed twice => identical digests, independent of golden state.
+	again := goldenRuns()
+	for k, g := range got {
+		if again[k] != g {
+			t.Errorf("%s: rerun digest %s != first run %s — nondeterminism", k, again[k], g)
+		}
+	}
+}
+
+// TestDigestParallelInvariance proves the determinism contract the harness
+// documents: the worker count must never leak into results.
+func TestDigestParallelInvariance(t *testing.T) {
+	SetParallel(1)
+	one := Fig8(0.1)
+	SetParallel(8)
+	eight := Fig8(0.1)
+	SetParallel(0)
+	for _, s := range one.Order {
+		a, b := one.Runs[s].DigestHex(), eight.Runs[s].DigestHex()
+		if a != b {
+			t.Errorf("%v: digest %s at -parallel 1, %s at -parallel 8", s, a, b)
+		}
+	}
+}
+
+// TestRunWithInvariantChecks runs every scheme with the checker armed: a
+// sound simulator reports nothing, and the runs carry execution metadata.
+func TestRunWithInvariantChecks(t *testing.T) {
+	for _, sc := range AllSchemes() {
+		p := scaled(PaperDumbbell(25, 25), 0.1)
+		p.ByteBuffers = true
+		p.Check = true
+		r := RunDumbbell(sc, p)
+		for _, v := range r.InvariantViolations {
+			t.Errorf("%v: %s", sc, v)
+		}
+		if r.Events == 0 {
+			t.Errorf("%v: run executed zero events", sc)
+		}
+	}
+
+	tp := PaperTestbed()
+	tp.LongPerRack = 2
+	tp.WebServers = 1
+	tp.WebClients = 1
+	tp.Parallel = 2
+	tp.Epochs = 1
+	tp.Duration = tp.FirstEpoch + tp.EpochInterval
+	tp.Check = true
+	for _, hwatch := range []bool{false, true} {
+		r := RunTestbed(hwatch, tp)
+		for _, v := range r.InvariantViolations {
+			t.Errorf("testbed hwatch=%v: %s", hwatch, v)
+		}
+		if r.Events == 0 {
+			t.Errorf("testbed hwatch=%v: zero events", hwatch)
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"hwatch/internal/harness"
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 	"hwatch/internal/stats"
@@ -61,19 +63,30 @@ func DefaultEmpirical() EmpiricalParams {
 	}
 }
 
-// RunEmpirical executes the study for the given schemes.
+// RunEmpirical executes the study for the given schemes through the
+// harness pool. Cells at one load level share a load-derived seed, so the
+// schemes compare against identical arrival processes.
 func RunEmpirical(schemes []Scheme, p EmpiricalParams) []EmpiricalResult {
-	var out []EmpiricalResult
+	type cell struct {
+		sc   Scheme
+		load float64
+	}
+	var cells []cell
 	for _, load := range p.Loads {
 		for _, sc := range schemes {
-			out = append(out, runEmpiricalCell(sc, load, p))
+			cells = append(cells, cell{sc, load})
 		}
 	}
+	out, _ := harness.Map(context.Background(), ParallelN(), cells,
+		func(_ context.Context, c cell) (EmpiricalResult, error) {
+			seed := harness.SeedFor(fmt.Sprintf("empirical/load=%g", c.load), p.Seed)
+			return runEmpiricalCell(c.sc, c.load, p, seed), nil
+		})
 	return out
 }
 
-func runEmpiricalCell(sc Scheme, load float64, p EmpiricalParams) EmpiricalResult {
-	rng := sim.NewRNG(p.Seed)
+func runEmpiricalCell(sc Scheme, load float64, p EmpiricalParams, seed int64) EmpiricalResult {
+	rng := sim.NewRNG(seed)
 	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
 	baseRTT := 4 * p.LinkDelay
 	markK := int(float64(p.BufferPkts) * p.MarkFrac)

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"hwatch/internal/harness"
+)
+
+// Package-level execution knobs for the figure/sweep entry points, which
+// keep their historical signatures (Fig8(scale) etc.) and therefore cannot
+// take a parallelism argument per call. CLIs set these from -parallel and
+// -check before running.
+var (
+	parallelN    atomic.Int64
+	invariantsOn atomic.Bool
+)
+
+// SetParallel bounds how many scenario runs execute concurrently across
+// every figure, ablation and sweep (n <= 0 restores the default,
+// GOMAXPROCS). Parallelism never affects results: each run owns its engine
+// and seeded RNG.
+func SetParallel(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelN.Store(int64(n))
+}
+
+// ParallelN returns the configured run parallelism.
+func ParallelN() int {
+	if n := int(parallelN.Load()); n > 0 {
+		return n
+	}
+	return harness.DefaultParallel()
+}
+
+// SetInvariantChecks enables the physical-invariant checker (packet
+// conservation, sequence monotonicity, window floors) on every subsequent
+// run, regardless of the per-run Check flag.
+func SetInvariantChecks(on bool) { invariantsOn.Store(on) }
+
+// InvariantChecksOn reports the package-wide checker default.
+func InvariantChecksOn() bool { return invariantsOn.Load() }

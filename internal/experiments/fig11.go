@@ -1,10 +1,12 @@
 package experiments
 
 import (
-	"sync"
+	"context"
+	"time"
 
 	"hwatch/internal/aqm"
 	"hwatch/internal/core"
+	"hwatch/internal/harness"
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 	"hwatch/internal/stats"
@@ -42,6 +44,10 @@ type TestbedParams struct {
 	HWatchMinRTO int64
 	SampleEvery  int64
 	Seed         int64
+
+	// Check enables the physical-invariant checker for this run; findings
+	// land in Run.InvariantViolations.
+	Check bool
 }
 
 // PaperTestbed returns the paper's counts at a time-compressed scale: the
@@ -96,19 +102,18 @@ func Fig11(scale float64) *Fig11Result {
 		p.Duration = p.FirstEpoch + int64(p.Epochs)*p.EpochInterval
 	}
 	res := &Fig11Result{}
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
+	pool := harness.NewPool(context.Background(), ParallelN())
+	pool.Go("fig11/tcp", func(context.Context) error {
 		res.TCP = RunTestbed(false, p)
 		res.TCP.Label = "TCP"
-	}()
-	go func() {
-		defer wg.Done()
+		return nil
+	})
+	pool.Go("fig11/hwatch", func(context.Context) error {
 		res.HWatch = RunTestbed(true, p)
 		res.HWatch.Label = "TCP-HWatch"
-	}()
-	wg.Wait()
+		return nil
+	})
+	pool.Wait()
 	return res
 }
 
@@ -225,7 +230,21 @@ func RunTestbed(hwatch bool, p TestbedParams) *Run {
 	}
 	eng.Schedule(0, sample)
 
+	var chk *harness.Checker
+	if p.Check || InvariantChecksOn() {
+		chk = harness.NewChecker(eng, p.SampleEvery)
+		chk.WatchPort("spine-down", bport, bq)
+		chk.WatchSenders(func() []*tcp.Sender {
+			out := append([]*tcp.Sender(nil), longSenders...)
+			return append(out, web.Senders...)
+		})
+		chk.Start()
+	}
+
+	start := time.Now()
 	eng.RunUntil(p.Duration)
+	run.WallNs = time.Since(start).Nanoseconds()
+	run.Events = eng.Processed
 
 	for _, r := range longRecv {
 		run.LongGoodputBps.Add(float64(r.Delivered()) * 8 / (float64(p.Duration) / float64(sim.Second)))
@@ -246,5 +265,6 @@ func RunTestbed(hwatch bool, p TestbedParams) *Run {
 		run.Drops = st.Dropped + st.EarlyDrop
 		run.Marks = st.Marked
 	}
+	harvestChecker(chk, run)
 	return run
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
-	"sync"
+	"time"
 
 	"hwatch/internal/core"
+	"hwatch/internal/harness"
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 	"hwatch/internal/tcp"
@@ -22,24 +24,18 @@ type Fig1Result struct {
 func Fig1(scale float64) *Fig1Result {
 	icws := []int{1, 5, 10, 15, 20}
 	out := &Fig1Result{ICWs: icws, Runs: make(map[int]*Run)}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for _, icw := range icws {
-		icw := icw
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	runs, _ := harness.Map(context.Background(), ParallelN(), icws,
+		func(_ context.Context, icw int) (*Run, error) {
 			p := scaled(PaperDumbbell(25, 25), scale)
 			p.ICW = icw
 			p.Seed = 42 // identical traffic across ICW values
 			r := RunDumbbell(SchemeDCTCP, p)
 			r.Label = schemeICWLabel(icw)
-			mu.Lock()
-			out.Runs[icw] = r
-			mu.Unlock()
-		}()
+			return r, nil
+		})
+	for i, icw := range icws {
+		out.Runs[icw] = runs[i]
 	}
-	wg.Wait()
 	return out
 }
 
@@ -65,24 +61,23 @@ type Fig2Result struct {
 func Fig2(scale float64) *Fig2Result {
 	p := scaled(PaperDumbbell(25, 25), scale)
 	res := &Fig2Result{}
-	var wg sync.WaitGroup
-	wg.Add(3)
-	go func() {
-		defer wg.Done()
+	pool := harness.NewPool(context.Background(), ParallelN())
+	pool.Go("fig2/dctcp", func(context.Context) error {
 		res.DCTCP = RunDumbbell(SchemeDCTCP, p)
 		res.DCTCP.Label = "DCTCP"
-	}()
-	go func() {
-		defer wg.Done()
+		return nil
+	})
+	pool.Go("fig2/mix", func(context.Context) error {
 		res.Mix = runMix(p, false)
 		res.Mix.Label = "MIX"
-	}()
-	go func() {
-		defer wg.Done()
+		return nil
+	})
+	pool.Go("fig2/mix+hwatch", func(context.Context) error {
 		res.MixHWatch = runMix(p, true)
 		res.MixHWatch.Label = "MIX+HWatch"
-	}()
-	wg.Wait()
+		return nil
+	})
+	pool.Wait()
 	return res
 }
 
@@ -158,26 +153,19 @@ func Fig9(scale float64) *Fig8Result {
 	return figScheme(50, 50, scale)
 }
 
-// figScheme runs the four schemes concurrently; every run owns its engine
-// and seeded RNG, so parallelism does not affect determinism.
+// figScheme runs the four schemes through the harness pool; every run owns
+// its engine and seeded RNG, so parallelism does not affect determinism.
 func figScheme(longN, shortN int, scale float64) *Fig8Result {
 	out := &Fig8Result{Order: AllSchemes(), Runs: make(map[Scheme]*Run)}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for _, s := range out.Order {
-		s := s
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+	runs, _ := harness.Map(context.Background(), ParallelN(), out.Order,
+		func(_ context.Context, s Scheme) (*Run, error) {
 			p := scaled(PaperDumbbell(longN, shortN), scale)
 			p.ByteBuffers = true // Fig. 8c/9c report queue occupancy in bytes
-			r := RunDumbbell(s, p)
-			mu.Lock()
-			out.Runs[s] = r
-			mu.Unlock()
-		}()
+			return RunDumbbell(s, p), nil
+		})
+	for i, s := range out.Order {
+		out.Runs[s] = runs[i]
 	}
-	wg.Wait()
 	return out
 }
 
@@ -228,6 +216,11 @@ func runCustom(run *Run, setup schemeSetup, p DumbbellParams, rng *sim.RNG,
 	}
 	cfgFor := func(h *netem.Host) tcp.Config { return flavourFor(idx[h.ID], h) }
 	res := newDumbbellHarness(d, cfgFor, p, rng, run)
+	chk := newDumbbellChecker(p, d, res)
+	start := time.Now()
 	d.Net.Eng.RunUntil(p.Duration)
+	run.WallNs = time.Since(start).Nanoseconds()
+	run.Events = d.Net.Eng.Processed
 	res.finish(p, run)
+	harvestChecker(chk, run)
 }

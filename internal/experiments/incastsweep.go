@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"hwatch/internal/harness"
 	"hwatch/internal/sim"
 	"hwatch/internal/stats"
 )
@@ -50,28 +52,39 @@ func DefaultIncastSweep() IncastSweepParams {
 	}
 }
 
-// RunIncastSweep executes the sweep for the given schemes.
+// RunIncastSweep executes the sweep for the given schemes through the
+// harness pool. Every (scheme, degree) cell derives its seed from the
+// degree alone, so the schemes at one degree see identical traffic while
+// distinct degrees draw independent randomness.
 func RunIncastSweep(schemes []Scheme, p IncastSweepParams) []IncastPoint {
-	var out []IncastPoint
+	type cell struct {
+		sc  Scheme
+		deg int
+	}
+	var cells []cell
 	for _, sc := range schemes {
 		for _, deg := range p.Degrees {
-			dp := PaperDumbbell(p.LongSources, deg)
+			cells = append(cells, cell{sc, deg})
+		}
+	}
+	out, _ := harness.Map(context.Background(), ParallelN(), cells,
+		func(_ context.Context, c cell) (IncastPoint, error) {
+			dp := PaperDumbbell(p.LongSources, c.deg)
 			dp.ByteBuffers = true
 			dp.ShortSize = p.FlowSize
 			dp.Epochs = p.Epochs
 			dp.Duration = p.Duration
-			dp.Seed = p.Seed
-			r := RunDumbbell(sc, dp)
-			out = append(out, IncastPoint{
-				Scheme:   sc,
-				Degree:   deg,
+			dp.Seed = harness.SeedFor(fmt.Sprintf("incast/deg=%d", c.deg), p.Seed)
+			r := RunDumbbell(c.sc, dp)
+			return IncastPoint{
+				Scheme:   c.sc,
+				Degree:   c.deg,
 				FCTms:    r.ShortFCTms,
 				Drops:    r.Drops,
 				Timeouts: r.Timeouts,
 				Done:     r.ShortDone,
 				All:      r.ShortAll,
-			})
-		}
-	}
+			}, nil
+		})
 	return out
 }

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"hwatch/internal/aqm"
 	"hwatch/internal/core"
+	"hwatch/internal/harness"
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 	"hwatch/internal/stats"
@@ -40,6 +42,11 @@ type DumbbellParams struct {
 
 	SampleEvery int64 // queue/utilization sampling period
 	Seed        int64
+
+	// Check enables the physical-invariant checker for this run (packet
+	// conservation at the bottleneck, sequence monotonicity, window
+	// floors); violations land in Run.InvariantViolations.
+	Check bool
 
 	// ShimTweak, when non-nil, adjusts the HWatch configuration after the
 	// defaults are applied (ablation studies).
@@ -103,7 +110,45 @@ type Run struct {
 	ShortAll  int
 
 	ShimStats *core.Stats // aggregate over all hosts (HWatch runs only)
+
+	// Execution metadata. WallNs and Events describe the machine that ran
+	// the scenario, not the scenario itself, so Digest excludes them.
+	WallNs int64  // wall-clock time spent inside the event loop
+	Events uint64 // simulator events executed
+
+	// InvariantViolations holds the checker's findings when checking was
+	// enabled (DumbbellParams.Check / TestbedParams.Check or
+	// SetInvariantChecks); empty on a sound run.
+	InvariantViolations []string
 }
+
+// Digest folds the run's complete observable outcome — every queue and
+// utilization sample, every FCT, retransmit and per-source statistic, the
+// drop/mark/timeout totals — into one FNV-64 value. Two runs of the same
+// spec and seed digest identically at any parallelism; timing metadata is
+// deliberately excluded.
+func (r *Run) Digest() uint64 {
+	d := harness.NewDigest()
+	d.String(r.Label)
+	d.Floats(r.ShortFCTms.Values())
+	d.Floats(r.PerSourceAvgMs.Values())
+	d.Floats(r.PerSourceVarMs.Values())
+	d.Floats(r.ShortRetrans.Values())
+	d.Floats(r.LongGoodputBps.Values())
+	d.Float64(r.LongFairness)
+	d.Series(r.QueuePkts.T, r.QueuePkts.V)
+	d.Series(r.QueueBytes.T, r.QueueBytes.V)
+	d.Series(r.Utilization.T, r.Utilization.V)
+	d.Int64(r.Drops)
+	d.Int64(r.Marks)
+	d.Int64(r.Timeouts)
+	d.Int(r.ShortDone)
+	d.Int(r.ShortAll)
+	return d.Sum()
+}
+
+// DigestHex renders Digest the way golden files and -digest output print it.
+func (r *Run) DigestHex() string { return fmt.Sprintf("%016x", r.Digest()) }
 
 // Summary renders the run's headline numbers in one line.
 func (r *Run) Summary() string {
@@ -146,8 +191,13 @@ func RunDumbbell(scheme Scheme, p DumbbellParams) *Run {
 	run := &Run{Label: scheme.String()}
 	cfgFor := func(*netem.Host) tcp.Config { return setup.tcpConfig }
 	res := newDumbbellHarness(d, cfgFor, p, rng, run)
+	chk := newDumbbellChecker(p, d, res)
+	start := time.Now()
 	eng.RunUntil(p.Duration)
+	run.WallNs = time.Since(start).Nanoseconds()
+	run.Events = eng.Processed
 	res.finish(p, run)
+	harvestChecker(chk, run)
 
 	if len(shims) > 0 {
 		agg := core.Stats{}
@@ -298,5 +348,37 @@ func (h *dumbbellHarness) finish(p DumbbellParams, run *Run) {
 		st := qs.Stats()
 		run.Drops = st.Dropped + st.EarlyDrop
 		run.Marks = st.Marked
+	}
+}
+
+// newDumbbellChecker wires the opt-in invariant checker onto a dumbbell
+// run: packet conservation at the bottleneck port and sequence/window
+// sanity on every TCP sender the workloads create (the incast's senders
+// appear over time, hence the dynamic callback). Returns nil when checking
+// is off.
+func newDumbbellChecker(p DumbbellParams, d *topo.Dumbbell, h *dumbbellHarness) *harness.Checker {
+	if !p.Check && !InvariantChecksOn() {
+		return nil
+	}
+	c := harness.NewChecker(d.Net.Eng, p.SampleEvery)
+	c.WatchPort("bottleneck", d.BottleneckPort, d.Bottleneck)
+	c.WatchSenders(func() []*tcp.Sender {
+		out := append([]*tcp.Sender(nil), h.longTx...)
+		if h.incast != nil {
+			out = append(out, h.incast.Senders...)
+		}
+		return out
+	})
+	c.Start()
+	return c
+}
+
+// harvestChecker moves the checker's findings into the run.
+func harvestChecker(c *harness.Checker, run *Run) {
+	if c == nil {
+		return
+	}
+	for _, v := range c.Finish() {
+		run.InvariantViolations = append(run.InvariantViolations, v.String())
 	}
 }

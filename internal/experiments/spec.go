@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"hwatch/internal/harness"
 	"hwatch/internal/sim"
 )
 
@@ -37,6 +38,22 @@ type Spec struct {
 	Racks        int `json:"racks,omitempty"`
 	HostsPerRack int `json:"hosts_per_rack,omitempty"`
 	Parallel     int `json:"parallel,omitempty"`
+
+	// Check enables the physical-invariant checker for the run.
+	Check bool `json:"check,omitempty"`
+}
+
+// identity is the canonical string hashed into derived seeds when the spec
+// names none. Check is observability, not scenario, so it is excluded —
+// checking a run must not move its seed.
+func (s *Spec) identity() string {
+	c := *s
+	c.Check = false
+	b, err := json.Marshal(&c)
+	if err != nil {
+		return s.Kind + "/" + s.Scheme
+	}
+	return string(b)
 }
 
 // LoadSpec reads and validates a Spec from a JSON file.
@@ -141,7 +158,13 @@ func (s *Spec) dumbbellParams() DumbbellParams {
 	}
 	if s.Seed != 0 {
 		p.Seed = s.Seed
+	} else {
+		// No explicit seed: derive one from the spec itself, so distinct
+		// scenarios draw independent randomness while the same file always
+		// reruns identically.
+		p.Seed = harness.SeedFor(s.identity(), p.Seed)
 	}
+	p.Check = s.Check
 	return p
 }
 
@@ -172,7 +195,10 @@ func (s *Spec) testbedParams() TestbedParams {
 	}
 	if s.Seed != 0 {
 		p.Seed = s.Seed
+	} else {
+		p.Seed = harness.SeedFor(s.identity(), p.Seed)
 	}
+	p.Check = s.Check
 	return p
 }
 

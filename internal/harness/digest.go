@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+)
+
+// Digest folds a run's observable outcome — every queue sample, flow
+// completion time, retransmit count, totals — into one FNV-64a hash, so
+// two runs of the same spec can be compared byte-for-byte without
+// retaining either run's series. Fold order matters and is fixed by the
+// caller; the experiment packages fold fields in struct order.
+type Digest struct {
+	h uint64
+}
+
+// NewDigest returns an empty digest (FNV-64a offset basis).
+func NewDigest() *Digest { return &Digest{h: fnvOffset64} }
+
+// Uint64 folds one 64-bit word, little-endian byte by byte.
+func (d *Digest) Uint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		d.h ^= v & 0xff
+		d.h *= fnvPrime64
+		v >>= 8
+	}
+}
+
+// Int64 folds a signed word.
+func (d *Digest) Int64(v int64) { d.Uint64(uint64(v)) }
+
+// Int folds an int.
+func (d *Digest) Int(v int) { d.Uint64(uint64(int64(v))) }
+
+// Float64 folds the IEEE-754 bit pattern, so digests compare exact bits,
+// not printed approximations.
+func (d *Digest) Float64(v float64) { d.Uint64(math.Float64bits(v)) }
+
+// Floats folds a whole series in order.
+func (d *Digest) Floats(vs []float64) {
+	d.Int(len(vs))
+	for _, v := range vs {
+		d.Float64(v)
+	}
+}
+
+// Series folds a timestamped series in order.
+func (d *Digest) Series(t []int64, v []float64) {
+	d.Int(len(t))
+	for i := range t {
+		d.Int64(t[i])
+		d.Float64(v[i])
+	}
+}
+
+// String folds a label (length-prefixed, so "ab"+"c" != "a"+"bc").
+func (d *Digest) String(s string) {
+	d.Int(len(s))
+	for i := 0; i < len(s); i++ {
+		d.h ^= uint64(s[i])
+		d.h *= fnvPrime64
+	}
+}
+
+// Sum returns the folded hash.
+func (d *Digest) Sum() uint64 { return d.h }
+
+// Hex renders the hash the way golden files and CLIs print it.
+func (d *Digest) Hex() string { return fmt.Sprintf("%016x", d.h) }

@@ -26,15 +26,26 @@ type Event struct {
 	Time int64 // absolute firing time, ns
 	seq  uint64
 	fn   func()
+	eng  *Engine
 	idx  int // heap index, -1 once removed
 }
 
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.fn == nil }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() { e.fn = nil }
+// Cancel prevents the event from firing and removes it from the queue
+// immediately, so a cancelled long-lived timer does not linger until its
+// fire time (Pending stays accurate and memory is released eagerly).
+// Cancelling an already-fired or already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e.fn == nil {
+		return
+	}
+	e.fn = nil
+	if e.eng != nil && e.idx >= 0 {
+		heap.Remove(&e.eng.pq, e.idx)
+	}
+}
 
 // Engine is a discrete-event scheduler.
 //
@@ -73,7 +84,7 @@ func (e *Engine) At(t int64, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event func")
 	}
-	ev := &Event{Time: t, seq: e.seq, fn: fn}
+	ev := &Event{Time: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.pq, ev)
 	return ev
@@ -86,8 +97,8 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet discarded).
+// Pending returns the number of events still queued. Cancelled events are
+// removed eagerly, so they never inflate the count.
 func (e *Engine) Pending() int { return len(e.pq) }
 
 // Stop makes Run and RunUntil return after the current event completes.

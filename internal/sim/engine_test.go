@@ -57,6 +57,90 @@ func TestCancel(t *testing.T) {
 	e.Cancel(nil)
 }
 
+func TestCancelRemovesEagerly(t *testing.T) {
+	e := New()
+	ev := e.Schedule(1000, func() {})
+	keep := e.Schedule(2000, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	ev.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancel, want 1 (eager removal)", e.Pending())
+	}
+	// Double-cancel stays a no-op and must not disturb the survivor.
+	ev.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after double cancel, want 1", e.Pending())
+	}
+	e.Run()
+	if keep.Cancelled() != true { // fired events read as cancelled
+		t.Fatal("surviving event did not fire")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after Run, want 0", e.Pending())
+	}
+	// Long-lived timers must not leak queue slots: arm/cancel many times.
+	for i := 0; i < 10000; i++ {
+		e.Schedule(1<<40, func() {}).Cancel()
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after arm/cancel churn, want 0", e.Pending())
+	}
+}
+
+// Table-driven determinism check: an interleaved mix of Schedule, At and
+// Cancel operations — many landing on identical timestamps — must fire in
+// the same order every time, for several operation-mix seeds.
+func TestDeterministicOrderUnderCancel(t *testing.T) {
+	cases := []struct {
+		name string
+		seed int64
+		ops  int
+	}{
+		{"seed1", 1, 300},
+		{"seed7", 7, 500},
+		{"seed42", 42, 800},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			trial := func() []int {
+				rng := rand.New(rand.NewSource(tc.seed))
+				e := New()
+				var order []int
+				var evs []*Event
+				for i := 0; i < tc.ops; i++ {
+					id := i
+					// Coarse time grid so many events collide on the
+					// same instant and FIFO tie-breaking is exercised.
+					at := int64(rng.Intn(16)) * 10
+					switch rng.Intn(4) {
+					case 0, 1:
+						evs = append(evs, e.Schedule(at, func() { order = append(order, id) }))
+					case 2:
+						evs = append(evs, e.At(at, func() { order = append(order, id) }))
+					case 3:
+						if len(evs) > 0 {
+							evs[rng.Intn(len(evs))].Cancel()
+						}
+					}
+				}
+				e.Run()
+				return order
+			}
+			a, b := trial(), trial()
+			if len(a) != len(b) {
+				t.Fatalf("fired %d vs %d events across identical trials", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("firing order diverged at %d: %d vs %d", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
 func TestRunUntilAdvancesClock(t *testing.T) {
 	e := New()
 	e.Schedule(100, func() {})

@@ -119,6 +119,19 @@ func (s *Sender) State() string { return s.state.String() }
 // Cwnd returns the congestion window in bytes.
 func (s *Sender) Cwnd() float64 { return s.cwnd }
 
+// SndUna returns the lowest unacknowledged sequence number.
+func (s *Sender) SndUna() int64 { return s.sndUna }
+
+// SndNxt returns the next sequence number to transmit.
+func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
+// MSS returns the configured segment payload size in bytes.
+func (s *Sender) MSS() int { return s.cfg.MSS }
+
+// Established reports whether the handshake completed and the connection
+// has not yet finished.
+func (s *Sender) Established() bool { return s.state == stateEstablished }
+
 // PeerRwnd returns the last advertised peer window in bytes.
 func (s *Sender) PeerRwnd() int64 { return s.peerRwnd }
 
