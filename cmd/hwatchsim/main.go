@@ -7,6 +7,7 @@
 //	hwatchsim -exp fig9 -scale 0.5       # half-scale quick run
 //	hwatchsim -exp fig1 -out out/        # also dump CSV series per run
 //	hwatchsim -exp scheme -scheme hwatch -long 25 -short 25
+//	hwatchsim -list-schemes              # every registered scheme name
 package main
 
 import (
@@ -23,22 +24,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hwatchsim: ")
 	var (
-		exp    = flag.String("exp", "fig8", "experiment: fig1|fig2|fig8|fig9|fig11|scheme|spec")
-		spec   = flag.String("spec", "", "JSON scenario file (with -exp spec)")
-		scale  = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1.0 = paper scale")
-		outDir = flag.String("out", "", "directory for per-run CSV series (optional)")
-		scheme = flag.String("scheme", "hwatch", "for -exp scheme: droptail|red|dctcp|hwatch")
-		longN  = flag.Int("long", 25, "for -exp scheme: long-lived sources")
-		shortN = flag.Int("short", 25, "for -exp scheme: short-lived sources")
-		seed     = flag.Int64("seed", 42, "scenario seed")
-		asJSON   = flag.Bool("json", false, "emit run summaries as JSON")
-		parallel = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
-		check    = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
-		digest   = flag.Bool("digest", false, "print only '<digest> <label>' per run (for CI diffing)")
+		exp         = flag.String("exp", "fig8", "experiment: fig1|fig2|fig8|fig9|fig11|scheme|spec")
+		spec        = flag.String("spec", "", "JSON scenario file (with -exp spec)")
+		scale       = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1.0 = paper scale")
+		outDir      = flag.String("out", "", "directory for per-run CSV series (optional)")
+		scheme      = flag.String("scheme", "hwatch", "for -exp scheme: a registered scheme name (see -list-schemes)")
+		longN       = flag.Int("long", 25, "for -exp scheme: long-lived sources")
+		shortN      = flag.Int("short", 25, "for -exp scheme: short-lived sources")
+		seed        = flag.Int64("seed", 42, "scenario seed")
+		asJSON      = flag.Bool("json", false, "emit run summaries as JSON")
+		parallel    = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		check       = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
+		digest      = flag.Bool("digest", false, "print only '<digest> <label>' per run (for CI diffing)")
+		listSchemes = flag.Bool("list-schemes", false, "list every registered scheme and exit")
 	)
 	flag.Parse()
 	hwatch.SetParallel(*parallel)
 	hwatch.SetInvariantChecks(*check)
+
+	if *listSchemes {
+		for _, def := range hwatch.Schemes() {
+			fmt.Printf("%-12s %-16s %s\n", def.Name, def.Label, def.Description)
+		}
+		return
+	}
 
 	var runs []*hwatch.Run
 	switch *exp {
@@ -64,14 +73,15 @@ func main() {
 		res := hwatch.Fig11(*scale)
 		runs = []*hwatch.Run{res.TCP, res.HWatch}
 	case "scheme":
-		s, err := parseScheme(*scheme)
-		if err != nil {
-			log.Fatal(err)
+		name := strings.ToLower(*scheme)
+		if _, ok := hwatch.LookupScheme(name); !ok {
+			log.Fatalf("unknown scheme %q: registered schemes are %s",
+				*scheme, strings.Join(hwatch.SchemeNames(), ", "))
 		}
 		p := hwatch.PaperDumbbell(*longN, *shortN)
 		p.Seed = *seed
 		p.ByteBuffers = true
-		runs = []*hwatch.Run{hwatch.RunDumbbell(s, p)}
+		runs = []*hwatch.Run{hwatch.RunDumbbell(hwatch.Scheme(name), p)}
 	case "spec":
 		if *spec == "" {
 			log.Fatal("-exp spec requires -spec file.json")
@@ -130,20 +140,6 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "CSV series written to %s\n", *outDir)
 	}
-}
-
-func parseScheme(s string) (hwatch.Scheme, error) {
-	switch strings.ToLower(s) {
-	case "droptail":
-		return hwatch.DropTail, nil
-	case "red":
-		return hwatch.RED, nil
-	case "dctcp":
-		return hwatch.DCTCP, nil
-	case "hwatch":
-		return hwatch.HWatch, nil
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s)
 }
 
 func sanitize(s string) string {

@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"hwatch"
 )
@@ -18,15 +19,29 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
 		parallel = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
 		check    = flag.Bool("check", false, "run the physical-invariant checker on every cell")
+		schemes  = flag.String("schemes", "", "comma-separated registered scheme names for the extension studies (default: the paper's four)")
 	)
 	flag.Parse()
 	hwatch.SetParallel(*parallel)
 	hwatch.SetInvariantChecks(*check)
 
+	set := hwatch.AllSchemes()
+	if *schemes != "" {
+		set = nil
+		for _, name := range strings.Split(*schemes, ",") {
+			name = strings.ToLower(strings.TrimSpace(name))
+			if _, ok := hwatch.LookupScheme(name); !ok {
+				log.Fatalf("unknown scheme %q: registered schemes are %s",
+					name, strings.Join(hwatch.SchemeNames(), ", "))
+			}
+			set = append(set, hwatch.Scheme(name))
+		}
+	}
+
 	if *what == "empirical" || *what == "all" {
 		fmt.Println("\n== empirical — web-search Poisson workload (extension) ==")
 		p := hwatch.DefaultEmpirical()
-		for _, r := range hwatch.RunEmpirical(hwatch.AllSchemes(), p) {
+		for _, r := range hwatch.RunEmpirical(set, p) {
 			fmt.Println(r)
 		}
 		if *what == "empirical" {
@@ -35,7 +50,7 @@ func main() {
 	}
 	if *what == "coflow" || *what == "all" {
 		fmt.Println("\n== coflow — job completion times, 16-wide jobs (extension) ==")
-		for _, r := range hwatch.RunCoflow(hwatch.AllSchemes(), hwatch.DefaultCoflow()) {
+		for _, r := range hwatch.RunCoflow(set, hwatch.DefaultCoflow()) {
 			fmt.Println(r)
 		}
 		if *what == "coflow" {
@@ -44,7 +59,7 @@ func main() {
 	}
 	if *what == "incast" || *what == "all" {
 		fmt.Println("\n== incast — latency cliff vs synchronized senders (extension) ==")
-		for _, r := range hwatch.RunIncastSweep(hwatch.AllSchemes(), hwatch.DefaultIncastSweep()) {
+		for _, r := range hwatch.RunIncastSweep(set, hwatch.DefaultIncastSweep()) {
 			fmt.Println(r)
 		}
 		if *what == "incast" {

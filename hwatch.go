@@ -26,6 +26,7 @@ import (
 	"hwatch/internal/core"
 	"hwatch/internal/experiments"
 	"hwatch/internal/harness"
+	"hwatch/internal/scenario"
 	"hwatch/internal/stats"
 	"hwatch/internal/tcp"
 )
@@ -48,7 +49,9 @@ func SetInvariantChecks(on bool) { experiments.SetInvariantChecks(on) }
 // splitmix64 step).
 func SeedFor(spec string, base int64) int64 { return harness.SeedFor(spec, base) }
 
-// Scheme identifies one of the systems the paper compares.
+// Scheme names one of the registered end-to-end systems. The value is
+// the registry key ("dctcp", "hwatch", ...); String renders the display
+// label the figures print.
 type Scheme = experiments.Scheme
 
 // The paper's four schemes (Figs. 8-9).
@@ -59,8 +62,60 @@ const (
 	HWatch   = experiments.SchemeHWatch
 )
 
+// Extension schemes registered out of the box.
+const (
+	CubicRED  = scenario.CubicRED
+	DCTCPSack = scenario.DCTCPSack
+	HWatchOvS = scenario.HWatchOvS
+	RenoECN   = scenario.RenoECN
+	RenoDeaf  = scenario.RenoDeaf
+)
+
 // AllSchemes lists the comparison set in the paper's order.
 func AllSchemes() []Scheme { return experiments.AllSchemes() }
+
+// SchemeDef is one registered scheme: display label plus factories for
+// the guest stack, the bottleneck queue discipline and an optional
+// hypervisor-shim deployment.
+type SchemeDef = scenario.Definition
+
+// SchemeEnv carries the fabric-level quantities a scheme definition may
+// need (buffer sizes, mean packet time, base RTT, run RNG and clock).
+type SchemeEnv = scenario.Env
+
+// ShimDeployment installs a scheme's hypervisor shims on a scenario's
+// hosts and returns them for stats aggregation.
+type ShimDeployment = scenario.Deployment
+
+// RegisterScheme adds a scheme definition to the registry; it becomes
+// available to RunDumbbell, JSON specs and cmd/hwatchsim -scheme without
+// touching any figure code. Panics on duplicate or invalid definitions.
+func RegisterScheme(def SchemeDef) { scenario.Register(def) }
+
+// SchemeNames lists every registered scheme name, sorted.
+func SchemeNames() []string { return scenario.Names() }
+
+// Schemes lists every registered scheme definition, sorted by name.
+func Schemes() []SchemeDef { return scenario.Definitions() }
+
+// LookupScheme returns the definition registered under name.
+func LookupScheme(name string) (SchemeDef, bool) { return scenario.Lookup(name) }
+
+// Scenario is the declarative description the unified run path executes:
+// a topology kind, one or more registered schemes (more than one = mixed
+// tenancy), a workload and observers. The figure entry points are thin
+// wrappers over it.
+type Scenario = scenario.Spec
+
+// SchemeShare assigns a scheme a relative host share in a mixed-tenancy
+// Scenario.
+type SchemeShare = scenario.Share
+
+// Scenario topology kinds.
+const (
+	KindDumbbell = scenario.KindDumbbell
+	KindTestbed  = scenario.KindTestbed
+)
 
 // Run is one scenario's measured outcome: the exact series the paper's
 // figures plot (FCT CDFs, goodput CDFs, queue and utilization time series)

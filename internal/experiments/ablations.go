@@ -6,7 +6,7 @@ import (
 
 	"hwatch/internal/core"
 	"hwatch/internal/harness"
-	"hwatch/internal/netem"
+	"hwatch/internal/scenario"
 	"hwatch/internal/sim"
 	"hwatch/internal/tcp"
 )
@@ -239,24 +239,21 @@ func AblationGuestStacks(scale float64) []AblationPoint {
 }
 
 // runHWatchWithGuest is RunDumbbell(SchemeHWatch, ...) with an explicit
-// guest stack configuration instead of the scheme's default.
+// guest stack configuration instead of the scheme's default. The shims
+// keep the scheme's default guest view, as a hypervisor module would: it
+// cannot know what stack the tenant boots.
 func runHWatchWithGuest(p DumbbellParams, guest tcp.Config) *Run {
-	rng := sim.NewRNG(p.Seed)
-	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
-	baseRTT := 4 * p.LinkDelay
-	markK := int(float64(p.BufferPkts) * p.MarkFrac)
-	var eng func() int64
-	clock := func() int64 {
-		if eng == nil {
-			return 0
-		}
-		return eng()
+	p.ByteBuffers = true
+	spec := &scenario.Spec{
+		Kind:     scenario.KindDumbbell,
+		Schemes:  []scenario.Share{{Scheme: scenario.HWatch}},
+		Label:    "TCP-HWATCH/" + guest.Variant.String(),
+		Guest:    &guest,
+		Dumbbell: p,
 	}
-	setup := buildSchemeTweaked(SchemeHWatch, p.BufferPkts, markK, meanPkt, baseRTT,
-		p.ICW, p.MinRTO, true, rng, clock, p.ShimTweak)
-	setup.tcpConfig = guest
-
-	run := &Run{Label: "TCP-HWATCH/" + guest.Variant.String()}
-	runCustom(run, setup, p, rng, func(int, *netem.Host) tcp.Config { return guest }, &eng)
+	run, err := spec.Run()
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
 	return run
 }

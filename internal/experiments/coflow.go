@@ -6,6 +6,7 @@ import (
 
 	"hwatch/internal/harness"
 	"hwatch/internal/netem"
+	"hwatch/internal/scenario"
 	"hwatch/internal/sim"
 	"hwatch/internal/stats"
 	"hwatch/internal/tcp"
@@ -83,17 +84,27 @@ func runCoflowCell(sc Scheme, p CoflowParams) CoflowResult {
 		}
 		return eng()
 	}
-	setup := buildScheme(sc, dp.BufferPkts, markK, meanPkt, baseRTT, 0, 0, true, rng, clock)
-	d := newDumbbellFabric(setup, dp)
+	mat, err := scenario.Materialize(sc, scenario.Env{
+		BufferPkts:  dp.BufferPkts,
+		MarkPkts:    markK,
+		MeanPktTime: meanPkt,
+		BaseRTT:     baseRTT,
+		ByteBuffers: true,
+		Rng:         rng,
+		Clock:       clock,
+	})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	d := scenario.DumbbellFabric(mat.BottleneckQ, dp)
 	eng = d.Net.Eng.Now
-	if setup.attachShim != nil {
-		for _, h := range d.Senders {
-			setup.attachShim(h)
-		}
-		setup.attachShim(d.Receiver)
+	if mat.Attach != nil {
+		hosts := make([]*netem.Host, 0, len(d.Senders)+1)
+		hosts = append(hosts, d.Senders...)
+		mat.Attach(append(hosts, d.Receiver))
 	}
 
-	tcfg := setup.tcpConfig
+	tcfg := mat.TCPConfig
 	d.Receiver.Listen(svcPort, tcp.NewListener(d.Receiver, tcfg, nil))
 
 	// Background elephants from the first LongSources hosts.

@@ -13,8 +13,8 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_digests.j
 
 const goldenPath = "testdata/golden_digests.json"
 
-// goldenRuns executes the small-scale Fig. 2 and Fig. 8 scenarios and
-// returns their digests keyed by figure/label.
+// goldenRuns executes the small-scale Fig. 2, Fig. 8 and Fig. 11
+// scenarios and returns their digests keyed by figure/label.
 func goldenRuns() map[string]string {
 	got := map[string]string{}
 	f2 := Fig2(0.1)
@@ -25,12 +25,16 @@ func goldenRuns() map[string]string {
 	for _, s := range f8.Order {
 		got["fig8/"+strings.ToLower(s.String())] = f8.Runs[s].DigestHex()
 	}
+	f11 := Fig11(0.2)
+	got["fig11/tcp"] = f11.TCP.DigestHex()
+	got["fig11/hwatch"] = f11.HWatch.DigestHex()
 	return got
 }
 
-// TestGoldenDigests locks the small-scale Fig. 2 and Fig. 8 outcomes to
-// checked-in digests: any change to packet timing, AQM accounting, TCP
-// dynamics or the shim shows up here first. Regenerate deliberately with
+// TestGoldenDigests locks the small-scale Fig. 2, Fig. 8 and Fig. 11
+// outcomes to checked-in digests: any change to packet timing, AQM
+// accounting, TCP dynamics or the shim shows up here first. Regenerate
+// deliberately with
 //
 //	go test ./internal/experiments -run TestGoldenDigests -args -update
 func TestGoldenDigests(t *testing.T) {

@@ -6,6 +6,7 @@ import (
 
 	"hwatch/internal/harness"
 	"hwatch/internal/netem"
+	"hwatch/internal/scenario"
 	"hwatch/internal/sim"
 	"hwatch/internal/stats"
 	"hwatch/internal/tcp"
@@ -98,23 +99,33 @@ func runEmpiricalCell(sc Scheme, load float64, p EmpiricalParams, seed int64) Em
 		}
 		return eng()
 	}
-	setup := buildScheme(sc, p.BufferPkts, markK, meanPkt, baseRTT, 0, 0, true, rng, clock)
+	mat, err := scenario.Materialize(sc, scenario.Env{
+		BufferPkts:  p.BufferPkts,
+		MarkPkts:    markK,
+		MeanPktTime: meanPkt,
+		BaseRTT:     baseRTT,
+		ByteBuffers: true,
+		Rng:         rng,
+		Clock:       clock,
+	})
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
 	dp := DumbbellParams{
 		LongSources: p.Sources, ShortSources: 0,
 		BottleneckBps: p.BottleneckBps, EdgeBps: p.BottleneckBps,
 		LinkDelay: p.LinkDelay, BufferPkts: p.BufferPkts,
 	}
-	d := newDumbbellFabric(setup, dp)
+	d := scenario.DumbbellFabric(mat.BottleneckQ, dp)
 	eng = d.Net.Eng.Now
-	if setup.attachShim != nil {
-		for _, h := range d.Senders {
-			setup.attachShim(h)
-		}
-		setup.attachShim(d.Receiver)
+	if mat.Attach != nil {
+		hosts := make([]*netem.Host, 0, len(d.Senders)+1)
+		hosts = append(hosts, d.Senders...)
+		mat.Attach(append(hosts, d.Receiver))
 	}
 
 	res := EmpiricalResult{Scheme: sc, Load: load}
-	tcfg := setup.tcpConfig
+	tcfg := mat.TCPConfig
 	d.Receiver.Listen(svcPort, tcp.NewListener(d.Receiver, tcfg, nil))
 
 	po := workload.RunPoisson(d.Senders, d.Receiver.ID, tcfg, workload.PoissonConfig{

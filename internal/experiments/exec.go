@@ -4,16 +4,14 @@ import (
 	"sync/atomic"
 
 	"hwatch/internal/harness"
+	"hwatch/internal/scenario"
 )
 
 // Package-level execution knobs for the figure/sweep entry points, which
 // keep their historical signatures (Fig8(scale) etc.) and therefore cannot
 // take a parallelism argument per call. CLIs set these from -parallel and
 // -check before running.
-var (
-	parallelN    atomic.Int64
-	invariantsOn atomic.Bool
-)
+var parallelN atomic.Int64
 
 // SetParallel bounds how many scenario runs execute concurrently across
 // every figure, ablation and sweep (n <= 0 restores the default,
@@ -37,7 +35,7 @@ func ParallelN() int {
 // SetInvariantChecks enables the physical-invariant checker (packet
 // conservation, sequence monotonicity, window floors) on every subsequent
 // run, regardless of the per-run Check flag.
-func SetInvariantChecks(on bool) { invariantsOn.Store(on) }
+func SetInvariantChecks(on bool) { scenario.SetInvariantChecks(on) }
 
 // InvariantChecksOn reports the package-wide checker default.
-func InvariantChecksOn() bool { return invariantsOn.Load() }
+func InvariantChecksOn() bool { return scenario.InvariantChecksOn() }

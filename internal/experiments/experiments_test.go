@@ -183,7 +183,7 @@ func TestSchemeStrings(t *testing.T) {
 	}
 	for s, w := range want {
 		if s.String() != w {
-			t.Errorf("%d -> %q, want %q", s, s.String(), w)
+			t.Errorf("%v -> %q, want %q", string(s), s.String(), w)
 		}
 	}
 	if len(AllSchemes()) != 4 {

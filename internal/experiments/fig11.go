@@ -2,79 +2,9 @@ package experiments
 
 import (
 	"context"
-	"time"
 
-	"hwatch/internal/aqm"
-	"hwatch/internal/core"
 	"hwatch/internal/harness"
-	"hwatch/internal/netem"
-	"hwatch/internal/sim"
-	"hwatch/internal/stats"
-	"hwatch/internal/tcp"
-	"hwatch/internal/topo"
-	"hwatch/internal/workload"
 )
-
-// TestbedParams reproduces the Section VI testbed: 4 racks of servers on
-// 1 Gb/s links behind one spine, base RTT ~200 us. Rack 3 hosts the
-// requesting clients; racks 0-2 host web servers and iperf sources. The
-// shared bottleneck is the spine port toward rack 3.
-type TestbedParams struct {
-	Racks        int
-	HostsPerRack int
-	RateBps      int64
-	LinkDelay    int64 // per hop (x4 hops cross-rack)
-	BufferPkts   int   // per switch port
-	MarkFrac     float64
-
-	LongPerRack   int   // iperf flows per server rack (paper: 7, x2 dirs = 14)
-	WebServers    int   // web servers per server rack (paper: 7)
-	WebClients    int   // requesting clients on the client rack
-	Parallel      int   // parallel connections per client-server pair
-	ObjectSize    int64 // paper: 11.5 KB
-	Epochs        int   // paper: 5
-	FirstEpoch    int64
-	EpochInterval int64
-
-	Duration int64
-	MinRTO   int64 // plain-TCP run (0 = 200 ms)
-	// HWatchMinRTO is the guest minRTO in the HWatch configuration. The
-	// paper's testbed section states HWatch ran with a 4 ms RTO; keep the
-	// default 200 ms by setting this to MinRTO for an isolated comparison.
-	HWatchMinRTO int64
-	SampleEvery  int64
-	Seed         int64
-
-	// Check enables the physical-invariant checker for this run; findings
-	// land in Run.InvariantViolations.
-	Check bool
-}
-
-// PaperTestbed returns the paper's counts at a time-compressed scale: the
-// same 42 long flows and 1260 web fetches per epoch x 5 epochs, with epoch
-// spacing shrunk so the run fits in seconds of simulated time.
-func PaperTestbed() TestbedParams {
-	return TestbedParams{
-		Racks:         4,
-		HostsPerRack:  21,
-		RateBps:       1e9,
-		LinkDelay:     25 * sim.Microsecond, // 8 hops round trip -> 200 us
-		BufferPkts:    100,
-		MarkFrac:      0.20,
-		LongPerRack:   14, // 42 total, as in 2 x 7 x 3
-		WebServers:    7,
-		WebClients:    6,
-		Parallel:      10, // 7 x 6 x 3 x 10 = 1260 flows per epoch
-		ObjectSize:    11_500,
-		Epochs:        5,
-		FirstEpoch:    200 * sim.Millisecond,
-		EpochInterval: 400 * sim.Millisecond,
-		Duration:      2400 * sim.Millisecond,
-		HWatchMinRTO:  4 * sim.Millisecond, // paper Sec. VI: "RTO of 4ms"
-		SampleEvery:   500 * sim.Microsecond,
-		Seed:          7,
-	}
-}
 
 // Fig11Result compares plain TCP with TCP+HWatch on the testbed.
 type Fig11Result struct {
@@ -115,156 +45,4 @@ func Fig11(scale float64) *Fig11Result {
 	})
 	pool.Wait()
 	return res
-}
-
-// RunTestbed executes the leaf-spine scenario with or without HWatch. The
-// fabric uses byte-accounted threshold-marking buffers when HWatch is on
-// (ECN must be armed for the shim) and plain DropTail otherwise, matching
-// the testbed's two configurations.
-func RunTestbed(hwatch bool, p TestbedParams) *Run {
-	rng := sim.NewRNG(p.Seed)
-	bufBytes := p.BufferPkts * netem.DefaultMTU
-	kBytes := int(float64(bufBytes) * p.MarkFrac)
-
-	coreQ := func() netem.Queue { return aqm.NewDropTailBytes(bufBytes) }
-	if hwatch {
-		coreQ = func() netem.Queue { return aqm.NewMarkThresholdBytes(bufBytes, kBytes) }
-	}
-	ls := topo.NewLeafSpine(topo.LeafSpineConfig{
-		Racks:        p.Racks,
-		HostsPerRack: p.HostsPerRack,
-		EdgeRateBps:  p.RateBps,
-		CoreRateBps:  p.RateBps,
-		EdgeDelay:    p.LinkDelay,
-		CoreDelay:    p.LinkDelay,
-		EdgeQ:        func() netem.Queue { return aqm.NewDropTailBytes(4 * bufBytes) },
-		CoreQ:        coreQ,
-	})
-
-	baseRTT := ls.BaseRTT(topo.LeafSpineConfig{EdgeDelay: p.LinkDelay, CoreDelay: p.LinkDelay})
-	if hwatch {
-		shimCfg := core.DefaultConfig(baseRTT)
-		// Pace connection admission at the drain rate of the marking
-		// threshold: one SYN-ACK per K-bytes drain time, small burst. With
-		// ~200 concurrent requests per client this is what spreads the
-		// incast over time instead of over the (tiny) buffer.
-		shimCfg.SynAckBurst = 2
-		shimCfg.RefillEvery = int64(kBytes) * 8 * sim.Second / p.RateBps
-		for _, h := range ls.AllHosts() {
-			core.Attach(h, shimCfg)
-		}
-	}
-
-	tcfg := tcp.DefaultConfig()
-	minRTO := p.MinRTO
-	if hwatch && p.HWatchMinRTO > 0 {
-		minRTO = p.HWatchMinRTO
-	}
-	if minRTO > 0 {
-		tcfg.MinRTO = minRTO
-		tcfg.InitRTO = minRTO
-	}
-
-	run := &Run{}
-	clientRack := p.Racks - 1
-	clients := ls.Racks[clientRack][:p.WebClients]
-	var longRecv []*tcp.Receiver
-
-	// Clients listen; long-flow sinks are spread across all client-rack
-	// hosts so edge links don't bottleneck before the core.
-	for _, h := range ls.Racks[clientRack] {
-		host := h
-		host.Listen(svcPort, tcp.NewListener(host, tcfg, nil))
-		host.Listen(svcPort+1, tcp.NewListener(host, tcfg, func(r *tcp.Receiver) {
-			longRecv = append(longRecv, r)
-		}))
-	}
-
-	// 42 iperf flows: LongPerRack from each server rack, destinations
-	// round-robin over the client rack.
-	var longSenders []*tcp.Sender
-	li := 0
-	for r := 0; r < p.Racks-1; r++ {
-		for i := 0; i < p.LongPerRack; i++ {
-			src := ls.Racks[r][i%p.HostsPerRack]
-			dst := ls.Racks[clientRack][li%p.HostsPerRack]
-			li++
-			s := tcp.NewSender(src, dst.ID, svcPort+1, tcp.Infinite, tcfg)
-			longSenders = append(longSenders, s)
-			at := rng.UniformRange(0, 2*baseRTT)
-			ls.Net.Eng.At(at, s.Start)
-		}
-	}
-
-	// Web servers: the first WebServers hosts of each server rack.
-	var servers []*netem.Host
-	for r := 0; r < p.Racks-1; r++ {
-		servers = append(servers, ls.Racks[r][:p.WebServers]...)
-	}
-	segTime := int64(netem.DefaultMTU) * 8 * sim.Second / p.RateBps
-	web := workload.RunWeb(servers, clients, tcfg, workload.WebConfig{
-		Port:          svcPort,
-		ObjectSize:    p.ObjectSize,
-		Parallel:      p.Parallel,
-		Epochs:        p.Epochs,
-		FirstEpoch:    p.FirstEpoch,
-		EpochInterval: p.EpochInterval,
-		JitterMean:    segTime,
-		Rng:           rng.Fork(),
-	}, func(fct, _ int64) {
-		run.ShortFCTms.Add(float64(fct) / float64(sim.Millisecond))
-	})
-
-	// Telemetry: the spine port toward the client rack is the bottleneck.
-	bq := ls.SpineQ[clientRack]
-	bport := ls.SpineDown[clientRack]
-	var util stats.RateMeter
-	eng := ls.Net.Eng
-	var sample func()
-	sample = func() {
-		now := eng.Now()
-		run.QueuePkts.Add(now, float64(bq.Len()))
-		run.QueueBytes.Add(now, float64(bq.Bytes()))
-		util.Observe(now, bport.Stats().TxBytes)
-		eng.Schedule(p.SampleEvery, sample)
-	}
-	eng.Schedule(0, sample)
-
-	var chk *harness.Checker
-	if p.Check || InvariantChecksOn() {
-		chk = harness.NewChecker(eng, p.SampleEvery)
-		chk.WatchPort("spine-down", bport, bq)
-		chk.WatchSenders(func() []*tcp.Sender {
-			out := append([]*tcp.Sender(nil), longSenders...)
-			return append(out, web.Senders...)
-		})
-		chk.Start()
-	}
-
-	start := time.Now()
-	eng.RunUntil(p.Duration)
-	run.WallNs = time.Since(start).Nanoseconds()
-	run.Events = eng.Processed
-
-	for _, r := range longRecv {
-		run.LongGoodputBps.Add(float64(r.Delivered()) * 8 / (float64(p.Duration) / float64(sim.Second)))
-	}
-	run.LongFairness = stats.JainIndex(run.LongGoodputBps.Values())
-	run.ShortAll = web.Started
-	run.ShortDone = web.Completed
-	for _, s := range web.Senders {
-		st := s.Stats()
-		run.Timeouts += st.Timeouts
-		run.ShortRetrans.Add(float64(st.Retransmits))
-	}
-	for i := range util.Series.T {
-		run.Utilization.Add(util.Series.T[i], util.Series.V[i]/float64(p.RateBps))
-	}
-	if qs, ok := bq.(queueStats); ok {
-		st := qs.Stats()
-		run.Drops = st.Dropped + st.EarlyDrop
-		run.Marks = st.Marked
-	}
-	harvestChecker(chk, run)
-	return run
 }

@@ -3,13 +3,9 @@ package experiments
 import (
 	"context"
 	"strconv"
-	"time"
 
-	"hwatch/internal/core"
 	"hwatch/internal/harness"
-	"hwatch/internal/netem"
-	"hwatch/internal/sim"
-	"hwatch/internal/tcp"
+	"hwatch/internal/scenario"
 )
 
 // Fig1Result holds one run per initial congestion window value.
@@ -83,55 +79,25 @@ func Fig2(scale float64) *Fig2Result {
 
 // runMix executes the dumbbell with per-host controller flavours over the
 // DCTCP marking discipline (threshold marking, as in the paper's rerun of
-// the same experiment). withShims additionally installs HWatch on every
-// host (the extension run).
+// the same experiment): sender hosts cycle through DCTCP, ECN-responsive
+// NewReno and ECN-deaf NewReno. withShims additionally installs HWatch on
+// every host (the extension run).
 func runMix(p DumbbellParams, withShims bool) *Run {
-	rng := sim.NewRNG(p.Seed)
-	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
-	baseRTT := 4 * p.LinkDelay
-
-	var engClock func() int64
-	clock := func() int64 {
-		if engClock == nil {
-			return 0
-		}
-		return engClock()
+	spec := &scenario.Spec{
+		Kind: scenario.KindDumbbell,
+		Schemes: []scenario.Share{
+			{Scheme: scenario.DCTCP},
+			{Scheme: scenario.RenoECN},
+			{Scheme: scenario.RenoDeaf},
+		},
+		Label:       "MIX",
+		ShimOverlay: withShims,
+		Dumbbell:    p,
 	}
-	setup := buildScheme(SchemeDCTCP, p.BufferPkts,
-		int(float64(p.BufferPkts)*p.MarkFrac), meanPkt, baseRTT,
-		p.ICW, p.MinRTO, p.ByteBuffers, rng, clock)
-
-	dctcpCfg := setup.tcpConfig
-	renoEcn := tcp.DefaultConfig()
-	renoEcn.ECN = true
-	renoEcn.ECNResponsive = true
-	renoDeaf := tcp.DefaultConfig()
-	renoDeaf.ECN = true
-	renoDeaf.ECNResponsive = false
-	for _, c := range []*tcp.Config{&renoEcn, &renoDeaf} {
-		if p.ICW > 0 {
-			c.InitCwnd = p.ICW
-		}
-		if p.MinRTO > 0 {
-			c.MinRTO = p.MinRTO
-			c.InitRTO = p.MinRTO
-		}
+	run, err := spec.Run()
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	flavours := []tcp.Config{dctcpCfg, renoEcn, renoDeaf}
-
-	if withShims {
-		shimCfg := core.DefaultConfig(baseRTT)
-		shimCfg.MSS = netem.DefaultMSS
-		if p.ShimTweak != nil {
-			p.ShimTweak(&shimCfg)
-		}
-		setup.attachShim = func(h *netem.Host) *core.Shim { return core.Attach(h, shimCfg) }
-	}
-
-	run := &Run{Label: "MIX"}
-	runCustom(run, setup, p, rng, func(i int, h *netem.Host) tcp.Config {
-		return flavours[i%len(flavours)]
-	}, &engClock)
 	return run
 }
 
@@ -194,33 +160,4 @@ func scaleClamp(v float64) float64 {
 		return 1
 	}
 	return v
-}
-
-// runCustom is RunDumbbell's core with an externally supplied per-host
-// flavour assignment (index-based).
-func runCustom(run *Run, setup schemeSetup, p DumbbellParams, rng *sim.RNG,
-	flavourFor func(i int, h *netem.Host) tcp.Config, engClock *func() int64) {
-
-	d := newDumbbellFabric(setup, p)
-	*engClock = d.Net.Eng.Now
-	if setup.attachShim != nil {
-		for _, h := range d.Senders {
-			setup.attachShim(h)
-		}
-		setup.attachShim(d.Receiver)
-	}
-
-	idx := map[netem.NodeID]int{}
-	for i, h := range d.Senders {
-		idx[h.ID] = i
-	}
-	cfgFor := func(h *netem.Host) tcp.Config { return flavourFor(idx[h.ID], h) }
-	res := newDumbbellHarness(d, cfgFor, p, rng, run)
-	chk := newDumbbellChecker(p, d, res)
-	start := time.Now()
-	d.Net.Eng.RunUntil(p.Duration)
-	run.WallNs = time.Since(start).Nanoseconds()
-	run.Events = d.Net.Eng.Processed
-	res.finish(p, run)
-	harvestChecker(chk, run)
 }

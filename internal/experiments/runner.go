@@ -1,384 +1,32 @@
 package experiments
 
 import (
-	"fmt"
-	"time"
-
-	"hwatch/internal/aqm"
-	"hwatch/internal/core"
-	"hwatch/internal/harness"
-	"hwatch/internal/netem"
-	"hwatch/internal/sim"
-	"hwatch/internal/stats"
-	"hwatch/internal/tcp"
-	"hwatch/internal/topo"
-	"hwatch/internal/workload"
+	"hwatch/internal/scenario"
 )
 
-// DumbbellParams is the shared shape of the paper's ns-2 scenarios
-// (Sections II and V): long-lived background flows plus epochs of
-// correlated short flows into one shared bottleneck.
-type DumbbellParams struct {
-	LongSources  int
-	ShortSources int
+// The parameter and result types live in internal/scenario; the aliases
+// keep the experiments API (and the root facade) stable.
 
-	BottleneckBps int64
-	EdgeBps       int64
-	LinkDelay     int64 // per hop; base RTT = 4*LinkDelay
-	BufferPkts    int
-	MarkFrac      float64 // marking threshold as a fraction of the buffer
+// DumbbellParams is the shared shape of the paper's ns-2 scenarios.
+type DumbbellParams = scenario.DumbbellParams
 
-	ICW      int   // guests' initial window (0 = stack default 10)
-	MinRTO   int64 // 0 = 200 ms
-	Duration int64
-	// ByteBuffers switches the bottleneck to byte accounting (used by the
-	// Fig. 8/9/11 scheme comparisons; Fig. 1/2 keep ns-2 packet counting).
-	ByteBuffers bool
+// TestbedParams reproduces the Section VI leaf-spine testbed.
+type TestbedParams = scenario.TestbedParams
 
-	ShortSize     int64 // bytes per short flow
-	Epochs        int
-	FirstEpoch    int64
-	EpochInterval int64
+// Run is the measured outcome of one scenario run.
+type Run = scenario.Run
 
-	SampleEvery int64 // queue/utilization sampling period
-	Seed        int64
+// svcPort is the well-known service port every workload listens on.
+const svcPort = scenario.DefaultPort
 
-	// Check enables the physical-invariant checker for this run (packet
-	// conservation at the bottleneck, sequence monotonicity, window
-	// floors); violations land in Run.InvariantViolations.
-	Check bool
+// PaperDumbbell returns the paper's Fig. 8 parameters.
+func PaperDumbbell(longN, shortN int) DumbbellParams { return scenario.PaperDumbbell(longN, shortN) }
 
-	// ShimTweak, when non-nil, adjusts the HWatch configuration after the
-	// defaults are applied (ablation studies).
-	ShimTweak func(*core.Config)
-}
-
-// PaperDumbbell returns the paper's Fig. 8 parameters: 10 Gb/s links,
-// 100 us RTT, 250-packet buffer, marking at 20%, minRTO 200 ms, 6 epochs
-// of 10 KB short flows over a 1 s run.
-func PaperDumbbell(longN, shortN int) DumbbellParams {
-	return DumbbellParams{
-		LongSources:   longN,
-		ShortSources:  shortN,
-		BottleneckBps: 10e9,
-		EdgeBps:       10e9,
-		LinkDelay:     25 * sim.Microsecond, // 4 hops -> 100 us RTT
-		BufferPkts:    250,
-		MarkFrac:      0.20,
-		Duration:      1 * sim.Second,
-		ShortSize:     10_000,
-		Epochs:        6,
-		FirstEpoch:    100 * sim.Millisecond,
-		EpochInterval: 150 * sim.Millisecond,
-		SampleEvery:   100 * sim.Microsecond,
-		Seed:          42,
-	}
-}
-
-// Run is the measured outcome of one scenario run, holding exactly the
-// series the paper's figures plot.
-type Run struct {
-	Label string
-
-	// Short-lived flows (Fig. 1a/2a/8a/9a/11a).
-	ShortFCTms stats.Sample // per-flow completion time, milliseconds
-	// Per-source average and variance of FCT across the incast epochs —
-	// the AVG and VAR CDFs of Fig. 2a.
-	PerSourceAvgMs stats.Sample
-	PerSourceVarMs stats.Sample
-	// Per-short-flow retransmitted segments (proxy for Fig. 1b's per-flow
-	// drop counts, observed at the sender like ns-2 traces do).
-	ShortRetrans stats.Sample
-
-	// Long-lived flows (Fig. 1c/2c/8b/9b/11b): per-flow goodput in bit/s
-	// averaged over the run.
-	LongGoodputBps stats.Sample
-	// LongFairness is Jain's index over the long flows' goodputs
-	// (quantifies the Fig. 2 unfairness).
-	LongFairness float64
-
-	// Bottleneck telemetry (Fig. 1d/2b/8c/9c and 2d/8d/9d).
-	QueuePkts   stats.TimeSeries
-	QueueBytes  stats.TimeSeries
-	Utilization stats.TimeSeries // fraction of line rate per sample window
-
-	// Totals.
-	Drops     int64 // queue drops at the bottleneck (tail + early)
-	Marks     int64 // CE marks applied at the bottleneck
-	Timeouts  int64 // RTO expiries across short flows
-	ShortDone int
-	ShortAll  int
-
-	ShimStats *core.Stats // aggregate over all hosts (HWatch runs only)
-
-	// Execution metadata. WallNs and Events describe the machine that ran
-	// the scenario, not the scenario itself, so Digest excludes them.
-	WallNs int64  // wall-clock time spent inside the event loop
-	Events uint64 // simulator events executed
-
-	// InvariantViolations holds the checker's findings when checking was
-	// enabled (DumbbellParams.Check / TestbedParams.Check or
-	// SetInvariantChecks); empty on a sound run.
-	InvariantViolations []string
-}
-
-// Digest folds the run's complete observable outcome — every queue and
-// utilization sample, every FCT, retransmit and per-source statistic, the
-// drop/mark/timeout totals — into one FNV-64 value. Two runs of the same
-// spec and seed digest identically at any parallelism; timing metadata is
-// deliberately excluded.
-func (r *Run) Digest() uint64 {
-	d := harness.NewDigest()
-	d.String(r.Label)
-	d.Floats(r.ShortFCTms.Values())
-	d.Floats(r.PerSourceAvgMs.Values())
-	d.Floats(r.PerSourceVarMs.Values())
-	d.Floats(r.ShortRetrans.Values())
-	d.Floats(r.LongGoodputBps.Values())
-	d.Float64(r.LongFairness)
-	d.Series(r.QueuePkts.T, r.QueuePkts.V)
-	d.Series(r.QueueBytes.T, r.QueueBytes.V)
-	d.Series(r.Utilization.T, r.Utilization.V)
-	d.Int64(r.Drops)
-	d.Int64(r.Marks)
-	d.Int64(r.Timeouts)
-	d.Int(r.ShortDone)
-	d.Int(r.ShortAll)
-	return d.Sum()
-}
-
-// DigestHex renders Digest the way golden files and -digest output print it.
-func (r *Run) DigestHex() string { return fmt.Sprintf("%016x", r.Digest()) }
-
-// Summary renders the run's headline numbers in one line.
-func (r *Run) Summary() string {
-	return fmt.Sprintf("%-12s shortFCT(ms): p50=%.2f p99=%.2f mean=%.2f | longGoodput(Gb/s): mean=%.2f | q(pkts): mean=%.0f | drops=%d marks=%d rto=%d | done=%d/%d",
-		r.Label,
-		r.ShortFCTms.Quantile(0.5), r.ShortFCTms.Quantile(0.99), r.ShortFCTms.Mean(),
-		r.LongGoodputBps.Mean()/1e9,
-		r.QueuePkts.Mean(),
-		r.Drops, r.Marks, r.Timeouts, r.ShortDone, r.ShortAll)
-}
+// PaperTestbed returns the paper's Section VI parameters, time-compressed.
+func PaperTestbed() TestbedParams { return scenario.PaperTestbed() }
 
 // RunDumbbell executes one scheme under the given parameters.
-func RunDumbbell(scheme Scheme, p DumbbellParams) *Run {
-	rng := sim.NewRNG(p.Seed)
-	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
-	baseRTT := 4 * p.LinkDelay
+func RunDumbbell(scheme Scheme, p DumbbellParams) *Run { return scenario.RunDumbbell(scheme, p) }
 
-	var eng *sim.Engine
-	clock := func() int64 {
-		if eng == nil {
-			return 0
-		}
-		return eng.Now()
-	}
-	markK := int(float64(p.BufferPkts) * p.MarkFrac)
-	setup := buildSchemeTweaked(scheme, p.BufferPkts, markK, meanPkt, baseRTT,
-		p.ICW, p.MinRTO, p.ByteBuffers, rng, clock, p.ShimTweak)
-
-	d := newDumbbellFabric(setup, p)
-	eng = d.Net.Eng
-
-	var shims []*core.Shim
-	if setup.attachShim != nil {
-		for _, h := range d.Senders {
-			shims = append(shims, setup.attachShim(h))
-		}
-		shims = append(shims, setup.attachShim(d.Receiver))
-	}
-
-	run := &Run{Label: scheme.String()}
-	cfgFor := func(*netem.Host) tcp.Config { return setup.tcpConfig }
-	res := newDumbbellHarness(d, cfgFor, p, rng, run)
-	chk := newDumbbellChecker(p, d, res)
-	start := time.Now()
-	eng.RunUntil(p.Duration)
-	run.WallNs = time.Since(start).Nanoseconds()
-	run.Events = eng.Processed
-	res.finish(p, run)
-	harvestChecker(chk, run)
-
-	if len(shims) > 0 {
-		agg := core.Stats{}
-		for _, s := range shims {
-			st := s.Stats()
-			agg.ProbesSent += st.ProbesSent
-			agg.ProbesSeen += st.ProbesSeen
-			agg.ProbesMarked += st.ProbesMarked
-			agg.SynsHeld += st.SynsHeld
-			agg.SynAcksStamped += st.SynAcksStamped
-			agg.SynAcksPaced += st.SynAcksPaced
-			agg.RwndRewrites += st.RwndRewrites
-			agg.EpochsClosed += st.EpochsClosed
-			agg.Dyed += st.Dyed
-			agg.CECleared += st.CECleared
-			agg.FlowsTracked += st.FlowsTracked
-			agg.FlowsExpired += st.FlowsExpired
-		}
-		run.ShimStats = &agg
-	}
-	return run
-}
-
-// newDumbbellFabric builds the dumbbell topology for a scheme setup.
-func newDumbbellFabric(setup schemeSetup, p DumbbellParams) *topo.Dumbbell {
-	return topo.NewDumbbell(topo.DumbbellConfig{
-		Senders:       p.LongSources + p.ShortSources,
-		EdgeRateBps:   p.EdgeBps,
-		BottleneckBps: p.BottleneckBps,
-		LinkDelay:     p.LinkDelay,
-		BottleneckQ:   setup.bottleneckQ,
-		EdgeQ:         func() netem.Queue { return aqm.NewDropTail(100000) },
-	})
-}
-
-// dumbbellHarness wires workloads and instrumentation onto a dumbbell.
-type dumbbellHarness struct {
-	d        *topo.Dumbbell
-	longRecv []*tcp.Receiver
-	longTx   []*tcp.Sender
-	incast   *workload.Incast
-	util     stats.RateMeter
-	longAt   int64
-}
-
-const svcPort = 80
-
-// newDumbbellHarness wires workloads and instrumentation. cfgFor assigns a
-// guest stack configuration per sender host (Fig. 2's MIX scenario gives
-// different hosts different congestion controllers); the receiver side of
-// each connection mirrors the originating host's configuration, as a real
-// handshake would negotiate.
-func newDumbbellHarness(d *topo.Dumbbell, cfgFor func(*netem.Host) tcp.Config, p DumbbellParams, rng *sim.RNG, run *Run) *dumbbellHarness {
-	h := &dumbbellHarness{d: d}
-
-	// Receivers: every connection terminates at the aggregation host.
-	// Long flows come from ephemeral ports of the first LongSources hosts.
-	longHosts := map[netem.NodeID]bool{}
-	cfgByID := map[netem.NodeID]tcp.Config{}
-	for _, s := range d.Senders {
-		cfgByID[s.ID] = cfgFor(s)
-	}
-	for i := 0; i < p.LongSources; i++ {
-		longHosts[d.Senders[i].ID] = true
-	}
-	d.Receiver.Listen(svcPort, func(syn *netem.Packet) netem.Handler {
-		cfg, ok := cfgByID[syn.Src]
-		if !ok {
-			cfg = tcp.DefaultConfig()
-		}
-		r := tcp.NewReceiver(d.Receiver, syn.Src, syn.DstPort, syn.SrcPort, cfg)
-		if longHosts[r.Peer()] {
-			h.longRecv = append(h.longRecv, r)
-		}
-		return r
-	})
-
-	// Long-lived background flows start immediately.
-	for i := 0; i < p.LongSources; i++ {
-		host := d.Senders[i]
-		ll := workload.StartLongLived([]*netem.Host{host}, d.Receiver.ID, cfgByID[host.ID],
-			workload.LongLivedConfig{Port: svcPort, StartAt: 0, Jitter: p.LinkDelay, Rng: rng.Fork()})
-		h.longTx = append(h.longTx, ll.Senders...)
-	}
-
-	// Short-lived incast epochs from the remaining hosts. Incast flows of a
-	// MIX run inherit each host's flavour via per-host launch below.
-	if p.ShortSources > 0 && p.Epochs > 0 {
-		segTime := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
-		cfgForHost := func(hh *netem.Host) tcp.Config { return cfgByID[hh.ID] }
-		h.incast = workload.RunIncastConfigs(d.Senders[p.LongSources:], d.Receiver.ID, cfgForHost,
-			workload.IncastConfig{
-				Port:          svcPort,
-				FlowSize:      p.ShortSize,
-				Epochs:        p.Epochs,
-				FirstEpoch:    p.FirstEpoch,
-				EpochInterval: p.EpochInterval,
-				JitterMean:    segTime,
-				Rng:           rng.Fork(),
-			},
-			func(fct, _ int64) {
-				run.ShortFCTms.Add(float64(fct) / float64(sim.Millisecond))
-			})
-	}
-
-	// Telemetry sampling loop.
-	eng := d.Net.Eng
-	var sample func()
-	sample = func() {
-		now := eng.Now()
-		run.QueuePkts.Add(now, float64(d.Bottleneck.Len()))
-		run.QueueBytes.Add(now, float64(d.Bottleneck.Bytes()))
-		h.util.Observe(now, d.BottleneckPort.Stats().TxBytes)
-		eng.Schedule(p.SampleEvery, sample)
-	}
-	eng.Schedule(0, sample)
-	return h
-}
-
-// finish harvests the end-of-run metrics into run.
-func (h *dumbbellHarness) finish(p DumbbellParams, run *Run) {
-	for _, r := range h.longRecv {
-		run.LongGoodputBps.Add(float64(r.Delivered()) * 8 / (float64(p.Duration) / float64(sim.Second)))
-	}
-	run.LongFairness = stats.JainIndex(run.LongGoodputBps.Values())
-	if h.incast != nil {
-		run.ShortAll = h.incast.Started
-		run.ShortDone = h.incast.Completed
-		for _, s := range h.incast.Senders {
-			st := s.Stats()
-			run.Timeouts += st.Timeouts
-			run.ShortRetrans.Add(float64(st.Retransmits))
-		}
-		for _, fcts := range h.incast.FCTsByHost {
-			var perSrc stats.Sample
-			for _, f := range fcts {
-				perSrc.Add(float64(f) / float64(sim.Millisecond))
-			}
-			run.PerSourceAvgMs.Add(perSrc.Mean())
-			run.PerSourceVarMs.Add(perSrc.Var())
-		}
-	}
-	// Utilization as a fraction of line rate.
-	for i := range h.util.Series.T {
-		run.Utilization.Add(h.util.Series.T[i], h.util.Series.V[i]/float64(p.BottleneckBps))
-	}
-	if qs, ok := h.d.Bottleneck.(queueStats); ok {
-		st := qs.Stats()
-		run.Drops = st.Dropped + st.EarlyDrop
-		run.Marks = st.Marked
-	}
-}
-
-// newDumbbellChecker wires the opt-in invariant checker onto a dumbbell
-// run: packet conservation at the bottleneck port and sequence/window
-// sanity on every TCP sender the workloads create (the incast's senders
-// appear over time, hence the dynamic callback). Returns nil when checking
-// is off.
-func newDumbbellChecker(p DumbbellParams, d *topo.Dumbbell, h *dumbbellHarness) *harness.Checker {
-	if !p.Check && !InvariantChecksOn() {
-		return nil
-	}
-	c := harness.NewChecker(d.Net.Eng, p.SampleEvery)
-	c.WatchPort("bottleneck", d.BottleneckPort, d.Bottleneck)
-	c.WatchSenders(func() []*tcp.Sender {
-		out := append([]*tcp.Sender(nil), h.longTx...)
-		if h.incast != nil {
-			out = append(out, h.incast.Senders...)
-		}
-		return out
-	})
-	c.Start()
-	return c
-}
-
-// harvestChecker moves the checker's findings into the run.
-func harvestChecker(c *harness.Checker, run *Run) {
-	if c == nil {
-		return
-	}
-	for _, v := range c.Finish() {
-		run.InvariantViolations = append(run.InvariantViolations, v.String())
-	}
-}
+// RunTestbed executes the leaf-spine scenario with or without HWatch.
+func RunTestbed(hwatch bool, p TestbedParams) *Run { return scenario.RunTestbed(hwatch, p) }

@@ -2,150 +2,26 @@
 // the DCTCP initial-window study (Fig. 1), the congestion-controller
 // coexistence study (Fig. 2), the 50- and 100-source scheme comparisons
 // (Figs. 8-9), the leaf-spine testbed experiment (Fig. 11), and the
-// ablations DESIGN.md calls out. Each experiment builds a topology from
-// internal/topo, drives it with internal/workload, and reports the same
-// rows/series the paper plots.
+// ablations DESIGN.md calls out. Each experiment declares a
+// scenario.Spec — topology kind, registered scheme name(s), workload —
+// and the scenario layer builds, runs and instruments it.
 package experiments
 
 import (
-	"fmt"
-
-	"hwatch/internal/aqm"
-	"hwatch/internal/core"
-	"hwatch/internal/netem"
-	"hwatch/internal/sim"
-	"hwatch/internal/tcp"
+	"hwatch/internal/scenario"
 )
 
-// Scheme is one of the end-to-end systems the paper compares.
-type Scheme int
+// Scheme names one of the registered end-to-end systems; see
+// internal/scenario for the registry.
+type Scheme = scenario.Scheme
 
+// The paper's four schemes (Figs. 8-9).
 const (
-	// SchemeDropTail: TCP NewReno over plain DropTail buffers.
-	SchemeDropTail Scheme = iota
-	// SchemeRED: ECN-capable NewReno over RED marking (Floyd parameters).
-	SchemeRED
-	// SchemeDCTCP: DCTCP guests over instantaneous-threshold marking.
-	SchemeDCTCP
-	// SchemeHWatch: unmodified (non-ECN) NewReno guests + HWatch shims on
-	// every host, over threshold marking at 20% of the buffer.
-	SchemeHWatch
+	SchemeDropTail = scenario.DropTail
+	SchemeRED      = scenario.RED
+	SchemeDCTCP    = scenario.DCTCP
+	SchemeHWatch   = scenario.HWatch
 )
-
-var schemeNames = map[Scheme]string{
-	SchemeDropTail: "TCP-DropTail",
-	SchemeRED:      "TCP-RED",
-	SchemeDCTCP:    "DCTCP",
-	SchemeHWatch:   "TCP-HWATCH",
-}
-
-func (s Scheme) String() string {
-	if n, ok := schemeNames[s]; ok {
-		return n
-	}
-	return fmt.Sprintf("Scheme(%d)", int(s))
-}
 
 // AllSchemes lists the Fig. 8/9 comparison set in the paper's order.
-func AllSchemes() []Scheme {
-	return []Scheme{SchemeDropTail, SchemeRED, SchemeHWatch, SchemeDCTCP}
-}
-
-// queueStats is satisfied by every aqm discipline.
-type queueStats interface{ Stats() aqm.Stats }
-
-// schemeSetup bundles what a Scheme needs injected into a scenario.
-type schemeSetup struct {
-	// bottleneckQ builds the instrumented shared queue.
-	bottleneckQ func() netem.Queue
-	// tcpConfig is the guest stack configuration.
-	tcpConfig tcp.Config
-	// attachShim, when non-nil, installs HWatch on a host.
-	attachShim func(h *netem.Host) *core.Shim
-}
-
-// buildScheme materializes a Scheme for a fabric with the given buffer,
-// marking threshold, mean packet service time and base RTT. rng drives any
-// randomized AQM; icw overrides the guests' initial window (0 = default).
-// byteMode switches the bottleneck buffers to byte accounting (the paper's
-// Fig. 8c/9c plot queue occupancy in bytes; byte accounting also reflects
-// shared-buffer switches, where HWatch's 38-byte probes consume almost no
-// space).
-func buildScheme(s Scheme, bufferPkts, markK int, meanPktTime, baseRTT int64,
-	icw int, minRTO int64, byteMode bool, rng *sim.RNG, clock func() int64) schemeSetup {
-	return buildSchemeTweaked(s, bufferPkts, markK, meanPktTime, baseRTT, icw, minRTO, byteMode, rng, clock, nil)
-}
-
-// buildSchemeTweaked is buildScheme with an optional HWatch-config hook.
-func buildSchemeTweaked(s Scheme, bufferPkts, markK int, meanPktTime, baseRTT int64,
-	icw int, minRTO int64, byteMode bool, rng *sim.RNG, clock func() int64,
-	shimTweak func(*core.Config)) schemeSetup {
-
-	tcfg := tcp.DefaultConfig()
-	if icw > 0 {
-		tcfg.InitCwnd = icw
-	}
-	if minRTO > 0 {
-		tcfg.MinRTO = minRTO
-		tcfg.InitRTO = minRTO
-	}
-	bufBytes := bufferPkts * netem.DefaultMTU
-	kBytes := markK * netem.DefaultMTU
-
-	var setup schemeSetup
-	switch s {
-	case SchemeDropTail:
-		setup.bottleneckQ = func() netem.Queue {
-			if byteMode {
-				return aqm.NewDropTailBytes(bufBytes)
-			}
-			return aqm.NewDropTail(bufferPkts)
-		}
-	case SchemeRED:
-		tcfg.ECN = true
-		tcfg.ECNResponsive = true
-		setup.bottleneckQ = func() netem.Queue {
-			var cfg aqm.REDConfig
-			if byteMode {
-				cfg = aqm.DefaultREDBytes(bufBytes, true, meanPktTime, clock)
-			} else {
-				cfg = aqm.DefaultRED(bufferPkts, true, meanPktTime, clock)
-			}
-			return aqm.NewRED(cfg, rng.Fork().Float64)
-		}
-	case SchemeDCTCP:
-		tcfg = tcp.DCTCPConfig()
-		if icw > 0 {
-			tcfg.InitCwnd = icw
-		}
-		if minRTO > 0 {
-			tcfg.MinRTO = minRTO
-			tcfg.InitRTO = minRTO
-		}
-		setup.bottleneckQ = func() netem.Queue {
-			if byteMode {
-				return aqm.NewMarkThresholdBytes(bufBytes, kBytes)
-			}
-			return aqm.NewMarkThreshold(bufferPkts, markK)
-		}
-	case SchemeHWatch:
-		// Guests stay stock (non-ECN) NewReno; the shim does the watching.
-		setup.bottleneckQ = func() netem.Queue {
-			if byteMode {
-				return aqm.NewMarkThresholdBytes(bufBytes, kBytes)
-			}
-			return aqm.NewMarkThreshold(bufferPkts, markK)
-		}
-		shimCfg := core.DefaultConfig(baseRTT)
-		shimCfg.MSS = tcfg.MSS
-		shimCfg.DefaultICW = tcfg.InitCwnd
-		if shimTweak != nil {
-			shimTweak(&shimCfg)
-		}
-		setup.attachShim = func(h *netem.Host) *core.Shim { return core.Attach(h, shimCfg) }
-	default:
-		panic("experiments: unknown scheme")
-	}
-	setup.tcpConfig = tcfg
-	return setup
-}
+func AllSchemes() []Scheme { return scenario.AllSchemes() }

@@ -1,210 +1,15 @@
 package experiments
 
 import (
-	"encoding/json"
-	"fmt"
-	"os"
-
-	"hwatch/internal/harness"
-	"hwatch/internal/sim"
+	"hwatch/internal/scenario"
 )
 
-// Spec is the JSON description of a runnable scenario, so operators can
-// keep experiment configurations in files (cmd/hwatchsim -spec run.json).
-// Durations are in microseconds, rates in Gb/s — the units operators think
-// in — and converted on Load.
-type Spec struct {
-	// Kind selects the topology: "dumbbell" or "testbed".
-	Kind string `json:"kind"`
-	// Scheme: "droptail" | "red" | "dctcp" | "hwatch". Testbed specs use
-	// "hwatch" for the shimmed run and anything else for plain TCP.
-	Scheme string `json:"scheme"`
-
-	// Dumbbell knobs.
-	LongSources    int     `json:"long_sources,omitempty"`
-	ShortSources   int     `json:"short_sources,omitempty"`
-	BottleneckGbps float64 `json:"bottleneck_gbps,omitempty"`
-	BufferPkts     int     `json:"buffer_pkts,omitempty"`
-	MarkPercent    float64 `json:"mark_percent,omitempty"`
-	RTTMicros      int64   `json:"rtt_us,omitempty"`
-	ICW            int     `json:"icw,omitempty"`
-	DurationMs     int64   `json:"duration_ms,omitempty"`
-	Epochs         int     `json:"epochs,omitempty"`
-	ShortKB        float64 `json:"short_kb,omitempty"`
-	ByteBuffers    *bool   `json:"byte_buffers,omitempty"`
-	Seed           int64   `json:"seed,omitempty"`
-
-	// Testbed knobs (defaults from PaperTestbed when zero).
-	Racks        int `json:"racks,omitempty"`
-	HostsPerRack int `json:"hosts_per_rack,omitempty"`
-	Parallel     int `json:"parallel,omitempty"`
-
-	// Check enables the physical-invariant checker for the run.
-	Check bool `json:"check,omitempty"`
-}
-
-// identity is the canonical string hashed into derived seeds when the spec
-// names none. Check is observability, not scenario, so it is excluded —
-// checking a run must not move its seed.
-func (s *Spec) identity() string {
-	c := *s
-	c.Check = false
-	b, err := json.Marshal(&c)
-	if err != nil {
-		return s.Kind + "/" + s.Scheme
-	}
-	return string(b)
-}
+// Spec is the JSON description of a runnable scenario (see
+// scenario.FileSpec); cmd/hwatchsim -spec run.json loads one.
+type Spec = scenario.FileSpec
 
 // LoadSpec reads and validates a Spec from a JSON file.
-func LoadSpec(path string) (*Spec, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("reading spec: %w", err)
-	}
-	return ParseSpec(raw)
-}
+func LoadSpec(path string) (*Spec, error) { return scenario.LoadSpec(path) }
 
 // ParseSpec validates a Spec from JSON bytes.
-func ParseSpec(raw []byte) (*Spec, error) {
-	var s Spec
-	if err := json.Unmarshal(raw, &s); err != nil {
-		return nil, fmt.Errorf("parsing spec: %w", err)
-	}
-	switch s.Kind {
-	case "dumbbell", "testbed":
-	default:
-		return nil, fmt.Errorf("spec kind %q: want dumbbell or testbed", s.Kind)
-	}
-	if s.Kind == "dumbbell" {
-		if _, err := s.scheme(); err != nil {
-			return nil, err
-		}
-	}
-	if s.BottleneckGbps < 0 || s.BufferPkts < 0 || s.MarkPercent < 0 || s.MarkPercent > 100 {
-		return nil, fmt.Errorf("spec has out-of-range fabric parameters")
-	}
-	return &s, nil
-}
-
-func (s *Spec) scheme() (Scheme, error) {
-	switch s.Scheme {
-	case "droptail", "":
-		return SchemeDropTail, nil
-	case "red":
-		return SchemeRED, nil
-	case "dctcp":
-		return SchemeDCTCP, nil
-	case "hwatch":
-		return SchemeHWatch, nil
-	}
-	return 0, fmt.Errorf("unknown scheme %q", s.Scheme)
-}
-
-// Run executes the spec and returns the resulting run.
-func (s *Spec) Run() (*Run, error) {
-	switch s.Kind {
-	case "dumbbell":
-		sc, err := s.scheme()
-		if err != nil {
-			return nil, err
-		}
-		p := s.dumbbellParams()
-		return RunDumbbell(sc, p), nil
-	case "testbed":
-		p := s.testbedParams()
-		run := RunTestbed(s.Scheme == "hwatch", p)
-		if s.Scheme == "hwatch" {
-			run.Label = "TCP-HWatch"
-		} else {
-			run.Label = "TCP"
-		}
-		return run, nil
-	}
-	return nil, fmt.Errorf("unrunnable spec kind %q", s.Kind)
-}
-
-func (s *Spec) dumbbellParams() DumbbellParams {
-	p := PaperDumbbell(orInt(s.LongSources, 25), orInt(s.ShortSources, 25))
-	if s.BottleneckGbps > 0 {
-		p.BottleneckBps = int64(s.BottleneckGbps * 1e9)
-		p.EdgeBps = p.BottleneckBps
-	}
-	if s.BufferPkts > 0 {
-		p.BufferPkts = s.BufferPkts
-	}
-	if s.MarkPercent > 0 {
-		p.MarkFrac = s.MarkPercent / 100
-	}
-	if s.RTTMicros > 0 {
-		p.LinkDelay = s.RTTMicros * sim.Microsecond / 4
-	}
-	if s.ICW > 0 {
-		p.ICW = s.ICW
-	}
-	if s.DurationMs > 0 {
-		p.Duration = s.DurationMs * sim.Millisecond
-	}
-	if s.Epochs > 0 {
-		p.Epochs = s.Epochs
-	}
-	if s.ShortKB > 0 {
-		p.ShortSize = int64(s.ShortKB * 1000)
-	}
-	if s.ByteBuffers != nil {
-		p.ByteBuffers = *s.ByteBuffers
-	} else {
-		p.ByteBuffers = true
-	}
-	if s.Seed != 0 {
-		p.Seed = s.Seed
-	} else {
-		// No explicit seed: derive one from the spec itself, so distinct
-		// scenarios draw independent randomness while the same file always
-		// reruns identically.
-		p.Seed = harness.SeedFor(s.identity(), p.Seed)
-	}
-	p.Check = s.Check
-	return p
-}
-
-func (s *Spec) testbedParams() TestbedParams {
-	p := PaperTestbed()
-	if s.Racks > 0 {
-		p.Racks = s.Racks
-	}
-	if s.HostsPerRack > 0 {
-		p.HostsPerRack = s.HostsPerRack
-		// The paper's per-rack role counts cannot exceed the rack size.
-		if p.WebServers > p.HostsPerRack {
-			p.WebServers = p.HostsPerRack
-		}
-		if p.WebClients > p.HostsPerRack {
-			p.WebClients = p.HostsPerRack
-		}
-	}
-	if s.Parallel > 0 {
-		p.Parallel = s.Parallel
-	}
-	if s.Epochs > 0 {
-		p.Epochs = s.Epochs
-		p.Duration = p.FirstEpoch + int64(p.Epochs)*p.EpochInterval
-	}
-	if s.DurationMs > 0 {
-		p.Duration = s.DurationMs * sim.Millisecond
-	}
-	if s.Seed != 0 {
-		p.Seed = s.Seed
-	} else {
-		p.Seed = harness.SeedFor(s.identity(), p.Seed)
-	}
-	p.Check = s.Check
-	return p
-}
-
-func orInt(v, def int) int {
-	if v > 0 {
-		return v
-	}
-	return def
-}
+func ParseSpec(raw []byte) (*Spec, error) { return scenario.ParseSpec(raw) }

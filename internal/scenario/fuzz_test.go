@@ -1,4 +1,4 @@
-package experiments
+package scenario
 
 import "testing"
 
@@ -7,6 +7,7 @@ import "testing"
 func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(`{"kind":"dumbbell","scheme":"hwatch"}`))
 	f.Add([]byte(`{"kind":"testbed","scheme":"hwatch","racks":2}`))
+	f.Add([]byte(`{"kind":"dumbbell","mix":[{"scheme":"dctcp"},{"scheme":"reno-deaf","share":2}]}`))
 	f.Add([]byte(`{"kind":"ring"}`))
 	f.Add([]byte(`{`))
 	f.Add([]byte(``))

@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"sync/atomic"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/core"
+	"hwatch/internal/harness"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/stats"
+	"hwatch/internal/tcp"
+	"hwatch/internal/topo"
+)
+
+// DefaultPort is the well-known service port every built-in workload
+// listens on (long-flow sinks use DefaultPort+1 on the testbed).
+const DefaultPort = 80
+
+var invariantsOn atomic.Bool
+
+// SetInvariantChecks enables the physical-invariant checker (packet
+// conservation, sequence monotonicity, window floors) on every subsequent
+// run, regardless of the per-run Check flag.
+func SetInvariantChecks(on bool) { invariantsOn.Store(on) }
+
+// InvariantChecksOn reports the package-wide checker default.
+func InvariantChecksOn() bool { return invariantsOn.Load() }
+
+// queueStats is satisfied by every aqm discipline.
+type queueStats interface{ Stats() aqm.Stats }
+
+// RunContext is the assembled scenario a Workload wires traffic onto and
+// an Observer instruments: the engine and run RNG, the topology (exactly
+// one of Dumbbell/LeafSpine is set, matching the Spec's Kind), the
+// per-host guest configuration, and the bottleneck the telemetry and
+// invariant observers watch.
+type RunContext struct {
+	Eng *sim.Engine
+	Rng *sim.RNG
+
+	Dumbbell  *topo.Dumbbell
+	DumbbellP DumbbellParams
+
+	LeafSpine *topo.LeafSpine
+	TestbedP  TestbedParams
+
+	// ConfigFor assigns a guest stack configuration per sender host
+	// (mixed-scheme tenancy gives different hosts different controllers).
+	ConfigFor func(*netem.Host) tcp.Config
+
+	// Bottleneck telemetry: the shared queue, its transmitting port, the
+	// label the invariant checker reports it under, and the line rate the
+	// utilization series normalizes to.
+	Bottleneck     netem.Queue
+	BottleneckPort *netem.Port
+	PortLabel      string
+	LineRateBps    int64
+
+	SampleEvery int64
+	Duration    int64
+	Check       bool
+
+	// Shims holds the scheme's deployed hypervisor shims (empty for
+	// shimless schemes); the shim-stats observer aggregates them.
+	Shims []*core.Shim
+
+	senderFns []func() []*tcp.Sender
+}
+
+// WatchSenders registers a dynamic TCP-sender source (workloads create
+// senders over time) for the invariant checker.
+func (rc *RunContext) WatchSenders(f func() []*tcp.Sender) {
+	rc.senderFns = append(rc.senderFns, f)
+}
+
+// Senders snapshots every registered sender source.
+func (rc *RunContext) Senders() []*tcp.Sender {
+	var out []*tcp.Sender
+	for _, f := range rc.senderFns {
+		out = append(out, f()...)
+	}
+	return out
+}
+
+// Workload wires traffic onto an assembled scenario and harvests its
+// flow-level metrics after the run. Spec.Workload overrides the kind's
+// default (dumbbell: long-lived + incast epochs; testbed: iperf + web).
+type Workload interface {
+	Wire(rc *RunContext, run *Run)
+	Finish(rc *RunContext, run *Run)
+}
+
+// Observer instruments one run: Start is called after the workload is
+// wired but before the engine runs, Finish after the engine stops. The
+// built-in observers (bottleneck telemetry, invariant checker, shim
+// stats) are wired once here instead of per-runner; Spec.Observers
+// appends custom ones.
+type Observer interface {
+	Start(rc *RunContext, run *Run)
+	Finish(rc *RunContext, run *Run)
+}
+
+// telemetryObserver samples the bottleneck queue and utilization on the
+// run's sampling period and harvests the queue's drop/mark totals.
+type telemetryObserver struct {
+	util stats.RateMeter
+}
+
+func (o *telemetryObserver) Start(rc *RunContext, run *Run) {
+	if rc.SampleEvery <= 0 || rc.Bottleneck == nil {
+		return
+	}
+	eng := rc.Eng
+	var sample func()
+	sample = func() {
+		now := eng.Now()
+		run.QueuePkts.Add(now, float64(rc.Bottleneck.Len()))
+		run.QueueBytes.Add(now, float64(rc.Bottleneck.Bytes()))
+		o.util.Observe(now, rc.BottleneckPort.Stats().TxBytes)
+		eng.Schedule(rc.SampleEvery, sample)
+	}
+	eng.Schedule(0, sample)
+}
+
+func (o *telemetryObserver) Finish(rc *RunContext, run *Run) {
+	// Utilization as a fraction of line rate.
+	for i := range o.util.Series.T {
+		run.Utilization.Add(o.util.Series.T[i], o.util.Series.V[i]/float64(rc.LineRateBps))
+	}
+	if qs, ok := rc.Bottleneck.(queueStats); ok {
+		st := qs.Stats()
+		run.Drops = st.Dropped + st.EarlyDrop
+		run.Marks = st.Marked
+	}
+}
+
+// invariantObserver arms the opt-in physical-invariant checker on the
+// bottleneck port and every TCP sender the workload registered.
+type invariantObserver struct {
+	chk *harness.Checker
+}
+
+func (o *invariantObserver) Start(rc *RunContext, run *Run) {
+	if !rc.Check && !InvariantChecksOn() {
+		return
+	}
+	o.chk = harness.NewChecker(rc.Eng, rc.SampleEvery)
+	o.chk.WatchPort(rc.PortLabel, rc.BottleneckPort, rc.Bottleneck)
+	o.chk.WatchSenders(rc.Senders)
+	o.chk.Start()
+}
+
+func (o *invariantObserver) Finish(rc *RunContext, run *Run) {
+	if o.chk == nil {
+		return
+	}
+	for _, v := range o.chk.Finish() {
+		run.InvariantViolations = append(run.InvariantViolations, v.String())
+	}
+}
+
+// shimStatsObserver aggregates the deployed shims' counters into the run.
+type shimStatsObserver struct{}
+
+func (shimStatsObserver) Start(*RunContext, *Run) {}
+
+func (shimStatsObserver) Finish(rc *RunContext, run *Run) {
+	if len(rc.Shims) == 0 {
+		return
+	}
+	agg := core.Stats{}
+	for _, s := range rc.Shims {
+		st := s.Stats()
+		agg.ProbesSent += st.ProbesSent
+		agg.ProbesSeen += st.ProbesSeen
+		agg.ProbesMarked += st.ProbesMarked
+		agg.SynsHeld += st.SynsHeld
+		agg.SynAcksStamped += st.SynAcksStamped
+		agg.SynAcksPaced += st.SynAcksPaced
+		agg.RwndRewrites += st.RwndRewrites
+		agg.EpochsClosed += st.EpochsClosed
+		agg.Dyed += st.Dyed
+		agg.CECleared += st.CECleared
+		agg.FlowsTracked += st.FlowsTracked
+		agg.FlowsExpired += st.FlowsExpired
+	}
+	run.ShimStats = &agg
+}

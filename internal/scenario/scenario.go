@@ -1,0 +1,387 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/core"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+	"hwatch/internal/topo"
+)
+
+// Kind selects a scenario topology.
+type Kind string
+
+const (
+	// KindDumbbell is the ns-2 dumbbell (Figs. 1, 2, 8, 9).
+	KindDumbbell Kind = "dumbbell"
+	// KindTestbed is the 4-rack leaf-spine testbed (Fig. 11).
+	KindTestbed Kind = "testbed"
+)
+
+// Share assigns a scheme a relative weight in a mixed-tenancy scenario:
+// sender hosts cycle through the expanded scheme pattern (a Share of 2
+// puts the scheme on twice as many hosts as a Share of 1; <= 0 counts
+// as 1). Fig. 2's MIX is three schemes with equal shares.
+type Share struct {
+	Scheme Scheme
+	Share  int
+}
+
+// Spec declaratively describes one runnable scenario: a topology kind,
+// one or more schemes (more than one = mixed tenancy), the workload and
+// any extra observers. It is the single Run path behind every experiment,
+// figure, CLI and JSON file.
+type Spec struct {
+	Kind Kind
+	// Schemes lists the scheme(s) sharing the fabric. Exactly one for the
+	// testbed; one or more for the dumbbell.
+	Schemes []Share
+	// Label overrides the run's display label ("" = the scheme's label,
+	// or "MIX" when several schemes share the fabric; the testbed uses
+	// Label verbatim).
+	Label string
+	// Guest, when non-nil, replaces every scheme's guest stack with an
+	// explicit configuration (the R3 agnosticism studies). Shim
+	// deployments still see the scheme's default guest, as a hypervisor
+	// module would: it cannot know what stack the tenant boots.
+	Guest *tcp.Config
+	// ShimOverlay additionally installs HWatch shims on every host over
+	// whatever schemes run (the MIX+HWatch extension). Configured from
+	// the dumbbell's BaseRTT and ShimTweak.
+	ShimOverlay bool
+
+	Dumbbell DumbbellParams
+	Testbed  TestbedParams
+
+	// Workload overrides the kind's default traffic (nil = dumbbell
+	// long-lived + incast, testbed iperf + web).
+	Workload Workload
+	// Observers are appended after the built-in telemetry, invariant and
+	// shim-stats observers. Instances are per-run: do not share stateful
+	// observers across concurrent Run calls.
+	Observers []Observer
+}
+
+// Run executes the spec and returns the measured outcome.
+func (s *Spec) Run() (*Run, error) {
+	switch s.Kind {
+	case KindDumbbell:
+		return s.runDumbbell()
+	case KindTestbed:
+		return s.runTestbed()
+	}
+	return nil, fmt.Errorf("unrunnable scenario kind %q", string(s.Kind))
+}
+
+// RunDumbbell executes one scheme under the given parameters (the
+// classic entry point; panics on an unregistered scheme).
+func RunDumbbell(scheme Scheme, p DumbbellParams) *Run {
+	run, err := (&Spec{
+		Kind:     KindDumbbell,
+		Schemes:  []Share{{Scheme: scheme}},
+		Dumbbell: p,
+	}).Run()
+	if err != nil {
+		panic("scenario: " + err.Error())
+	}
+	return run
+}
+
+// RunTestbed executes the leaf-spine scenario with or without HWatch
+// (the classic boolean entry point; any registered scheme can run on the
+// testbed through a Spec).
+func RunTestbed(hwatch bool, p TestbedParams) *Run {
+	scheme := DropTail
+	if hwatch {
+		scheme = HWatch
+	}
+	run, err := (&Spec{
+		Kind:    KindTestbed,
+		Schemes: []Share{{Scheme: scheme}},
+		Testbed: p,
+	}).Run()
+	if err != nil {
+		panic("scenario: " + err.Error())
+	}
+	return run
+}
+
+// DumbbellFabric builds the dumbbell topology for a materialized
+// bottleneck queue (edge ports stay deep, as in ns-2).
+func DumbbellFabric(bottleneckQ func() netem.Queue, p DumbbellParams) *topo.Dumbbell {
+	return topo.NewDumbbell(topo.DumbbellConfig{
+		Senders:       p.LongSources + p.ShortSources,
+		EdgeRateBps:   p.EdgeBps,
+		BottleneckBps: p.BottleneckBps,
+		LinkDelay:     p.LinkDelay,
+		BottleneckQ:   bottleneckQ,
+		EdgeQ:         func() netem.Queue { return aqm.NewDropTail(100000) },
+	})
+}
+
+// materialize binds every scheme in the spec to env and expands the
+// share-weighted host pattern (host i runs pattern[i % len(pattern)]).
+func (s *Spec) materialize(env Env) ([]Materialized, []int, error) {
+	if len(s.Schemes) == 0 {
+		return nil, nil, fmt.Errorf("scenario spec names no schemes")
+	}
+	mats := make([]Materialized, 0, len(s.Schemes))
+	var pattern []int
+	for i, sh := range s.Schemes {
+		m, err := Materialize(sh.Scheme, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		mats = append(mats, m)
+		n := sh.Share
+		if n <= 0 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			pattern = append(pattern, i)
+		}
+	}
+	return mats, pattern, nil
+}
+
+func (s *Spec) displayLabel(mats []Materialized) string {
+	if s.Label != "" {
+		return s.Label
+	}
+	if len(mats) > 1 {
+		return "MIX"
+	}
+	return mats[0].Label
+}
+
+// overlayDeployment is the MIX+HWatch extension's hypervisor overlay: one
+// shim per host, configured from the fabric's base RTT independently of
+// any tenant's stack.
+func overlayDeployment(env Env) Deployment {
+	cfg := core.DefaultConfig(env.BaseRTT)
+	cfg.MSS = netem.DefaultMSS
+	if env.ShimTweak != nil {
+		env.ShimTweak(&cfg)
+	}
+	return func(hosts []*netem.Host) []*core.Shim {
+		out := make([]*core.Shim, 0, len(hosts))
+		for _, h := range hosts {
+			out = append(out, core.Attach(h, cfg))
+		}
+		return out
+	}
+}
+
+func (s *Spec) runDumbbell() (*Run, error) {
+	p := s.Dumbbell
+	rng := sim.NewRNG(p.Seed)
+	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
+	baseRTT := 4 * p.LinkDelay
+
+	var eng *sim.Engine
+	clock := func() int64 {
+		if eng == nil {
+			return 0
+		}
+		return eng.Now()
+	}
+	env := Env{
+		BufferPkts:  p.BufferPkts,
+		MarkPkts:    int(float64(p.BufferPkts) * p.MarkFrac),
+		MeanPktTime: meanPkt,
+		BaseRTT:     baseRTT,
+		ICW:         p.ICW,
+		MinRTO:      p.MinRTO,
+		ByteBuffers: p.ByteBuffers,
+		Rng:         rng,
+		Clock:       clock,
+		ShimTweak:   p.ShimTweak,
+	}
+	mats, pattern, err := s.materialize(env)
+	if err != nil {
+		return nil, err
+	}
+	if s.Guest != nil {
+		for i := range mats {
+			mats[i].TCPConfig = *s.Guest
+		}
+	}
+
+	d := DumbbellFabric(mats[0].BottleneckQ, p)
+	eng = d.Net.Eng
+
+	hosts := make([]*netem.Host, 0, len(d.Senders)+1)
+	hosts = append(hosts, d.Senders...)
+	hosts = append(hosts, d.Receiver)
+
+	var shims []*core.Shim
+	// A single scheme's shim deployment covers every hypervisor. In a mix,
+	// per-scheme deployments are skipped — the hypervisor shim is
+	// infrastructure, not per-tenant; use ShimOverlay to watch a mix.
+	if len(mats) == 1 && mats[0].Attach != nil {
+		shims = mats[0].Attach(hosts)
+	}
+	if s.ShimOverlay {
+		overlayDeployment(env)(hosts)
+	}
+
+	run := &Run{Label: s.displayLabel(mats)}
+	idx := map[netem.NodeID]int{}
+	for i, h := range d.Senders {
+		idx[h.ID] = i
+	}
+	rc := &RunContext{
+		Eng:       eng,
+		Rng:       rng,
+		Dumbbell:  d,
+		DumbbellP: p,
+		ConfigFor: func(h *netem.Host) tcp.Config {
+			return mats[pattern[idx[h.ID]%len(pattern)]].TCPConfig
+		},
+		Bottleneck:     d.Bottleneck,
+		BottleneckPort: d.BottleneckPort,
+		PortLabel:      "bottleneck",
+		LineRateBps:    p.BottleneckBps,
+		SampleEvery:    p.SampleEvery,
+		Duration:       p.Duration,
+		Check:          p.Check,
+		Shims:          shims,
+	}
+	return s.execute(rc, run, p.Duration+p.DrainAfter)
+}
+
+func (s *Spec) runTestbed() (*Run, error) {
+	if len(s.Schemes) != 1 {
+		return nil, fmt.Errorf("testbed scenarios take exactly one scheme, got %d", len(s.Schemes))
+	}
+	scheme := s.Schemes[0].Scheme
+	def, ok := Lookup(string(scheme))
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %q: registered schemes are %s",
+			string(scheme), strings.Join(Names(), ", "))
+	}
+	p := s.Testbed
+	rng := sim.NewRNG(p.Seed)
+	bufBytes := p.BufferPkts * netem.DefaultMTU
+	markPkts := int(float64(p.BufferPkts) * p.MarkFrac)
+	kBytes := markPkts * netem.DefaultMTU
+	baseRTT := (&topo.LeafSpine{}).BaseRTT(topo.LeafSpineConfig{EdgeDelay: p.LinkDelay, CoreDelay: p.LinkDelay})
+
+	// The paper's testbed ran its shimmed configuration with an aggressive
+	// guest RTO; shimless schemes keep the plain-TCP setting.
+	minRTO := p.MinRTO
+	if def.Shims != nil && p.HWatchMinRTO > 0 {
+		minRTO = p.HWatchMinRTO
+	}
+
+	var eng *sim.Engine
+	clock := func() int64 {
+		if eng == nil {
+			return 0
+		}
+		return eng.Now()
+	}
+	env := Env{
+		BufferPkts:  p.BufferPkts,
+		MarkPkts:    markPkts,
+		MeanPktTime: int64(netem.DefaultMTU) * 8 * sim.Second / p.RateBps,
+		BaseRTT:     baseRTT,
+		MinRTO:      minRTO,
+		ByteBuffers: true, // the testbed's switches account in bytes
+		Rng:         rng,
+		Clock:       clock,
+		// Pace connection admission at the drain rate of the marking
+		// threshold: one SYN-ACK per K-bytes drain time, small burst. With
+		// ~200 concurrent requests per client this is what spreads the
+		// incast over time instead of over the (tiny) buffer.
+		ShimTweak: func(c *core.Config) {
+			c.SynAckBurst = 2
+			c.RefillEvery = int64(kBytes) * 8 * sim.Second / p.RateBps
+			if p.ShimTweak != nil {
+				p.ShimTweak(c)
+			}
+		},
+	}
+	mat, err := Materialize(scheme, env)
+	if err != nil {
+		return nil, err
+	}
+	if s.Guest != nil {
+		mat.TCPConfig = *s.Guest
+	}
+
+	ls := topo.NewLeafSpine(topo.LeafSpineConfig{
+		Racks:        p.Racks,
+		HostsPerRack: p.HostsPerRack,
+		EdgeRateBps:  p.RateBps,
+		CoreRateBps:  p.RateBps,
+		EdgeDelay:    p.LinkDelay,
+		CoreDelay:    p.LinkDelay,
+		EdgeQ:        func() netem.Queue { return aqm.NewDropTailBytes(4 * bufBytes) },
+		CoreQ:        mat.BottleneckQ,
+	})
+	eng = ls.Net.Eng
+
+	var shims []*core.Shim
+	if mat.Attach != nil {
+		shims = mat.Attach(ls.AllHosts())
+	}
+	if s.ShimOverlay {
+		overlayDeployment(env)(ls.AllHosts())
+	}
+
+	run := &Run{Label: s.Label}
+	clientRack := p.Racks - 1
+	rc := &RunContext{
+		Eng:            eng,
+		Rng:            rng,
+		LeafSpine:      ls,
+		TestbedP:       p,
+		ConfigFor:      func(*netem.Host) tcp.Config { return mat.TCPConfig },
+		Bottleneck:     ls.SpineQ[clientRack],
+		BottleneckPort: ls.SpineDown[clientRack],
+		PortLabel:      "spine-down",
+		LineRateBps:    p.RateBps,
+		SampleEvery:    p.SampleEvery,
+		Duration:       p.Duration,
+		Check:          p.Check,
+		Shims:          shims,
+	}
+	return s.execute(rc, run, p.Duration)
+}
+
+// execute wires the workload, starts the observers, runs the engine and
+// harvests everything — the one run path every scenario shares.
+func (s *Spec) execute(rc *RunContext, run *Run, runUntil int64) (*Run, error) {
+	w := s.Workload
+	if w == nil {
+		if rc.Dumbbell != nil {
+			w = &dumbbellTraffic{}
+		} else {
+			w = &testbedTraffic{}
+		}
+	}
+	obs := []Observer{&telemetryObserver{}, &invariantObserver{}, shimStatsObserver{}}
+	obs = append(obs, s.Observers...)
+
+	w.Wire(rc, run)
+	for _, o := range obs {
+		o.Start(rc, run)
+	}
+
+	start := time.Now()
+	rc.Eng.RunUntil(runUntil)
+	run.WallNs = time.Since(start).Nanoseconds()
+	run.Events = rc.Eng.Processed
+
+	w.Finish(rc, run)
+	for _, o := range obs {
+		o.Finish(rc, run)
+	}
+	return run, nil
+}

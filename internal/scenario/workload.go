@@ -1,0 +1,195 @@
+package scenario
+
+import (
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/stats"
+	"hwatch/internal/tcp"
+	"hwatch/internal/topo"
+	"hwatch/internal/workload"
+)
+
+// dumbbellTraffic is the dumbbell kind's default workload: long-lived
+// background flows from the first LongSources hosts plus epochs of
+// correlated short flows from the rest, all terminating at the
+// aggregation host (the paper's Sections II and V scenarios).
+type dumbbellTraffic struct {
+	longRecv []*tcp.Receiver
+	longTx   []*tcp.Sender
+	incast   *workload.Incast
+}
+
+func (h *dumbbellTraffic) Wire(rc *RunContext, run *Run) {
+	d := rc.Dumbbell
+	p := rc.DumbbellP
+	rng := rc.Rng
+
+	// Receivers: every connection terminates at the aggregation host.
+	// Long flows come from ephemeral ports of the first LongSources hosts.
+	// The receiver side of each connection mirrors the originating host's
+	// configuration, as a real handshake would negotiate.
+	longHosts := map[netem.NodeID]bool{}
+	cfgByID := map[netem.NodeID]tcp.Config{}
+	for _, s := range d.Senders {
+		cfgByID[s.ID] = rc.ConfigFor(s)
+	}
+	for i := 0; i < p.LongSources; i++ {
+		longHosts[d.Senders[i].ID] = true
+	}
+	d.Receiver.Listen(DefaultPort, func(syn *netem.Packet) netem.Handler {
+		cfg, ok := cfgByID[syn.Src]
+		if !ok {
+			cfg = tcp.DefaultConfig()
+		}
+		r := tcp.NewReceiver(d.Receiver, syn.Src, syn.DstPort, syn.SrcPort, cfg)
+		if longHosts[r.Peer()] {
+			h.longRecv = append(h.longRecv, r)
+		}
+		return r
+	})
+
+	// Long-lived background flows start immediately.
+	for i := 0; i < p.LongSources; i++ {
+		host := d.Senders[i]
+		ll := workload.StartLongLived([]*netem.Host{host}, d.Receiver.ID, cfgByID[host.ID],
+			workload.LongLivedConfig{Port: DefaultPort, StartAt: 0, Jitter: p.LinkDelay, Rng: rng.Fork()})
+		h.longTx = append(h.longTx, ll.Senders...)
+	}
+
+	// Short-lived incast epochs from the remaining hosts. Incast flows of a
+	// MIX run inherit each host's flavour via the per-host configuration.
+	if p.ShortSources > 0 && p.Epochs > 0 {
+		segTime := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
+		cfgForHost := func(hh *netem.Host) tcp.Config { return cfgByID[hh.ID] }
+		h.incast = workload.RunIncastConfigs(d.Senders[p.LongSources:], d.Receiver.ID, cfgForHost,
+			workload.IncastConfig{
+				Port:          DefaultPort,
+				FlowSize:      p.ShortSize,
+				Epochs:        p.Epochs,
+				FirstEpoch:    p.FirstEpoch,
+				EpochInterval: p.EpochInterval,
+				JitterMean:    segTime,
+				Rng:           rng.Fork(),
+			},
+			func(fct, _ int64) {
+				run.ShortFCTms.Add(float64(fct) / float64(sim.Millisecond))
+			})
+	}
+
+	rc.WatchSenders(func() []*tcp.Sender {
+		out := append([]*tcp.Sender(nil), h.longTx...)
+		if h.incast != nil {
+			out = append(out, h.incast.Senders...)
+		}
+		return out
+	})
+}
+
+func (h *dumbbellTraffic) Finish(rc *RunContext, run *Run) {
+	p := rc.DumbbellP
+	for _, r := range h.longRecv {
+		run.LongGoodputBps.Add(float64(r.Delivered()) * 8 / (float64(p.Duration) / float64(sim.Second)))
+	}
+	run.LongFairness = stats.JainIndex(run.LongGoodputBps.Values())
+	if h.incast != nil {
+		run.ShortAll = h.incast.Started
+		run.ShortDone = h.incast.Completed
+		for _, s := range h.incast.Senders {
+			st := s.Stats()
+			run.Timeouts += st.Timeouts
+			run.ShortRetrans.Add(float64(st.Retransmits))
+		}
+		for _, fcts := range h.incast.FCTsByHost {
+			var perSrc stats.Sample
+			for _, f := range fcts {
+				perSrc.Add(float64(f) / float64(sim.Millisecond))
+			}
+			run.PerSourceAvgMs.Add(perSrc.Mean())
+			run.PerSourceVarMs.Add(perSrc.Var())
+		}
+	}
+}
+
+// testbedTraffic is the testbed kind's default workload: iperf-style long
+// flows from every server rack into the client rack plus epochs of
+// parallel web fetches (the paper's Section VI experiment).
+type testbedTraffic struct {
+	longRecv    []*tcp.Receiver
+	longSenders []*tcp.Sender
+	web         *workload.Web
+}
+
+func (h *testbedTraffic) Wire(rc *RunContext, run *Run) {
+	ls := rc.LeafSpine
+	p := rc.TestbedP
+	rng := rc.Rng
+	tcfg := rc.ConfigFor(nil)
+	baseRTT := ls.BaseRTT(topo.LeafSpineConfig{EdgeDelay: p.LinkDelay, CoreDelay: p.LinkDelay})
+
+	clientRack := p.Racks - 1
+	clients := ls.Racks[clientRack][:p.WebClients]
+
+	// Clients listen; long-flow sinks are spread across all client-rack
+	// hosts so edge links don't bottleneck before the core.
+	for _, hh := range ls.Racks[clientRack] {
+		host := hh
+		host.Listen(DefaultPort, tcp.NewListener(host, tcfg, nil))
+		host.Listen(DefaultPort+1, tcp.NewListener(host, tcfg, func(r *tcp.Receiver) {
+			h.longRecv = append(h.longRecv, r)
+		}))
+	}
+
+	// Long iperf flows: LongPerRack from each server rack, destinations
+	// round-robin over the client rack.
+	li := 0
+	for r := 0; r < p.Racks-1; r++ {
+		for i := 0; i < p.LongPerRack; i++ {
+			src := ls.Racks[r][i%p.HostsPerRack]
+			dst := ls.Racks[clientRack][li%p.HostsPerRack]
+			li++
+			s := tcp.NewSender(src, dst.ID, DefaultPort+1, tcp.Infinite, tcfg)
+			h.longSenders = append(h.longSenders, s)
+			at := rng.UniformRange(0, 2*baseRTT)
+			ls.Net.Eng.At(at, s.Start)
+		}
+	}
+
+	// Web servers: the first WebServers hosts of each server rack.
+	var servers []*netem.Host
+	for r := 0; r < p.Racks-1; r++ {
+		servers = append(servers, ls.Racks[r][:p.WebServers]...)
+	}
+	segTime := int64(netem.DefaultMTU) * 8 * sim.Second / p.RateBps
+	h.web = workload.RunWeb(servers, clients, tcfg, workload.WebConfig{
+		Port:          DefaultPort,
+		ObjectSize:    p.ObjectSize,
+		Parallel:      p.Parallel,
+		Epochs:        p.Epochs,
+		FirstEpoch:    p.FirstEpoch,
+		EpochInterval: p.EpochInterval,
+		JitterMean:    segTime,
+		Rng:           rng.Fork(),
+	}, func(fct, _ int64) {
+		run.ShortFCTms.Add(float64(fct) / float64(sim.Millisecond))
+	})
+
+	rc.WatchSenders(func() []*tcp.Sender {
+		out := append([]*tcp.Sender(nil), h.longSenders...)
+		return append(out, h.web.Senders...)
+	})
+}
+
+func (h *testbedTraffic) Finish(rc *RunContext, run *Run) {
+	p := rc.TestbedP
+	for _, r := range h.longRecv {
+		run.LongGoodputBps.Add(float64(r.Delivered()) * 8 / (float64(p.Duration) / float64(sim.Second)))
+	}
+	run.LongFairness = stats.JainIndex(run.LongGoodputBps.Values())
+	run.ShortAll = h.web.Started
+	run.ShortDone = h.web.Completed
+	for _, s := range h.web.Senders {
+		st := s.Stats()
+		run.Timeouts += st.Timeouts
+		run.ShortRetrans.Add(float64(st.Retransmits))
+	}
+}
