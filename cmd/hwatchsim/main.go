@@ -26,6 +26,7 @@ func main() {
 	var (
 		exp         = flag.String("exp", "fig8", "experiment: fig1|fig2|fig8|fig9|fig11|scheme|spec")
 		spec        = flag.String("spec", "", "JSON scenario file (with -exp spec)")
+		faultsFile  = flag.String("faults", "", "JSON fault-schedule file armed on the run (with -exp scheme or spec)")
 		scale       = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1.0 = paper scale")
 		outDir      = flag.String("out", "", "directory for per-run CSV series (optional)")
 		scheme      = flag.String("scheme", "hwatch", "for -exp scheme: a registered scheme name (see -list-schemes)")
@@ -47,6 +48,17 @@ func main() {
 			fmt.Printf("%-12s %-16s %s\n", def.Name, def.Label, def.Description)
 		}
 		return
+	}
+
+	var sched hwatch.FaultSchedule
+	if *faultsFile != "" {
+		if *exp != "scheme" && *exp != "spec" {
+			log.Fatalf("-faults applies to -exp scheme or -exp spec, not %q", *exp)
+		}
+		var err error
+		if sched, err = hwatch.LoadFaults(*faultsFile); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var runs []*hwatch.Run
@@ -81,7 +93,21 @@ func main() {
 		p := hwatch.PaperDumbbell(*longN, *shortN)
 		p.Seed = *seed
 		p.ByteBuffers = true
-		runs = []*hwatch.Run{hwatch.RunDumbbell(hwatch.Scheme(name), p)}
+		if len(sched) > 0 {
+			// Leave room for RTO-backed recovery after the last fault.
+			p.DrainAfter = 1_000_000_000 // 1 s, in engine ns
+		}
+		sc := &hwatch.Scenario{
+			Kind:     hwatch.KindDumbbell,
+			Schemes:  []hwatch.SchemeShare{{Scheme: hwatch.Scheme(name)}},
+			Dumbbell: p,
+			Faults:   sched,
+		}
+		run, err := sc.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = []*hwatch.Run{run}
 	case "spec":
 		if *spec == "" {
 			log.Fatal("-exp spec requires -spec file.json")
@@ -90,7 +116,12 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := sp.Run()
+		sc := sp.Scenario()
+		if len(sched) > 0 {
+			// -faults overrides the file's own schedule.
+			sc.Faults = sched
+		}
+		run, err := sc.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -25,6 +25,7 @@ package hwatch
 import (
 	"hwatch/internal/core"
 	"hwatch/internal/experiments"
+	"hwatch/internal/faults"
 	"hwatch/internal/harness"
 	"hwatch/internal/scenario"
 	"hwatch/internal/stats"
@@ -116,6 +117,30 @@ const (
 	KindDumbbell = scenario.KindDumbbell
 	KindTestbed  = scenario.KindTestbed
 )
+
+// FaultSchedule is a deterministic fault timeline a Scenario arms on its
+// fabric (link flaps, ECN blackholes, shim crashes, probe blackouts,
+// burst-loss windows); FaultEvent is one entry. Same seed + spec +
+// schedule ⇒ identical digest.
+type (
+	FaultSchedule = faults.Schedule
+	FaultEvent    = faults.Event
+)
+
+// FaultSpec is the JSON (millisecond-unit) form of one fault event, as
+// used in spec files' "faults" arrays and hwatchsim -faults files.
+type FaultSpec = scenario.FaultSpec
+
+// LoadFaults reads and renders a standalone JSON fault-schedule file.
+func LoadFaults(path string) (FaultSchedule, error) { return scenario.LoadFaults(path) }
+
+// RenderFaults converts JSON fault specs into an engine-ready schedule.
+func RenderFaults(specs []FaultSpec) (FaultSchedule, error) { return scenario.RenderFaults(specs) }
+
+// RecoveryObserver is the observer a faulted Scenario appends
+// automatically: it asserts every finite flow completes, queues drain and
+// no shim state leaks once the last fault clears.
+type RecoveryObserver = scenario.RecoveryObserver
 
 // Run is one scenario's measured outcome: the exact series the paper's
 // figures plot (FCT CDFs, goodput CDFs, queue and utilization time series)

@@ -80,6 +80,25 @@ type Config struct {
 	IdleTimeout int64
 	GCInterval  int64
 
+	// Graceful degradation when the signal path misbehaves. Both default
+	// off so the paper's behaviour is bit-identical unless a deployment
+	// (e.g. a fault-injected scenario) opts in.
+	//
+	// ProbeLossFallback: when the guest's SYN-ACK goes out and *no* probe
+	// of the train was seen — a probe blackout, a crashed sender shim, a
+	// middlebox eating raw IP — the shim passes the SYN-ACK through
+	// unstamped instead of clamping to DefaultICW on zero evidence. Rule 1
+	// re-tightens the window as soon as data marks are observed.
+	ProbeLossFallback bool
+	// EcnDarkEpochs: after this many consecutive mark-free data epochs the
+	// shim assumes ECN has gone dark (a blackhole, a legacy hop) and
+	// releases the rwnd clamp exponentially — doubling per further clean
+	// epoch up to MaxWndSegs — so it never strangles flows on a signal
+	// that no longer exists. The first mark observed snaps the window back
+	// to the Next Fit verdict (exponential re-tightening in reverse).
+	// Zero disables the fallback.
+	EcnDarkEpochs int
+
 	// Seed drives probe spacing jitter and the odd-marked-packet coin.
 	Seed int64
 }
@@ -122,6 +141,12 @@ type Stats struct {
 	CECleared      int64 // CE codepoints cleared before guest delivery
 	FlowsTracked   int64
 	FlowsExpired   int64
+
+	// Degradation and fault counters.
+	Crashes        int64 // Crash() calls: flow table wiped, clamps released
+	Restarts       int64 // Restart() calls after a crash
+	ProbeFallbacks int64 // SYN-ACKs passed unstamped (whole train lost)
+	DarkReleases   int64 // clamp doublings taken because ECN went dark
 }
 
 // role distinguishes which end of a flow this host's shim is on.

@@ -21,13 +21,14 @@ import (
 // inter-VM, intra-host and inter-host traffic for the whole server
 // (Section IV-D).
 type Shim struct {
-	cfg    Config
-	eng    *sim.Engine
-	rng    *sim.RNG
-	table  *flowTable
-	bucket *tokenBucket
-	stats  Stats
-	hosts  int
+	cfg     Config
+	eng     *sim.Engine
+	rng     *sim.RNG
+	table   *flowTable
+	bucket  *tokenBucket
+	stats   Stats
+	hosts   int
+	crashed bool
 }
 
 // Attach builds a Shim and installs it on the host's filter chains (the
@@ -104,6 +105,42 @@ func (s *Shim) gcSweep() {
 	s.eng.Schedule(s.cfg.GCInterval, s.gcSweep)
 }
 
+// Crash models the hypervisor module dying while the host keeps
+// forwarding (the deployment hazard the implementation papers hit: a
+// module reload or OvS restart mid-connection). The flow table is wiped —
+// epoch timers cancelled, rwnd clamps implicitly released, SYN holds and
+// probe accounting forgotten — and until Restart the shim passes all
+// traffic through untouched, exactly like a host it was never installed
+// on.
+func (s *Shim) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.stats.Crashes++
+	for _, e := range s.table.entries {
+		e.closed = true
+		if e.epoch != nil {
+			e.epoch.Cancel()
+		}
+	}
+	s.table = newFlowTable()
+}
+
+// Restart brings a crashed shim back with a cold flow table: connections
+// established during the outage run unwatched to completion (their SYNs
+// were never seen), while new connections are processed normally again.
+func (s *Shim) Restart() {
+	if !s.crashed {
+		return
+	}
+	s.crashed = false
+	s.stats.Restarts++
+}
+
+// Crashed reports whether the shim is currently down.
+func (s *Shim) Crashed() bool { return s.crashed }
+
 // Stats returns a copy of the shim counters.
 func (s *Shim) Stats() Stats { return s.stats }
 
@@ -167,6 +204,9 @@ func (s *Shim) batcher() binpack.Batcher {
 
 // outbound handles guest -> network packets for one attached host.
 func (s *Shim) outbound(h *netem.Host, p *netem.Packet) netem.Verdict {
+	if s.crashed {
+		return netem.VerdictPass
+	}
 	switch {
 	case p.Flags.Has(netem.FlagSYN) && !p.Flags.Has(netem.FlagACK):
 		return s.outSYN(h, p)
@@ -243,8 +283,17 @@ func (s *Shim) outSynAck(h *netem.Host, p *netem.Packet) netem.Verdict {
 	}
 	if !e.stamped {
 		e.stamped = true
-		e.wndSegs = s.batcher().StartWindow(e.probesSeen, e.probesMarked, s.cfg.DefaultICW)
-		s.stats.SynAcksStamped++
+		if s.cfg.ProbeLossFallback && e.probesSeen == 0 {
+			// The whole train vanished (probe blackout, crashed sender
+			// shim, probe-eating middlebox): zero evidence is not a verdict,
+			// so degrade to pass-through rather than clamp blind. wndSegs
+			// stays -1; the epoch loop still runs so Rule 1 re-tightens the
+			// moment marks appear.
+			s.stats.ProbeFallbacks++
+		} else {
+			e.wndSegs = s.batcher().StartWindow(e.probesSeen, e.probesMarked, s.cfg.DefaultICW)
+			s.stats.SynAcksStamped++
+		}
 		s.startEpoch(e)
 	}
 	s.clampRwnd(p, e)
@@ -288,6 +337,11 @@ func (s *Shim) outEstablished(p *netem.Packet) netem.Verdict {
 
 // inbound handles network -> guest packets for one attached host.
 func (s *Shim) inbound(h *netem.Host, p *netem.Packet) netem.Verdict {
+	if s.crashed {
+		// Pass-through, probes included: with the shim dead nothing steals
+		// them, so they fall off the host's demux like any unclaimed raw IP.
+		return netem.VerdictPass
+	}
 	if p.Probe {
 		return s.inProbe(p)
 	}
@@ -347,6 +401,17 @@ func (s *Shim) inEstablished(p *netem.Packet) {
 		if p.Flags.Has(netem.FlagFIN) || p.Flags.Has(netem.FlagRST) {
 			s.expire(e)
 		}
+		return
+	}
+	// Sender side: a RST arriving from the remote end kills the local
+	// guest's connection, which will never emit the FIN the outbound path
+	// expires on — drop the entry now instead of leaking it until the idle
+	// sweep. (The table is keyed by data direction, so the sender-side row
+	// sits under the reversed key of an inbound packet.)
+	if p.Flags.Has(netem.FlagRST) {
+		if e := s.table.get(p.FlowKey().Reverse()); e != nil && e.role == roleSender {
+			s.expire(e)
+		}
 	}
 }
 
@@ -397,14 +462,29 @@ func (s *Shim) closeEpoch(e *flowEntry) {
 	case e.marked == 0:
 		// Clean epoch: grow additively, one step per GrowthEvery clean
 		// epochs (slower than per-RTT AIMD so the aggregate of many
-		// regulated flows does not outrun the marking threshold).
+		// regulated flows does not outrun the marking threshold). The
+		// counter only resets on a marked epoch, so the modulo fires at the
+		// same instants a reset-and-compare would.
 		e.cleanEpochs++
 		every := s.cfg.GrowthEvery
 		if every < 1 {
 			every = 1
 		}
-		if e.cleanEpochs >= every {
-			e.cleanEpochs = 0
+		switch {
+		case e.wndSegs < 0:
+			// Already pass-through (probe-loss fallback): nothing to grow.
+		case s.cfg.EcnDarkEpochs > 0 && e.cleanEpochs >= s.cfg.EcnDarkEpochs:
+			// ECN has gone dark: data flowed for EcnDarkEpochs epochs with
+			// not one mark. Trusting the clamp now means trusting a signal
+			// that may no longer exist, so release it exponentially.
+			if e.wndSegs < s.cfg.MaxWndSegs {
+				e.wndSegs *= 2
+				if e.wndSegs > s.cfg.MaxWndSegs {
+					e.wndSegs = s.cfg.MaxWndSegs
+				}
+				s.stats.DarkReleases++
+			}
+		case e.cleanEpochs%every == 0:
 			e.wndSegs += s.cfg.GrowthSegs
 			if e.wndSegs > s.cfg.MaxWndSegs {
 				e.wndSegs = s.cfg.MaxWndSegs
@@ -412,7 +492,9 @@ func (s *Shim) closeEpoch(e *flowEntry) {
 		}
 	default:
 		e.cleanEpochs = 0
-		// Congested epoch: W' = X_UM (+ X_M/2 if batches merged).
+		// Congested epoch: W' = X_UM (+ X_M/2 if batches merged). After a
+		// dark-release this is the exponential re-tightening: one mark and
+		// the window snaps back to the Next Fit verdict.
 		plan := s.batcher().Split(e.unmarked, e.marked)
 		w := plan.Sizes[0]
 		if w > s.cfg.MaxWndSegs {

@@ -7,6 +7,11 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"hwatch/internal/faults"
+	"hwatch/internal/netem"
+	"hwatch/internal/scenario"
+	"hwatch/internal/sim"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden_digests.json from this run")
@@ -28,7 +33,53 @@ func goldenRuns() map[string]string {
 	f11 := Fig11(0.2)
 	got["fig11/tcp"] = f11.TCP.DigestHex()
 	got["fig11/hwatch"] = f11.HWatch.DigestHex()
+	for k, v := range faultGoldenRuns() {
+		got[k] = v
+	}
 	return got
+}
+
+// faultGoldenRuns locks two chaos scenarios into the golden set: the
+// fault injector is part of the determinism contract, so a schedule's
+// effect on the run must be as reproducible as the run itself.
+func faultGoldenRuns() map[string]string {
+	params := func(seed int64) scenario.DumbbellParams {
+		p := PaperDumbbell(5, 5)
+		p.Seed = seed
+		p.ByteBuffers = true
+		p.Duration = 400 * sim.Millisecond
+		p.DrainAfter = 600 * sim.Millisecond
+		p.Epochs = 2
+		return p
+	}
+	linkflap := faults.Schedule{
+		{Kind: faults.LinkDown, At: 120 * sim.Millisecond},
+		{Kind: faults.LinkUp, At: 124 * sim.Millisecond},
+		{Kind: faults.BurstLoss, At: 250 * sim.Millisecond, Until: 270 * sim.Millisecond,
+			GE: netem.GEParams{GoodToBad: 0.05, BadToGood: 0.5, LossBad: 1}},
+	}
+	blackhole := faults.Schedule{
+		{Kind: faults.ECNBlackhole, At: 100 * sim.Millisecond, Until: 260 * sim.Millisecond},
+		{Kind: faults.ShimCrash, At: 140 * sim.Millisecond},
+		{Kind: faults.ShimRestart, At: 180 * sim.Millisecond},
+		{Kind: faults.ProbeBlackout, At: 180 * sim.Millisecond, Until: 240 * sim.Millisecond},
+	}
+	run := func(sched faults.Schedule, seed int64) string {
+		r, err := (&scenario.Spec{
+			Kind:     scenario.KindDumbbell,
+			Schemes:  []scenario.Share{{Scheme: SchemeHWatch}},
+			Dumbbell: params(seed),
+			Faults:   sched,
+		}).Run()
+		if err != nil {
+			panic("fault golden: " + err.Error())
+		}
+		return r.DigestHex()
+	}
+	return map[string]string{
+		"faults/linkflap":  run(linkflap, 7),
+		"faults/blackhole": run(blackhole, 9),
+	}
 }
 
 // TestGoldenDigests locks the small-scale Fig. 2, Fig. 8 and Fig. 11

@@ -1,0 +1,360 @@
+// Package faults stages deterministic, engine-scheduled fault timelines
+// against an assembled scenario: link failures, ECN-stripping legacy hops,
+// hypervisor-shim crashes, probe blackouts and Gilbert–Elliott burst-loss
+// windows — the deployment hazards the HWatch papers assume away. Every
+// event fires at a fixed simulation time from the run's own engine, and
+// every random draw comes from the run's seeded RNG, so a fault schedule
+// is part of the determinism contract: same seed + spec + schedule ⇒ the
+// same digest, run after run.
+//
+// A Schedule is pure data; Arm binds it to a Fabric (the named ports,
+// switches and shims of a built topology) and queues the events. The
+// scenario layer assembles the Fabric and exposes schedules through
+// scenario.Spec.Faults and JSON spec files.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hwatch/internal/core"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+// Kind names a fault type. The string values are what JSON spec files use.
+type Kind string
+
+const (
+	// LinkDown fails a link at At: packets offered to it are lost, queued
+	// packets hold until a LinkUp restores it.
+	LinkDown Kind = "link-down"
+	// LinkUp restores a failed link at At.
+	LinkUp Kind = "link-up"
+	// ECNBlackhole turns a switch into a legacy non-ECN hop for [At,Until):
+	// every port strips CE/ECT before its AQM, so marking degrades to
+	// dropping and upstream marks never arrive.
+	ECNBlackhole Kind = "ecn-blackhole"
+	// ProbeBlackout makes a link eat probe packets only for [At,Until) —
+	// an ACL or middlebox discarding the shim's raw-IP probes.
+	ProbeBlackout Kind = "probe-blackout"
+	// ShimCrash kills hypervisor shims at At: flow tables wiped, clamps
+	// released, traffic passes through unwatched.
+	ShimCrash Kind = "shim-crash"
+	// ShimRestart brings crashed shims back (cold tables) at At.
+	ShimRestart Kind = "shim-restart"
+	// BurstLoss runs a link through a Gilbert–Elliott burst-loss channel
+	// for [At,Until); GE parameterizes the channel.
+	BurstLoss Kind = "burst-loss"
+)
+
+// Kinds lists every fault kind, for error messages and docs.
+func Kinds() []Kind {
+	return []Kind{LinkDown, LinkUp, ECNBlackhole, ProbeBlackout, ShimCrash, ShimRestart, BurstLoss}
+}
+
+// Event is one entry of a fault timeline. Times are simulation
+// nanoseconds; Until bounds the windowed kinds (ECNBlackhole,
+// ProbeBlackout, BurstLoss) and is ignored by the point kinds. Target
+// names a Fabric link, switch or shim ("" selects the Fabric's default —
+// the bottleneck, the core switch, every shim).
+type Event struct {
+	Kind   Kind
+	At     int64
+	Until  int64
+	Target string
+	GE     netem.GEParams
+}
+
+// Windowed reports whether the kind covers an [At,Until) interval.
+func (e Event) Windowed() bool {
+	switch e.Kind {
+	case ECNBlackhole, ProbeBlackout, BurstLoss:
+		return true
+	}
+	return false
+}
+
+func (e Event) String() string {
+	tgt := e.Target
+	if tgt == "" {
+		tgt = "default"
+	}
+	if e.Windowed() {
+		return fmt.Sprintf("%s %s [%s, %s)", e.Kind, tgt, fmtNs(e.At), fmtNs(e.Until))
+	}
+	return fmt.Sprintf("%s %s at %s", e.Kind, tgt, fmtNs(e.At))
+}
+
+func fmtNs(ns int64) string {
+	return fmt.Sprintf("%.3fms", float64(ns)/float64(sim.Millisecond))
+}
+
+// Schedule is an ordered fault timeline (events may share instants; they
+// fire in slice order, matching the engine's FIFO-within-instant rule).
+type Schedule []Event
+
+// Validate rejects schedules the injector could not arm deterministically.
+func (s Schedule) Validate() error {
+	known := map[Kind]bool{}
+	for _, k := range Kinds() {
+		known[k] = true
+	}
+	for i, e := range s {
+		if !known[e.Kind] {
+			return fmt.Errorf("faults[%d]: unknown kind %q (kinds: %s)", i, e.Kind, kindList())
+		}
+		if e.At < 0 {
+			return fmt.Errorf("faults[%d] %s: negative time %d", i, e.Kind, e.At)
+		}
+		if e.Windowed() && e.Until <= e.At {
+			return fmt.Errorf("faults[%d] %s: window end %d not after start %d", i, e.Kind, e.Until, e.At)
+		}
+		if e.Kind == BurstLoss {
+			if err := checkGE(e.GE); err != nil {
+				return fmt.Errorf("faults[%d] burst-loss: %v", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+func checkGE(g netem.GEParams) error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{
+		{"p_good_bad", g.GoodToBad}, {"p_bad_good", g.BadToGood},
+		{"loss_good", g.LossGood}, {"loss_bad", g.LossBad},
+	} {
+		if !(p.v >= 0 && p.v <= 1) { // also rejects NaN
+			return fmt.Errorf("%s = %v outside [0, 1]", p.name, p.v)
+		}
+	}
+	if !g.Enabled() {
+		return fmt.Errorf("channel can never drop (loss_good and loss_bad both zero)")
+	}
+	return nil
+}
+
+func kindList() string {
+	names := make([]string, 0, len(Kinds()))
+	for _, k := range Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
+// LastClear returns the instant the final fault effect ends — the point
+// after which recovery invariants must hold. Zero for an empty schedule.
+func (s Schedule) LastClear() int64 {
+	var last int64
+	for _, e := range s {
+		t := e.At
+		if e.Windowed() && e.Until > t {
+			t = e.Until
+		}
+		if t > last {
+			last = t
+		}
+	}
+	return last
+}
+
+// Fabric binds schedule targets to the concrete pieces of a built
+// topology. The scenario layer fills it in; tests can assemble one by
+// hand around any netem network.
+type Fabric struct {
+	// Links maps names to transmitting ports ("bottleneck", "sender0.up",
+	// ...). Link-scoped events (LinkDown/Up, ProbeBlackout, BurstLoss)
+	// resolve here; ECNBlackhole falls back here when no switch matches.
+	Links map[string]*netem.Port
+	// DefaultLink is the link a link-scoped event with no Target hits.
+	DefaultLink string
+	// Switches maps names for ECNBlackhole targets; DefaultSwitch is used
+	// when the event names none.
+	Switches      map[string]*netem.Switch
+	DefaultSwitch string
+	// Shims are the deployed hypervisor shims. Shim events hit all of them
+	// by default, or one selected as "shim0", "shim1", ... A scheme with
+	// no shims ignores shim events, so one schedule chaos-tests every
+	// registered scheme.
+	Shims []*core.Shim
+}
+
+func (f Fabric) link(target string) (*netem.Port, error) {
+	name := target
+	if name == "" {
+		name = f.DefaultLink
+	}
+	if p, ok := f.Links[name]; ok && p != nil {
+		return p, nil
+	}
+	return nil, fmt.Errorf("no link %q in fabric (links: %s)", name, joinKeys(f.Links))
+}
+
+// strip resolves an ECNBlackhole target to its toggle: a whole switch by
+// name, or a single link as a fallback.
+func (f Fabric) strip(target string) (func(bool), error) {
+	name := target
+	if name == "" {
+		name = f.DefaultSwitch
+		if name == "" {
+			name = f.DefaultLink
+		}
+	}
+	if sw, ok := f.Switches[name]; ok && sw != nil {
+		return sw.SetStripECN, nil
+	}
+	if p, ok := f.Links[name]; ok && p != nil {
+		return p.SetStripECN, nil
+	}
+	return nil, fmt.Errorf("no switch or link %q in fabric (switches: %s; links: %s)",
+		name, joinKeysSw(f.Switches), joinKeys(f.Links))
+}
+
+func (f Fabric) shims(target string) ([]*core.Shim, error) {
+	if target == "" {
+		return f.Shims, nil // all of them; none deployed = event is a no-op
+	}
+	var idx int
+	if _, err := fmt.Sscanf(target, "shim%d", &idx); err != nil || idx < 0 || idx >= len(f.Shims) {
+		return nil, fmt.Errorf("no shim %q in fabric (%d shims deployed; use \"shim0\"..\"shim%d\" or \"\")",
+			target, len(f.Shims), len(f.Shims)-1)
+	}
+	return []*core.Shim{f.Shims[idx]}, nil
+}
+
+func joinKeys(m map[string]*netem.Port) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+func joinKeysSw(m map[string]*netem.Switch) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// Injector is an armed schedule. Arm resolves every target eagerly (a
+// typo fails the run before it starts, not at t=fault) and queues the
+// events on the engine; the injector then just records what fired.
+type Injector struct {
+	Schedule Schedule
+
+	// Log lists every fault action in firing order, stamped with
+	// simulation time — deterministic, so tests can assert on it.
+	Log []string
+
+	lastClear int64
+	channels  []*netem.GilbertElliott
+}
+
+// LastClear returns the instant the final fault effect ends.
+func (inj *Injector) LastClear() int64 { return inj.lastClear }
+
+// BurstDrops totals the packets the armed burst-loss channels removed.
+func (inj *Injector) BurstDrops() int64 {
+	var n int64
+	for _, g := range inj.channels {
+		n += g.Drops
+	}
+	return n
+}
+
+func (inj *Injector) logf(eng *sim.Engine, format string, args ...any) {
+	inj.Log = append(inj.Log, fmtNs(eng.Now())+" "+fmt.Sprintf(format, args...))
+}
+
+// Arm validates the schedule, resolves every target against the fabric
+// and queues the fault events on the engine. Call after the topology and
+// shims are built but before the engine runs. Burst-loss channels fork
+// the run RNG once per event, in schedule order, so the loss pattern is a
+// pure function of seed + schedule.
+func Arm(eng *sim.Engine, rng *sim.RNG, sched Schedule, fab Fabric) (*Injector, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{Schedule: sched, lastClear: sched.LastClear()}
+	for i, ev := range sched {
+		ev := ev
+		switch ev.Kind {
+		case LinkDown, LinkUp:
+			port, err := fab.link(ev.Target)
+			if err != nil {
+				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
+			}
+			down := ev.Kind == LinkDown
+			eng.At(ev.At, func() {
+				port.SetDown(down)
+				inj.logf(eng, "%s %s", ev.Kind, port.Label)
+			})
+		case ProbeBlackout:
+			port, err := fab.link(ev.Target)
+			if err != nil {
+				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
+			}
+			eng.At(ev.At, func() {
+				port.SetDropProbes(true)
+				inj.logf(eng, "probe-blackout on %s", port.Label)
+			})
+			eng.At(ev.Until, func() {
+				port.SetDropProbes(false)
+				inj.logf(eng, "probe-blackout off %s", port.Label)
+			})
+		case ECNBlackhole:
+			strip, err := fab.strip(ev.Target)
+			if err != nil {
+				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
+			}
+			eng.At(ev.At, func() {
+				strip(true)
+				inj.logf(eng, "ecn-blackhole on")
+			})
+			eng.At(ev.Until, func() {
+				strip(false)
+				inj.logf(eng, "ecn-blackhole off")
+			})
+		case ShimCrash, ShimRestart:
+			shims, err := fab.shims(ev.Target)
+			if err != nil {
+				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
+			}
+			crash := ev.Kind == ShimCrash
+			eng.At(ev.At, func() {
+				for _, sh := range shims {
+					if crash {
+						sh.Crash()
+					} else {
+						sh.Restart()
+					}
+				}
+				inj.logf(eng, "%s (%d shims)", ev.Kind, len(shims))
+			})
+		case BurstLoss:
+			port, err := fab.link(ev.Target)
+			if err != nil {
+				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
+			}
+			ge := &netem.GilbertElliott{P: ev.GE, Rng: rng.Fork()}
+			inj.channels = append(inj.channels, ge)
+			eng.At(ev.At, func() {
+				port.SetLoss(func(*netem.Packet) bool { return ge.Drop() })
+				inj.logf(eng, "burst-loss on %s", port.Label)
+			})
+			eng.At(ev.Until, func() {
+				port.SetLoss(nil)
+				inj.logf(eng, "burst-loss off %s (%d/%d dropped)", port.Label, ge.Drops, ge.Seen)
+			})
+		}
+	}
+	return inj, nil
+}

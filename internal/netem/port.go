@@ -25,10 +25,16 @@ type Queue interface {
 }
 
 // PortStats counts traffic through a port. Drops at the queue are accounted
-// by the queue discipline's own statistics.
+// by the queue discipline's own statistics; the fault counters account
+// packets lost to injected faults before they reach the queue.
 type PortStats struct {
 	TxPackets int64
 	TxBytes   int64
+
+	DownDrops   int64 // packets offered while the link was down
+	ProbeDrops  int64 // probe packets eaten by a probe blackout
+	FaultDrops  int64 // packets taken by an installed loss process
+	EcnStripped int64 // codepoints erased by an ECN blackhole
 }
 
 // Port is one unidirectional link attachment: an output queue, a serializing
@@ -45,6 +51,12 @@ type Port struct {
 	peer  Deliverer
 	busy  bool
 	stats PortStats
+
+	// Fault state, driven by internal/faults (all zero in a healthy run).
+	down       bool
+	stripECN   bool
+	dropProbes bool
+	lossFn     func(*Packet) bool
 }
 
 // NewPort returns a port transmitting at rateBps with the given one-way
@@ -70,11 +82,62 @@ func (p *Port) SerializationDelay(size int) int64 {
 	return int64(size) * 8 * sim.Second / p.RateBps
 }
 
+// SetDown fails or restores the link. While down, every packet offered to
+// the port is lost (a cable pull loses the frames in flight on it) and the
+// transmitter pauses; packets already queued are preserved and drain when
+// the link comes back, as a paused egress port's buffer would.
+func (p *Port) SetDown(down bool) {
+	if p.down == down {
+		return
+	}
+	p.down = down
+	if !down && !p.busy {
+		p.transmitNext()
+	}
+}
+
+// Down reports whether the link is administratively failed.
+func (p *Port) Down() bool { return p.down }
+
+// SetStripECN makes the port erase ECN codepoints (CE and ECT alike)
+// before its queue sees the packet — a legacy non-ECN hop: the AQM treats
+// traffic as ECN-incapable, so it drops where it would have marked, and
+// upstream marks never reach the receiver.
+func (p *Port) SetStripECN(on bool) { p.stripECN = on }
+
+// StripsECN reports whether the port erases ECN codepoints.
+func (p *Port) StripsECN() bool { return p.stripECN }
+
+// SetDropProbes makes the port eat probe packets only (an ACL or middlebox
+// that discards the shim's raw-IP probes while TCP passes untouched).
+func (p *Port) SetDropProbes(on bool) { p.dropProbes = on }
+
+// SetLoss installs a loss process consulted for every packet offered to
+// the port (nil removes it). The function must be deterministic given the
+// run's seeded RNG; internal/faults uses it for burst-loss windows.
+func (p *Port) SetLoss(fn func(*Packet) bool) { p.lossFn = fn }
+
 // Send enqueues the packet for transmission, starting the transmitter if it
 // is idle. The queue discipline may drop or mark the packet.
 func (p *Port) Send(pkt *Packet) {
 	if p.peer == nil {
 		panic(fmt.Sprintf("netem: port %q unconnected", p.Label))
+	}
+	if p.down {
+		p.stats.DownDrops++
+		return
+	}
+	if p.stripECN && pkt.ECN != NotECT {
+		pkt.ECN = NotECT
+		p.stats.EcnStripped++
+	}
+	if p.dropProbes && pkt.Probe {
+		p.stats.ProbeDrops++
+		return
+	}
+	if p.lossFn != nil && p.lossFn(pkt) {
+		p.stats.FaultDrops++
+		return
 	}
 	pkt.EnqueuedAt = p.Eng.Now()
 	if !p.Q.Enqueue(pkt) {
@@ -86,6 +149,10 @@ func (p *Port) Send(pkt *Packet) {
 }
 
 func (p *Port) transmitNext() {
+	if p.down {
+		p.busy = false
+		return
+	}
 	pkt := p.Q.Dequeue()
 	if pkt == nil {
 		p.busy = false

@@ -40,6 +40,15 @@ func (s *Switch) AddPort(p *Port) int {
 // Port returns the output port at index i.
 func (s *Switch) Port(i int) *Port { return s.ports[i] }
 
+// SetStripECN turns the whole switch into a legacy non-ECN hop (or back):
+// every output port erases CE/ECT codepoints before its AQM, so marking
+// degrades to dropping fabric-wide. The fault injector's ECN blackhole.
+func (s *Switch) SetStripECN(on bool) {
+	for _, p := range s.ports {
+		p.SetStripECN(on)
+	}
+}
+
 // NumPorts returns the number of attached ports.
 func (s *Switch) NumPorts() int { return len(s.ports) }
 

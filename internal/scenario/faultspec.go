@@ -1,0 +1,96 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hwatch/internal/faults"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+)
+
+// FaultSpec is the JSON form of one fault-timeline event, in operator
+// units (milliseconds). It appears in a spec file's "faults" array or in
+// a standalone schedule file for hwatchsim -faults:
+//
+//	[
+//	  {"kind": "link-down", "at_ms": 150},
+//	  {"kind": "link-up",   "at_ms": 155},
+//	  {"kind": "burst-loss", "at_ms": 250, "until_ms": 270,
+//	   "p_good_bad": 0.05, "p_bad_good": 0.5, "loss_bad": 1}
+//	]
+//
+// Target selects a fabric element ("" = the scenario default: the
+// bottleneck link, the core switch, every shim). The Gilbert–Elliott
+// knobs only apply to "burst-loss".
+type FaultSpec struct {
+	Kind    string  `json:"kind"`
+	AtMs    float64 `json:"at_ms"`
+	UntilMs float64 `json:"until_ms,omitempty"`
+	Target  string  `json:"target,omitempty"`
+
+	PGoodBad float64 `json:"p_good_bad,omitempty"`
+	PBadGood float64 `json:"p_bad_good,omitempty"`
+	LossGood float64 `json:"loss_good,omitempty"`
+	LossBad  float64 `json:"loss_bad,omitempty"`
+}
+
+// maxFaultMs bounds schedule times to something a simulation could ever
+// reach (~11.5 days); it mainly rejects NaN/Inf and absurd inputs early.
+const maxFaultMs = 1e9
+
+// checkFaultSpecs validates the operator-unit fields; kind and window
+// semantics are checked by faults.Schedule.Validate on the rendered form.
+func checkFaultSpecs(specs []FaultSpec) error {
+	for i, f := range specs {
+		if !(f.AtMs >= 0 && f.AtMs <= maxFaultMs) {
+			return fmt.Errorf("faults[%d] %s: at_ms %v outside [0, %g]", i, f.Kind, f.AtMs, float64(maxFaultMs))
+		}
+		if f.UntilMs != 0 && !(f.UntilMs > 0 && f.UntilMs <= maxFaultMs) {
+			return fmt.Errorf("faults[%d] %s: until_ms %v outside (0, %g]", i, f.Kind, f.UntilMs, float64(maxFaultMs))
+		}
+	}
+	return nil
+}
+
+// RenderFaults converts JSON fault specs to an engine-ready schedule
+// (ms → ns) and validates it.
+func RenderFaults(specs []FaultSpec) (faults.Schedule, error) {
+	if err := checkFaultSpecs(specs); err != nil {
+		return nil, err
+	}
+	sched := make(faults.Schedule, 0, len(specs))
+	for _, f := range specs {
+		sched = append(sched, faults.Event{
+			Kind:   faults.Kind(f.Kind),
+			At:     int64(f.AtMs * float64(sim.Millisecond)),
+			Until:  int64(f.UntilMs * float64(sim.Millisecond)),
+			Target: f.Target,
+			GE: netem.GEParams{
+				GoodToBad: f.PGoodBad,
+				BadToGood: f.PBadGood,
+				LossGood:  f.LossGood,
+				LossBad:   f.LossBad,
+			},
+		})
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	return sched, nil
+}
+
+// LoadFaults reads a standalone JSON fault-schedule file (an array of
+// FaultSpec) and renders it.
+func LoadFaults(path string) (faults.Schedule, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading fault schedule: %w", err)
+	}
+	var specs []FaultSpec
+	if err := json.Unmarshal(raw, &specs); err != nil {
+		return nil, fmt.Errorf("parsing fault schedule: %w", err)
+	}
+	return RenderFaults(specs)
+}

@@ -1,10 +1,12 @@
 package scenario
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"hwatch/internal/aqm"
 	"hwatch/internal/core"
+	"hwatch/internal/faults"
 	"hwatch/internal/harness"
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
@@ -64,6 +66,12 @@ type RunContext struct {
 	// Shims holds the scheme's deployed hypervisor shims (empty for
 	// shimless schemes); the shim-stats observer aggregates them.
 	Shims []*core.Shim
+
+	// Fabric names the assembled topology's fault-injection targets
+	// (links, switches, shims); Spec.Faults events resolve against it.
+	Fabric faults.Fabric
+	// Injector is the armed fault timeline (nil in a fault-free run).
+	Injector *faults.Injector
 
 	senderFns []func() []*tcp.Sender
 }
@@ -184,6 +192,68 @@ func (shimStatsObserver) Finish(rc *RunContext, run *Run) {
 		agg.CECleared += st.CECleared
 		agg.FlowsTracked += st.FlowsTracked
 		agg.FlowsExpired += st.FlowsExpired
+		agg.Crashes += st.Crashes
+		agg.Restarts += st.Restarts
+		agg.ProbeFallbacks += st.ProbeFallbacks
+		agg.DarkReleases += st.DarkReleases
 	}
 	run.ShimStats = &agg
+}
+
+// RecoveryObserver asserts the run heals after its fault timeline clears:
+// every finite flow completes (or was deliberately aborted), the
+// bottleneck queue drains, no shim stays crashed, and no flow-table entry
+// outlives its completed flow — i.e. faults may hurt, but nothing sticks.
+// Findings land in Run.InvariantViolations (reported by -check, excluded
+// from the digest). Appended automatically when Spec.Faults is non-empty.
+type RecoveryObserver struct{}
+
+// Start implements Observer.
+func (RecoveryObserver) Start(*RunContext, *Run) {}
+
+// Finish implements Observer.
+func (RecoveryObserver) Finish(rc *RunContext, run *Run) {
+	viol := func(format string, args ...any) {
+		run.InvariantViolations = append(run.InvariantViolations,
+			"recovery: "+fmt.Sprintf(format, args...))
+	}
+	horizon := rc.Duration
+	if rc.Dumbbell != nil {
+		horizon += rc.DumbbellP.DrainAfter
+	}
+	if rc.Injector != nil && rc.Injector.LastClear() >= horizon {
+		viol("fault schedule clears at %d ns, at or after the run horizon %d ns — nothing left to recover in",
+			rc.Injector.LastClear(), horizon)
+	}
+	done := map[netem.FlowKey]bool{}
+	background := false // long-lived (infinite) sources run past the horizon
+	for _, s := range rc.Senders() {
+		if s.Done() {
+			done[s.FlowKey()] = true
+			continue
+		}
+		if !s.Finite() {
+			background = true
+			continue
+		}
+		if !s.Aborted() {
+			viol("flow %v stuck in state %s after faults cleared", s.FlowKey(), s.State())
+		}
+	}
+	// A standing queue is only a recovery failure when nothing legitimate
+	// is feeding it: live long-lived sources keep the bottleneck occupied
+	// by design.
+	if !background && rc.Bottleneck != nil && rc.Bottleneck.Len() > 0 {
+		viol("bottleneck queue still holds %d packets after drain", rc.Bottleneck.Len())
+	}
+	for i, sh := range rc.Shims {
+		if sh.Crashed() {
+			viol("shim %d still crashed at run end", i)
+		}
+		for _, fi := range sh.Snapshot() {
+			if done[fi.Key] && !fi.Closed {
+				viol("shim %d leaks a live flow-table entry for completed flow %v", i, fi.Key)
+			}
+		}
+	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"hwatch/internal/aqm"
 	"hwatch/internal/core"
+	"hwatch/internal/faults"
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 	"hwatch/internal/tcp"
@@ -57,6 +58,15 @@ type Spec struct {
 
 	Dumbbell DumbbellParams
 	Testbed  TestbedParams
+
+	// Faults is a deterministic fault timeline armed on the assembled
+	// fabric before traffic starts (empty = fault-free run). A non-empty
+	// schedule also switches the deployed shims' degradation fallbacks on
+	// (probe-loss pass-through, ECN-dark clamp release) and appends a
+	// RecoveryObserver asserting the run heals after the last fault
+	// clears. Part of the determinism contract: same seed + spec +
+	// schedule ⇒ identical digest.
+	Faults faults.Schedule
 
 	// Workload overrides the kind's default traffic (nil = dumbbell
 	// long-lived + incast, testbed iperf + web).
@@ -200,7 +210,7 @@ func (s *Spec) runDumbbell() (*Run, error) {
 		ByteBuffers: p.ByteBuffers,
 		Rng:         rng,
 		Clock:       clock,
-		ShimTweak:   p.ShimTweak,
+		ShimTweak:   s.hardenShims(p.ShimTweak),
 	}
 	mats, pattern, err := s.materialize(env)
 	if err != nil {
@@ -227,13 +237,20 @@ func (s *Spec) runDumbbell() (*Run, error) {
 		shims = mats[0].Attach(hosts)
 	}
 	if s.ShimOverlay {
-		overlayDeployment(env)(hosts)
+		shims = append(shims, overlayDeployment(env)(hosts)...)
 	}
 
 	run := &Run{Label: s.displayLabel(mats)}
 	idx := map[netem.NodeID]int{}
 	for i, h := range d.Senders {
 		idx[h.ID] = i
+	}
+	links := map[string]*netem.Port{
+		"bottleneck":  d.BottleneckPort,
+		"receiver.up": d.Receiver.Uplink(),
+	}
+	for i, h := range d.Senders {
+		links[fmt.Sprintf("sender%d.up", i)] = h.Uplink()
 	}
 	rc := &RunContext{
 		Eng:       eng,
@@ -251,8 +268,34 @@ func (s *Spec) runDumbbell() (*Run, error) {
 		Duration:       p.Duration,
 		Check:          p.Check,
 		Shims:          shims,
+		Fabric: faults.Fabric{
+			Links:         links,
+			DefaultLink:   "bottleneck",
+			Switches:      map[string]*netem.Switch{"tor": d.Switch},
+			DefaultSwitch: "tor",
+			Shims:         shims,
+		},
 	}
 	return s.execute(rc, run, p.Duration+p.DrainAfter)
+}
+
+// hardenShims arms the shim degradation fallbacks whenever a fault
+// timeline is staged: a chaos-tested deployment must not clamp on a
+// signal path that faults can sever. The spec's own tweak runs last, so
+// explicit settings win.
+func (s *Spec) hardenShims(base func(*core.Config)) func(*core.Config) {
+	if len(s.Faults) == 0 {
+		return base
+	}
+	return func(c *core.Config) {
+		c.ProbeLossFallback = true
+		if c.EcnDarkEpochs == 0 {
+			c.EcnDarkEpochs = 8
+		}
+		if base != nil {
+			base(c)
+		}
+	}
 }
 
 func (s *Spec) runTestbed() (*Run, error) {
@@ -299,13 +342,13 @@ func (s *Spec) runTestbed() (*Run, error) {
 		// threshold: one SYN-ACK per K-bytes drain time, small burst. With
 		// ~200 concurrent requests per client this is what spreads the
 		// incast over time instead of over the (tiny) buffer.
-		ShimTweak: func(c *core.Config) {
+		ShimTweak: s.hardenShims(func(c *core.Config) {
 			c.SynAckBurst = 2
 			c.RefillEvery = int64(kBytes) * 8 * sim.Second / p.RateBps
 			if p.ShimTweak != nil {
 				p.ShimTweak(c)
 			}
-		},
+		}),
 	}
 	mat, err := Materialize(scheme, env)
 	if err != nil {
@@ -332,11 +375,15 @@ func (s *Spec) runTestbed() (*Run, error) {
 		shims = mat.Attach(ls.AllHosts())
 	}
 	if s.ShimOverlay {
-		overlayDeployment(env)(ls.AllHosts())
+		shims = append(shims, overlayDeployment(env)(ls.AllHosts())...)
 	}
 
 	run := &Run{Label: s.Label}
 	clientRack := p.Racks - 1
+	links := map[string]*netem.Port{"bottleneck": ls.SpineDown[clientRack]}
+	for i, sp := range ls.SpineDown {
+		links[fmt.Sprintf("spine.down%d", i)] = sp
+	}
 	rc := &RunContext{
 		Eng:            eng,
 		Rng:            rng,
@@ -351,6 +398,13 @@ func (s *Spec) runTestbed() (*Run, error) {
 		Duration:       p.Duration,
 		Check:          p.Check,
 		Shims:          shims,
+		Fabric: faults.Fabric{
+			Links:         links,
+			DefaultLink:   "bottleneck",
+			Switches:      map[string]*netem.Switch{"spine": ls.Spine},
+			DefaultSwitch: "spine",
+			Shims:         shims,
+		},
 	}
 	return s.execute(rc, run, p.Duration)
 }
@@ -367,6 +421,17 @@ func (s *Spec) execute(rc *RunContext, run *Run, runUntil int64) (*Run, error) {
 		}
 	}
 	obs := []Observer{&telemetryObserver{}, &invariantObserver{}, shimStatsObserver{}}
+	if len(s.Faults) > 0 {
+		// Arm the fault timeline before the workload wires (a fixed point
+		// in the RNG fork order, so schedules stay deterministic), and hold
+		// the run to the recovery invariants afterwards.
+		inj, err := faults.Arm(rc.Eng, rc.Rng, s.Faults, rc.Fabric)
+		if err != nil {
+			return nil, fmt.Errorf("arming fault schedule: %w", err)
+		}
+		rc.Injector = inj
+		obs = append(obs, RecoveryObserver{})
+	}
 	obs = append(obs, s.Observers...)
 
 	w.Wire(rc, run)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"strings"
 
+	"hwatch/internal/faults"
 	"hwatch/internal/harness"
 	"hwatch/internal/sim"
 )
@@ -39,6 +40,7 @@ type FileSpec struct {
 	RTTMicros      int64   `json:"rtt_us,omitempty"`
 	ICW            int     `json:"icw,omitempty"`
 	DurationMs     int64   `json:"duration_ms,omitempty"`
+	DrainAfterMs   int64   `json:"drain_after_ms,omitempty"`
 	Epochs         int     `json:"epochs,omitempty"`
 	ShortKB        float64 `json:"short_kb,omitempty"`
 	ByteBuffers    *bool   `json:"byte_buffers,omitempty"`
@@ -48,6 +50,11 @@ type FileSpec struct {
 	Racks        int `json:"racks,omitempty"`
 	HostsPerRack int `json:"hosts_per_rack,omitempty"`
 	Parallel     int `json:"parallel,omitempty"`
+
+	// Faults is a deterministic fault timeline (times in ms) armed on the
+	// run's fabric; see FaultSpec. Non-empty schedules also arm the shim
+	// degradation fallbacks and the recovery invariants.
+	Faults []FaultSpec `json:"faults,omitempty"`
 
 	// Check enables the physical-invariant checker for the run.
 	Check bool `json:"check,omitempty"`
@@ -109,6 +116,14 @@ func ParseSpec(raw []byte) (*FileSpec, error) {
 	if s.BottleneckGbps < 0 || s.BufferPkts < 0 || s.MarkPercent < 0 || s.MarkPercent > 100 {
 		return nil, fmt.Errorf("spec has out-of-range fabric parameters")
 	}
+	if s.DrainAfterMs < 0 {
+		return nil, fmt.Errorf("spec drain_after_ms %d: must be >= 0", s.DrainAfterMs)
+	}
+	// Render the fault timeline once so bad kinds, windows and channel
+	// parameters fail at load time with a line-item error, not mid-run.
+	if _, err := RenderFaults(s.Faults); err != nil {
+		return nil, fmt.Errorf("spec faults: %w", err)
+	}
 	return &s, nil
 }
 
@@ -163,6 +178,14 @@ func (s *FileSpec) Scenario() *Spec {
 		}
 		sc.Testbed = s.testbedParams()
 	}
+	if len(s.Faults) > 0 {
+		// ParseSpec already validated the schedule; a hand-built FileSpec
+		// with a broken one still fails cleanly when the run arms it.
+		sc.Faults, _ = RenderFaults(s.Faults)
+		if sc.Faults == nil {
+			sc.Faults = faults.Schedule{{Kind: "invalid"}} // force the arm-time error
+		}
+	}
 	return sc
 }
 
@@ -195,6 +218,9 @@ func (s *FileSpec) dumbbellParams() DumbbellParams {
 	}
 	if s.DurationMs > 0 {
 		p.Duration = s.DurationMs * sim.Millisecond
+	}
+	if s.DrainAfterMs > 0 {
+		p.DrainAfter = s.DrainAfterMs * sim.Millisecond
 	}
 	if s.Epochs > 0 {
 		p.Epochs = s.Epochs

@@ -1,0 +1,56 @@
+package tcp
+
+import (
+	"testing"
+
+	"hwatch/internal/aqm"
+	"hwatch/internal/sim"
+)
+
+// TestRTOBackoffThroughBlackout pulls the sender's uplink for 1.5 s in the
+// middle of a transfer: every packet and ACK is lost, so the sender must
+// fall back to RTO with exponential backoff (RFC 6298 §5.5), then recover
+// and finish once the link returns.
+func TestRTOBackoffThroughBlackout(t *testing.T) {
+	delay := 50 * sim.Microsecond
+	tn := newTestNet(aqm.NewDropTail(1000), 1e9, delay)
+	cfg := DefaultConfig()
+	rs := tn.listen(cfg)
+	var fct int64 = -1
+	s := NewSender(tn.a, tn.b.ID, testPort, 2_000_000, cfg)
+	s.OnComplete = func(d int64) { fct = d }
+	s.Start()
+
+	eng := tn.net.Eng
+	eng.At(2*sim.Millisecond, func() { tn.a.Uplink().SetDown(true) })
+	// Sample mid-blackout: at least one timeout has fired and doubled rto.
+	var rtoEarly, rtoLate int64
+	eng.At(500*sim.Millisecond, func() { rtoEarly = s.rto })
+	eng.At(1490*sim.Millisecond, func() { rtoLate = s.rto })
+	eng.At(1502*sim.Millisecond, func() { tn.a.Uplink().SetDown(false) })
+	run(tn, 20*sim.Second)
+
+	if rtoEarly < 2*cfg.MinRTO {
+		t.Fatalf("rto at 500ms = %v, want >= %v (at least one doubling)", rtoEarly, 2*cfg.MinRTO)
+	}
+	if rtoLate < 2*rtoEarly {
+		t.Fatalf("backoff stalled: rto went %v -> %v over a dead second", rtoEarly, rtoLate)
+	}
+	if rtoLate > cfg.MaxRTO {
+		t.Fatalf("rto %v exceeds MaxRTO %v", rtoLate, cfg.MaxRTO)
+	}
+	st := s.Stats()
+	if st.Timeouts < 2 {
+		t.Fatalf("Timeouts = %d, want >= 2 across a 1.5s blackout", st.Timeouts)
+	}
+	if fct < 0 || !s.Done() {
+		t.Fatalf("sender did not recover after the blackout: state=%s", s.State())
+	}
+	if got := (*rs)[0].Delivered(); got != 2_000_000 {
+		t.Fatalf("delivered %d bytes, want 2000000", got)
+	}
+	// Recovery cannot have beaten the blackout itself.
+	if fct < 1500*sim.Millisecond {
+		t.Fatalf("FCT %v is shorter than the blackout", fct)
+	}
+}

@@ -138,6 +138,10 @@ func (s *Sender) PeerRwnd() int64 { return s.peerRwnd }
 // Done reports whether the flow completed (FIN acknowledged).
 func (s *Sender) Done() bool { return s.state == stateFinished }
 
+// Finite reports whether the flow carries a bounded payload. Long-lived
+// Infinite flows never Done() by design; recovery checks skip them.
+func (s *Sender) Finite() bool { return s.size != Infinite }
+
 // Start begins the handshake. Must be called inside the simulation (from an
 // event or before Run at time 0).
 func (s *Sender) Start() {
