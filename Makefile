@@ -1,0 +1,46 @@
+GO ?= go
+DATE := $(shell date +%F)
+# Newest committed BENCH_*.json is the regression baseline (seed records
+# document history and are not enforced).
+BASELINE ?= $(lastword $(sort $(filter-out %_seed.json,$(wildcard BENCH_*.json))))
+
+.PHONY: all build test race bench bench-baseline bench-check fuzz-smoke poison
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick interactive benchmark pass (no JSON, sane benchtime for micros).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngine|BenchmarkPort|BenchmarkShim|BenchmarkChecksum' \
+		-benchmem ./internal/sim ./internal/netem ./internal/core
+
+# Record a new baseline as BENCH_$(DATE).json (commit it alongside the
+# change that moved the numbers).
+bench-baseline:
+	$(GO) run ./cmd/benchdiff -out BENCH_$(DATE).json
+
+# Re-run the suite and fail on >10% ns/op or >0.1% allocs/op regression
+# against the newest committed baseline. This is what CI's bench-regress
+# job runs.
+bench-check:
+	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found"; exit 1; }
+	$(GO) run ./cmd/benchdiff -check -baseline $(BASELINE) -out /tmp/bench_check.json
+
+# Short fuzz smoke over every fuzz target with a committed corpus.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzBinaryRoundTrip -fuzztime 10s ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzChecksumPatchChain -fuzztime 10s ./internal/netem
+	$(GO) test -run '^$$' -fuzz FuzzPacketPoolZeroed -fuzztime 10s ./internal/netem
+
+# Pool-poisoning build: released packets are scribbled with sentinels, so
+# any use-after-release flips a digest or an assertion.
+poison:
+	$(GO) test -tags poolpoison ./internal/netem ./internal/tcp ./internal/core ./internal/experiments

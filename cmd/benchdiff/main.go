@@ -1,0 +1,320 @@
+// Command benchdiff is the repo's benchmark-regression harness: it runs the
+// figure and micro benchmarks, records the results as BENCH_<date>.json, and
+// compares runs against a committed baseline with benchstat-style
+// thresholds.
+//
+// Modes (combine freely):
+//
+//	benchdiff -out BENCH_2026-08-05.json            # run, record
+//	benchdiff -compare -baseline A.json -new B.json # diff two records
+//	benchdiff -check -baseline A.json               # run, then diff vs A
+//
+// Regression policy: allocs/op may not grow beyond -alloc-threshold
+// (default 0.1% — sync.Pool refills under GC make figure-scale counts
+// jitter by a few allocs, while any real regression is orders of magnitude
+// larger; zero-alloc benchmarks stay exact because 0×anything is 0).
+// ns/op is compared on the fastest of -count runs (the standard
+// noise-robust statistic) and may regress up to -ns-threshold (default
+// 10%). Because CI measures with -benchtime=1x, sub-millisecond benchmarks
+// carry too much timer noise for wall-clock comparison, so ns/op is only
+// enforced where the baseline op cost is at least -ns-floor (default 1ms);
+// allocs/op is enforced everywhere.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is the aggregate of -count runs of one benchmark.
+type Result struct {
+	Runs     int                `json:"runs"`
+	NsPerOp  float64            `json:"ns_per_op"`         // mean
+	MinNsOp  float64            `json:"min_ns_op"`         // fastest run (noise-robust)
+	BytesOp  float64            `json:"bytes_op"`          // mean B/op
+	AllocsOp int64              `json:"allocs_op"`         // max allocs/op across runs
+	Metrics  map[string]float64 `json:"metrics,omitempty"` // custom ReportMetric units, mean
+}
+
+// Record is one benchmark session, the unit committed as BENCH_<date>.json.
+type Record struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	NumCPU     int               `json:"num_cpu"`
+	Bench      string            `json:"bench"`
+	Benchtime  string            `json:"benchtime"`
+	Count      int               `json:"count"`
+	Packages   []string          `json:"packages"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "", "write results to this JSON file (default BENCH_<date>.json when running)")
+		benchRe   = flag.String("bench", defaultBench, "go test -bench regex")
+		benchtime = flag.String("benchtime", "1x", "go test -benchtime")
+		count     = flag.Int("count", 5, "go test -count")
+		pkgList   = flag.String("packages", defaultPkgs, "space-separated packages to benchmark")
+		compare   = flag.Bool("compare", false, "compare -baseline against -new instead of running")
+		check     = flag.Bool("check", false, "run the benchmarks, then compare against -baseline")
+		baseline  = flag.String("baseline", "", "baseline JSON for -compare / -check")
+		newFile   = flag.String("new", "", "candidate JSON for -compare")
+		nsThresh  = flag.Float64("ns-threshold", 0.10, "allowed fractional ns/op regression")
+		nsFloor   = flag.Float64("ns-floor", 1e6, "ns/op compared only when baseline >= this (ns)")
+		alThresh  = flag.Float64("alloc-threshold", 0.001, "allowed fractional allocs/op growth (absorbs pool/GC jitter)")
+	)
+	flag.Parse()
+
+	if *compare {
+		old := load(*baseline)
+		cur := load(*newFile)
+		os.Exit(diff(old, cur, *nsThresh, *nsFloor, *alThresh))
+	}
+
+	rec := run(*benchRe, *benchtime, *count, strings.Fields(*pkgList))
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rec.Date + ".json"
+	}
+	save(path, rec)
+	fmt.Printf("recorded %d benchmarks -> %s\n", len(rec.Benchmarks), path)
+
+	if *check {
+		old := load(*baseline)
+		os.Exit(diff(old, rec, *nsThresh, *nsFloor, *alThresh))
+	}
+}
+
+const (
+	defaultBench = "BenchmarkFig8$|BenchmarkScheme|BenchmarkEngineSchedule$|BenchmarkEngineScheduleCancel$|BenchmarkEngineHeapOracle$|BenchmarkPortForward$|BenchmarkPortThroughput$|BenchmarkHostFilterChain$|BenchmarkShimTransfer$|BenchmarkShimRewrite$|BenchmarkChecksum"
+	defaultPkgs  = ". ./internal/sim ./internal/netem ./internal/core"
+)
+
+func run(benchRe, benchtime string, count int, pkgs []string) Record {
+	args := []string{"test", "-run", "^$", "-bench", benchRe, "-benchmem",
+		"-benchtime", benchtime, "-count", strconv.Itoa(count), "-timeout", "60m"}
+	args = append(args, pkgs...)
+	fmt.Fprintf(os.Stderr, "benchdiff: go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatal(err)
+	}
+
+	type agg struct {
+		ns, bytes []float64
+		allocs    []int64
+		metrics   map[string][]float64
+	}
+	aggs := map[string]*agg{}
+	pkg := ""
+	sc := bufio.NewScanner(outPipe)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "pkg: ") {
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg: "))
+			continue
+		}
+		name, vals, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		key := pkg + "." + name
+		a := aggs[key]
+		if a == nil {
+			a = &agg{metrics: map[string][]float64{}}
+			aggs[key] = a
+		}
+		for unit, v := range vals {
+			switch unit {
+			case "ns/op":
+				a.ns = append(a.ns, v)
+			case "B/op":
+				a.bytes = append(a.bytes, v)
+			case "allocs/op":
+				a.allocs = append(a.allocs, int64(v))
+			default:
+				a.metrics[unit] = append(a.metrics[unit], v)
+			}
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		fatal(fmt.Errorf("go test -bench failed: %w", err))
+	}
+
+	rec := Record{
+		Date: time.Now().Format("2006-01-02"), GoVersion: runtime.Version(),
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, NumCPU: runtime.NumCPU(),
+		Bench: benchRe, Benchtime: benchtime, Count: count, Packages: pkgs,
+		Benchmarks: map[string]Result{},
+	}
+	for key, a := range aggs {
+		r := Result{Runs: len(a.ns), NsPerOp: mean(a.ns), MinNsOp: min64(a.ns), BytesOp: mean(a.bytes)}
+		for _, n := range a.allocs {
+			if n > r.AllocsOp {
+				r.AllocsOp = n
+			}
+		}
+		if len(a.metrics) > 0 {
+			r.Metrics = map[string]float64{}
+			for unit, vs := range a.metrics {
+				r.Metrics[unit] = mean(vs)
+			}
+		}
+		rec.Benchmarks[key] = r
+	}
+	return rec
+}
+
+// parseBenchLine handles "BenchmarkName-8  3  123 ns/op  4 B/op  5 allocs/op
+// 6.7 custom-unit" lines.
+func parseBenchLine(line string) (string, map[string]float64, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", nil, false
+	}
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip -GOMAXPROCS
+		}
+	}
+	if _, err := strconv.ParseInt(f[1], 10, 64); err != nil {
+		return "", nil, false // iteration count expected
+	}
+	vals := map[string]float64{}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		vals[f[i+1]] = v
+	}
+	return name, vals, len(vals) > 0
+}
+
+func diff(old, cur Record, nsThresh, nsFloor, alThresh float64) int {
+	keys := make([]string, 0, len(old.Benchmarks))
+	for k := range old.Benchmarks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	regressions := 0
+	fmt.Printf("%-60s %14s %14s %8s\n", "benchmark (vs "+old.Date+")", "ns/op", "allocs/op", "verdict")
+	for _, k := range keys {
+		o := old.Benchmarks[k]
+		c, ok := cur.Benchmarks[k]
+		if !ok {
+			fmt.Printf("%-60s %38s\n", k, "MISSING from new run")
+			regressions++
+			continue
+		}
+		// Fastest-of-count is far less noisy than the mean; old records
+		// without min_ns_op fall back to the mean.
+		oNs, cNs := o.MinNsOp, c.MinNsOp
+		if oNs == 0 || cNs == 0 {
+			oNs, cNs = o.NsPerOp, c.NsPerOp
+		}
+		verdict := "ok"
+		nsDelta := pct(oNs, cNs)
+		if oNs >= nsFloor && cNs > oNs*(1+nsThresh) {
+			verdict = "NS-REGRESS"
+			regressions++
+		}
+		if float64(c.AllocsOp) > float64(o.AllocsOp)*(1+alThresh) {
+			verdict = "ALLOC-REGRESS"
+			regressions++
+		}
+		fmt.Printf("%-60s %13.0f%s %8d->%-5d %8s\n", k, cNs, nsDelta, o.AllocsOp, c.AllocsOp, verdict)
+	}
+	for k := range cur.Benchmarks {
+		if _, ok := old.Benchmarks[k]; !ok {
+			fmt.Printf("%-60s %38s\n", k, "new (no baseline)")
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d regression(s) vs %s\n", regressions, old.Date)
+		return 1
+	}
+	fmt.Println("benchdiff: no regressions")
+	return 0
+}
+
+func pct(old, cur float64) string {
+	if old <= 0 {
+		return " (new)"
+	}
+	return fmt.Sprintf(" (%+.1f%%)", 100*(cur-old)/old)
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+func min64(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+func load(path string) Record {
+	if path == "" {
+		fatal(fmt.Errorf("missing -baseline/-new file"))
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var r Record
+	if err := json.Unmarshal(raw, &r); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return r
+}
+
+func save(path string, r Record) {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

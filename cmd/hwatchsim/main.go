@@ -18,6 +18,8 @@ import (
 	"strings"
 
 	"hwatch"
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
 )
 
 func main() {
@@ -38,10 +40,18 @@ func main() {
 		check       = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
 		digest      = flag.Bool("digest", false, "print only '<digest> <label>' per run (for CI diffing)")
 		listSchemes = flag.Bool("list-schemes", false, "list every registered scheme and exit")
+		noPool      = flag.Bool("nopool", false, "disable packet pooling (escape hatch; digests must not change)")
+		noWheel     = flag.Bool("nowheel", false, "schedule on the plain binary heap instead of the timer wheel")
 	)
 	flag.Parse()
 	hwatch.SetParallel(*parallel)
 	hwatch.SetInvariantChecks(*check)
+	if *noPool {
+		netem.SetPacketPooling(false)
+	}
+	if *noWheel {
+		sim.SetDefaultOptions(sim.Options{NoWheel: true, NoSlab: true})
+	}
 
 	if *listSchemes {
 		for _, def := range hwatch.Schemes() {

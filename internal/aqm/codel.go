@@ -116,6 +116,7 @@ func (q *CoDel) notify(p *netem.Packet) *netem.Packet {
 		return p
 	}
 	q.stats.EarlyDrop++
+	netem.ReleasePacket(p) // dropped at dequeue: the queue owns it here
 	return nil
 }
 

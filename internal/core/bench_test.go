@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"hwatch/internal/aqm"
+	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 	"hwatch/internal/tcp"
 )
@@ -24,6 +25,22 @@ func BenchmarkShimTransfer(b *testing.B) {
 		if !s.Done() {
 			b.Fatal("transfer incomplete")
 		}
+	}
+}
+
+// BenchmarkShimRewrite isolates the per-ACK hot path: the rwnd clamp with
+// its incremental checksum patch, no network around it.
+func BenchmarkShimRewrite(b *testing.B) {
+	eng := sim.New()
+	s := NewShim(eng, DefaultConfig(testRTT(25*sim.Microsecond)), 0)
+	e := &flowEntry{wndSegs: 2, wscale: 7}
+	p := &netem.Packet{Flags: netem.FlagACK, Rwnd: 0xffff, WScaleOpt: -1}
+	netem.SetChecksum(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Rwnd = 0xffff
+		s.clampRwnd(p, e)
 	}
 }
 

@@ -251,18 +251,17 @@ func (s *Shim) sendProbeTrain(h *netem.Host, k netem.FlowKey) {
 		if at >= s.cfg.ProbeSpan {
 			at = s.cfg.ProbeSpan - 1
 		}
-		probe := &netem.Packet{
-			ID:        h.NextPacketID(),
-			Src:       k.Src,
-			Dst:       k.Dst,
-			SrcPort:   k.SrcPort,
-			DstPort:   k.DstPort,
-			ECN:       netem.ECT0, // probes are always markable
-			Probe:     true,
-			Wire:      s.cfg.ProbeWire,
-			WScaleOpt: -1,
-			SentAt:    s.eng.Now(),
-		}
+		probe := netem.AllocPacket()
+		probe.ID = h.NextPacketID()
+		probe.Src = k.Src
+		probe.Dst = k.Dst
+		probe.SrcPort = k.SrcPort
+		probe.DstPort = k.DstPort
+		probe.ECN = netem.ECT0 // probes are always markable
+		probe.Probe = true
+		probe.Wire = s.cfg.ProbeWire
+		probe.WScaleOpt = -1
+		probe.SentAt = s.eng.Now()
 		netem.SetChecksum(probe)
 		s.stats.ProbesSent++
 		s.eng.Schedule(at, func() { h.InjectOutbound(probe) })
@@ -368,6 +367,7 @@ func (s *Shim) inProbe(p *netem.Packet) netem.Verdict {
 		e.probesMarked++
 		s.stats.ProbesMarked++
 	}
+	netem.ReleasePacket(p) // stolen and consumed: probes never reach a guest
 	return netem.VerdictStolen
 }
 

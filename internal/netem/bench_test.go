@@ -39,6 +39,32 @@ func BenchmarkPortThroughput(b *testing.B) {
 	}
 }
 
+type nopHandler struct{}
+
+func (nopHandler) HandlePacket(*Packet) {}
+
+// BenchmarkPortForward measures one pooled packet's full forwarding life:
+// alloc, host egress, switch hop, serialization, delivery, release.
+func BenchmarkPortForward(b *testing.B) {
+	n := NewNetwork()
+	a := n.NewHost("a")
+	bhost := n.NewHost("b")
+	sw := n.NewSwitch("sw")
+	n.LinkHostSwitch(a, sw, &unboundedQ{}, &unboundedQ{}, 100e9, 0)
+	n.LinkHostSwitch(bhost, sw, &unboundedQ{}, &unboundedQ{}, 100e9, 0)
+	bhost.Bind(ConnID{LocalPort: 80, Remote: a.ID, RemotePort: 1}, nopHandler{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := AllocPacket()
+		p.Src, p.Dst = a.ID, bhost.ID
+		p.SrcPort, p.DstPort = 1, 80
+		p.Wire, p.Payload = 1500, 1442
+		a.Send(p)
+		n.Eng.Run()
+	}
+}
+
 func BenchmarkHostFilterChain(b *testing.B) {
 	n := NewNetwork()
 	a := n.NewHost("a")

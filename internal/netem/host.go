@@ -144,6 +144,7 @@ func (h *Host) Send(pkt *Packet) {
 		switch f.Outbound(pkt) {
 		case VerdictDrop:
 			h.stats.FilterDrops++
+			ReleasePacket(pkt)
 			return
 		case VerdictStolen:
 			h.stats.FilterSteal++
@@ -178,6 +179,7 @@ func (h *Host) Deliver(pkt *Packet) {
 		switch f.Inbound(pkt) {
 		case VerdictDrop:
 			h.stats.FilterDrops++
+			ReleasePacket(pkt)
 			return
 		case VerdictStolen:
 			h.stats.FilterSteal++
@@ -187,20 +189,26 @@ func (h *Host) Deliver(pkt *Packet) {
 	h.deliverUp(pkt)
 }
 
+// deliverUp is the end of a packet's life: whether it reaches a transport
+// handler or falls off as an orphan, the host releases it afterwards.
+// Handlers must not retain the packet past HandlePacket's return.
 func (h *Host) deliverUp(pkt *Packet) {
 	if h.VerifyChecksums && !pkt.Probe && !VerifyChecksum(pkt) {
 		h.stats.ChecksumDrops++
+		ReleasePacket(pkt)
 		return
 	}
 	if pkt.Probe {
 		// Probes are hypervisor-to-hypervisor; a host without a shim (or a
 		// shim that declined it) must not surface them to guests.
 		h.stats.Orphans++
+		ReleasePacket(pkt)
 		return
 	}
 	id := ConnID{LocalPort: pkt.DstPort, Remote: pkt.Src, RemotePort: pkt.SrcPort}
 	if hd, ok := h.conns[id]; ok {
 		hd.HandlePacket(pkt)
+		ReleasePacket(pkt)
 		return
 	}
 	if pkt.Flags.Has(FlagSYN) && !pkt.Flags.Has(FlagACK) {
@@ -208,9 +216,11 @@ func (h *Host) deliverUp(pkt *Packet) {
 			if hd := l(pkt); hd != nil {
 				h.Bind(id, hd)
 				hd.HandlePacket(pkt)
+				ReleasePacket(pkt)
 				return
 			}
 		}
 	}
 	h.stats.Orphans++ // stray segment (e.g. retransmit after close)
+	ReleasePacket(pkt)
 }

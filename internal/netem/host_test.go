@@ -6,10 +6,12 @@ import (
 	"hwatch/internal/sim"
 )
 
-// recHandler records packets handed to a guest endpoint.
+// recHandler records packets handed to a guest endpoint. It copies them:
+// the host releases a packet to the pool after HandlePacket returns, so
+// retaining the pointer would violate the ownership contract.
 type recHandler struct{ pkts []*Packet }
 
-func (r *recHandler) HandlePacket(p *Packet) { r.pkts = append(r.pkts, p) }
+func (r *recHandler) HandlePacket(p *Packet) { r.pkts = append(r.pkts, p.Clone()) }
 
 // testFilter applies scripted verdicts.
 type testFilter struct {

@@ -146,7 +146,7 @@ func (im *Impairment) apply(p *Packet, inbound bool) Verdict {
 	}
 	if im.DupP > 0 && im.Rng.Float64() < im.DupP {
 		im.Duplicated++
-		clone := p.Clone()
+		clone := ClonePacket(p)
 		clone.ID = im.host.NextPacketID()
 		im.inject(clone, inbound, 0)
 	}

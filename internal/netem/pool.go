@@ -1,0 +1,66 @@
+package netem
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Packet pooling. The hot path recycles packets through a sync.Pool with a
+// strict linear-ownership contract (documented in DESIGN.md §6e):
+//
+//   - Whoever allocates a packet owns it until ownership transfers: handing
+//     it to Port.Send, Host.Send, Deliver or InjectInbound/InjectOutbound
+//     gives it away; a filter returning VerdictStolen takes it.
+//   - The owner at the end of a packet's life — a drop site, or the host
+//     after the transport handler returns — calls ReleasePacket exactly
+//     once. Touching a packet after release is a bug; build with
+//     -tags poolpoison to make such bugs corrupt digests loudly instead of
+//     silently reading recycled-then-zeroed memory.
+//   - Packets parked in queues or in-flight engine events are owned by
+//     those structures; anything still parked when a run ends is simply
+//     garbage collected.
+//
+// Pooling is semantically invisible: AllocPacket always returns a fully
+// zeroed packet, so a model built on it behaves identically with the pool
+// disabled (SetPacketPooling(false), or hwatchsim -nopool).
+
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// poolOff gates pooling globally; the default (false) keeps pooling on.
+var poolOff atomic.Bool
+
+// SetPacketPooling enables or disables packet recycling. With pooling off,
+// AllocPacket falls back to plain allocation and ReleasePacket is a no-op,
+// which is the escape hatch if a use-after-release is suspected.
+func SetPacketPooling(on bool) { poolOff.Store(!on) }
+
+// PacketPooling reports whether packet recycling is enabled.
+func PacketPooling() bool { return !poolOff.Load() }
+
+// AllocPacket returns a zeroed packet, recycled when pooling is enabled.
+func AllocPacket() *Packet {
+	if poolOff.Load() {
+		return new(Packet)
+	}
+	p := pktPool.Get().(*Packet)
+	resetOnAlloc(p)
+	return p
+}
+
+// ReleasePacket returns p to the pool. p must not be touched afterwards;
+// nil is accepted so drop sites can release unconditionally.
+func ReleasePacket(p *Packet) {
+	if p == nil || poolOff.Load() {
+		return
+	}
+	scrubOnRelease(p)
+	pktPool.Put(p)
+}
+
+// ClonePacket returns a pool-allocated copy of p (the Sack slice backing
+// array is shared; releasing either copy only drops its reference).
+func ClonePacket(p *Packet) *Packet {
+	q := AllocPacket()
+	*q = *p
+	return q
+}

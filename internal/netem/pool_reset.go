@@ -1,0 +1,10 @@
+//go:build !poolpoison
+
+package netem
+
+// In the normal build, packets are zeroed at release so AllocPacket can
+// hand them straight out.
+
+func scrubOnRelease(p *Packet) { *p = Packet{} }
+
+func resetOnAlloc(p *Packet) {}

@@ -57,6 +57,11 @@ type Port struct {
 	stripECN   bool
 	dropProbes bool
 	lossFn     func(*Packet) bool
+
+	// Bound event callbacks, cached once so the per-packet transmit path
+	// schedules without building closures.
+	txDoneFn  func(any)
+	deliverFn func(any)
 }
 
 // NewPort returns a port transmitting at rateBps with the given one-way
@@ -65,7 +70,10 @@ func NewPort(eng *sim.Engine, q Queue, rateBps, delay int64) *Port {
 	if rateBps <= 0 {
 		panic("netem: port rate must be positive")
 	}
-	return &Port{Eng: eng, Q: q, RateBps: rateBps, Delay: delay}
+	p := &Port{Eng: eng, Q: q, RateBps: rateBps, Delay: delay}
+	p.txDoneFn = p.txDone
+	p.deliverFn = p.deliver
+	return p
 }
 
 // Connect attaches the receiving end of the link.
@@ -125,6 +133,7 @@ func (p *Port) Send(pkt *Packet) {
 	}
 	if p.down {
 		p.stats.DownDrops++
+		ReleasePacket(pkt)
 		return
 	}
 	if p.stripECN && pkt.ECN != NotECT {
@@ -133,15 +142,18 @@ func (p *Port) Send(pkt *Packet) {
 	}
 	if p.dropProbes && pkt.Probe {
 		p.stats.ProbeDrops++
+		ReleasePacket(pkt)
 		return
 	}
 	if p.lossFn != nil && p.lossFn(pkt) {
 		p.stats.FaultDrops++
+		ReleasePacket(pkt)
 		return
 	}
 	pkt.EnqueuedAt = p.Eng.Now()
 	if !p.Q.Enqueue(pkt) {
-		return // dropped by the discipline
+		ReleasePacket(pkt) // dropped by the discipline
+		return
 	}
 	if !p.busy {
 		p.transmitNext()
@@ -162,11 +174,14 @@ func (p *Port) transmitNext() {
 	txTime := p.SerializationDelay(pkt.Wire)
 	p.stats.TxPackets++
 	p.stats.TxBytes += int64(pkt.Wire)
-	p.Eng.Schedule(txTime, func() {
-		// Last bit on the wire: deliver after propagation, then start the
-		// next packet.
-		dst := p.peer
-		p.Eng.Schedule(p.Delay, func() { dst.Deliver(pkt) })
-		p.transmitNext()
-	})
+	p.Eng.ScheduleArg(txTime, p.txDoneFn, pkt)
 }
+
+// txDone fires when the last bit is on the wire: deliver after propagation,
+// then start the next packet.
+func (p *Port) txDone(arg any) {
+	p.Eng.ScheduleArg(p.Delay, p.deliverFn, arg)
+	p.transmitNext()
+}
+
+func (p *Port) deliver(arg any) { p.peer.Deliver(arg.(*Packet)) }

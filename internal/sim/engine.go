@@ -4,11 +4,21 @@
 // instant fire in scheduling order (FIFO), which makes runs with a fixed
 // seed bit-for-bit reproducible. The engine is single-goroutine by design:
 // all model code runs inside event callbacks.
+//
+// The scheduler is a calendar queue: a timer wheel of power-of-two tick
+// slots covers the near future (~1 ms at 4.096 µs per tick), and a binary
+// heap holds the far-future overflow. Events for the tick being drained sit
+// in a sorted agenda so the (Time, seq) total order — and therefore every
+// golden digest — is identical to the plain-heap scheduler, which remains
+// available via Options.NoWheel as the test oracle.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"container/heap"
 )
 
 // Common durations, in nanoseconds.
@@ -19,32 +29,103 @@ const (
 	Second      int64 = 1000 * Millisecond
 )
 
+const maxTime = 1<<63 - 1
+
+// Wheel geometry. A tick is 2^tickBits ns; the wheel spans numSlots
+// consecutive ticks (curTick, curTick+numSlots]. Anything further out
+// waits in the overflow heap and is promoted as the wheel turns.
+const (
+	tickBits = 12 // 4.096 µs per tick
+	numSlots = 256
+	slotMask = numSlots - 1
+	slabSize = 256
+)
+
+// Event index states. idx >= 0 means the event lives in the overflow heap
+// at that position (removal on Cancel is eager, so far-future timers never
+// leak queue slots). idxLazy marks wheel/agenda residency, where Cancel is
+// lazy: the callback is nilled and the shell is skipped at drain time.
+const (
+	idxNone = -1
+	idxLazy = -2
+)
+
 // Event is a scheduled callback. The zero value is invalid; events are
 // created by Engine.Schedule and Engine.At and may be cancelled with
 // Event.Cancel (or Engine.Cancel) before they fire.
 type Event struct {
 	Time int64 // absolute firing time, ns
 	seq  uint64
-	fn   func()
+	fn   func(any)
+	arg  any
 	eng  *Engine
-	idx  int // heap index, -1 once removed
+	idx  int
 }
 
-// Cancelled reports whether the event was cancelled before firing.
+// callFunc adapts a plain func() to the internal func(any) representation.
+// Func values are pointer-shaped, so storing fn in the arg slot does not
+// allocate.
+func callFunc(a any) { a.(func())() }
+
+// Cancelled reports whether the event was cancelled before firing (fired
+// events also read as cancelled).
 func (e *Event) Cancelled() bool { return e.fn == nil }
 
-// Cancel prevents the event from firing and removes it from the queue
-// immediately, so a cancelled long-lived timer does not linger until its
-// fire time (Pending stays accurate and memory is released eagerly).
-// Cancelling an already-fired or already-cancelled event is a no-op.
+// Cancel prevents the event from firing. Far-future events are removed from
+// the overflow heap immediately; near-future events are dropped lazily when
+// their tick drains (at most ~1 ms of simulated time later). Either way
+// Pending stays accurate. Cancelling an already-fired or already-cancelled
+// event is a no-op: the fire path clears eng and idx, so a late Cancel on a
+// recycled handle can never remove a live queue entry.
 func (e *Event) Cancel() {
 	if e.fn == nil {
 		return
 	}
 	e.fn = nil
-	if e.eng != nil && e.idx >= 0 {
-		heap.Remove(&e.eng.pq, e.idx)
+	e.arg = nil
+	eng := e.eng
+	e.eng = nil
+	if eng != nil {
+		eng.live--
+		if e.idx >= 0 {
+			heap.Remove(&eng.pq, e.idx)
+		}
 	}
+	e.idx = idxNone
+}
+
+// Options tunes engine internals. The zero value is the production
+// configuration: timer wheel and slab event allocation enabled.
+type Options struct {
+	// NoWheel selects the plain binary-heap scheduler (the historical
+	// implementation). It is kept as the oracle for equivalence tests and
+	// as an escape hatch; event ordering is identical either way.
+	NoWheel bool
+	// NoSlab allocates every Event individually instead of carving them
+	// from slabs. Slabs are never recycled, so this only trades allocation
+	// rate for identical semantics.
+	NoSlab bool
+}
+
+var defaultOpts atomic.Int32
+
+// SetDefaultOptions changes the configuration used by New (e.g. from a
+// -nowheel CLI flag). Engines already constructed are unaffected.
+func SetDefaultOptions(o Options) {
+	var v int32
+	if o.NoWheel {
+		v |= 1
+	}
+	if o.NoSlab {
+		v |= 2
+	}
+	defaultOpts.Store(v)
+}
+
+// DefaultOptions reports the configuration New will use.
+func DefaultOptions() Options {
+	v := defaultOpts.Load()
+	return Options{NoWheel: v&1 != 0, NoSlab: v&2 != 0}
 }
 
 // Engine is a discrete-event scheduler.
@@ -53,16 +134,46 @@ func (e *Event) Cancel() {
 type Engine struct {
 	now     int64
 	seq     uint64
-	pq      eventHeap
 	stopped bool
+	noWheel bool
+	noSlab  bool
+
+	// pq is the far-future overflow in wheel mode (ticks beyond
+	// curTick+numSlots), or the entire queue in NoWheel mode.
+	pq eventHeap
+
+	// curTick is the tick whose events are staged in due; -1 until the
+	// first drain. due[dueIdx:] is the sorted agenda for that tick.
+	curTick int64
+	due     []*Event
+	dueIdx  int
+
+	// slots hold events for ticks in (curTick, curTick+numSlots], one
+	// tick per slot; occupied is a bitmap over slot indices.
+	slots      [numSlots][]*Event
+	occupied   [numSlots / 64]uint64
+	wheelCount int
+
+	// live counts scheduled-but-not-yet-fired-or-cancelled events, so
+	// Pending stays exact even with lazy wheel cancellation.
+	live int
+
+	slab    []Event
+	slabIdx int
 
 	// Processed counts events executed; useful for progress reporting
 	// and as a runaway guard in tests.
 	Processed uint64
 }
 
-// New returns an engine with the clock at zero.
-func New() *Engine { return &Engine{} }
+// New returns an engine with the clock at zero, configured per
+// DefaultOptions.
+func New() *Engine { return NewWith(DefaultOptions()) }
+
+// NewWith returns an engine with the clock at zero and explicit internals.
+func NewWith(o Options) *Engine {
+	return &Engine{noWheel: o.NoWheel, noSlab: o.NoSlab, curTick: -1}
+}
 
 // Now returns the current simulation time in nanoseconds.
 func (e *Engine) Now() int64 { return e.now }
@@ -70,24 +181,201 @@ func (e *Engine) Now() int64 { return e.now }
 // Schedule runs fn after delay nanoseconds. A negative delay is an error in
 // the model and panics. It returns a handle usable to cancel the event.
 func (e *Engine) Schedule(delay int64, fn func()) *Event {
+	if fn == nil {
+		panic("sim: nil event func")
+	}
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", delay))
 	}
-	return e.At(e.now+delay, fn)
+	return e.at(e.now+delay, callFunc, fn)
+}
+
+// ScheduleArg runs fn(arg) after delay nanoseconds. It is the
+// allocation-free form of Schedule for hot paths: fn is typically a bound
+// method value cached at construction time, so no closure is built per
+// event.
+func (e *Engine) ScheduleArg(delay int64, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.at(e.now+delay, fn, arg)
 }
 
 // At runs fn at absolute time t (ns). Scheduling in the past panics.
 func (e *Engine) At(t int64, fn func()) *Event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
-	}
 	if fn == nil {
 		panic("sim: nil event func")
 	}
-	ev := &Event{Time: t, seq: e.seq, fn: fn, eng: e}
+	return e.at(t, callFunc, fn)
+}
+
+// AtArg runs fn(arg) at absolute time t (ns); see ScheduleArg.
+func (e *Engine) AtArg(t int64, fn func(any), arg any) *Event {
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	return e.at(t, fn, arg)
+}
+
+func (e *Engine) at(t int64, fn func(any), arg any) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	ev := e.newEvent()
+	ev.Time = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.arg = arg
+	ev.eng = e
 	e.seq++
-	heap.Push(&e.pq, ev)
+	e.live++
+	e.insert(ev)
 	return ev
+}
+
+// newEvent hands out events from append-only slabs. Slabs are deliberately
+// never recycled: model code holds stale *Event handles across fire time
+// (e.g. cancelling an epoch timer that already expired), and reusing the
+// memory would let such a late Cancel hit an unrelated live event.
+func (e *Engine) newEvent() *Event {
+	if e.noSlab {
+		return &Event{}
+	}
+	if e.slabIdx == len(e.slab) {
+		e.slab = make([]Event, slabSize)
+		e.slabIdx = 0
+	}
+	ev := &e.slab[e.slabIdx]
+	e.slabIdx++
+	return ev
+}
+
+func (e *Engine) insert(ev *Event) {
+	if e.noWheel {
+		heap.Push(&e.pq, ev)
+		return
+	}
+	tick := ev.Time >> tickBits
+	switch {
+	case tick <= e.curTick:
+		// The tick being drained, or earlier (legal after RunUntil left
+		// now at a horizon before the staged agenda): merge into due in
+		// (Time, seq) position.
+		ev.idx = idxLazy
+		e.dueInsert(ev)
+	case tick <= e.curTick+numSlots:
+		ev.idx = idxLazy
+		s := int(tick & slotMask)
+		e.slots[s] = append(e.slots[s], ev)
+		e.occupied[s>>6] |= 1 << uint(s&63)
+		e.wheelCount++
+	default:
+		heap.Push(&e.pq, ev)
+	}
+}
+
+// dueInsert places ev into the unconsumed agenda suffix, keeping it sorted
+// by (Time, seq). New events carry the largest seq so ties insert last,
+// preserving same-instant FIFO.
+func (e *Engine) dueInsert(ev *Event) {
+	lo, hi := e.dueIdx, len(e.due)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := e.due[mid]
+		if m.Time < ev.Time || (m.Time == ev.Time && m.seq < ev.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	e.due = append(e.due, nil)
+	copy(e.due[lo+1:], e.due[lo:])
+	e.due[lo] = ev
+}
+
+// refillDue advances curTick to the next tick holding events, stages that
+// tick's events in due, and promotes overflow events that now fall inside
+// the wheel window. Returns false when nothing is queued anywhere.
+func (e *Engine) refillDue() bool {
+	e.due = e.due[:0]
+	e.dueIdx = 0
+	if e.wheelCount == 0 {
+		if len(e.pq) == 0 {
+			return false
+		}
+		e.curTick = e.pq[0].Time >> tickBits
+	} else {
+		e.curTick = e.nextOccupiedTick()
+		s := int(e.curTick & slotMask)
+		slot := e.slots[s]
+		e.due = append(e.due, slot...)
+		for i := range slot {
+			slot[i] = nil
+		}
+		e.slots[s] = slot[:0]
+		e.occupied[s>>6] &^= 1 << uint(s&63)
+		e.wheelCount -= len(e.due)
+	}
+	// Promote: after this loop the heap only holds ticks beyond the new
+	// window, which keeps the slot scan above sufficient on later refills.
+	for len(e.pq) > 0 && e.pq[0].Time>>tickBits <= e.curTick+numSlots {
+		ev := heap.Pop(&e.pq).(*Event)
+		ev.idx = idxLazy
+		tick := ev.Time >> tickBits
+		if tick == e.curTick {
+			e.due = append(e.due, ev)
+		} else {
+			s := int(tick & slotMask)
+			e.slots[s] = append(e.slots[s], ev)
+			e.occupied[s>>6] |= 1 << uint(s&63)
+			e.wheelCount++
+		}
+	}
+	sortEvents(e.due)
+	return true
+}
+
+// nextOccupiedTick scans the ring for the first tick after curTick with a
+// populated slot, skipping whole empty bitmap words.
+func (e *Engine) nextOccupiedTick() int64 {
+	for off := int64(1); off <= numSlots; off++ {
+		s := int((e.curTick + off) & slotMask)
+		if e.occupied[s>>6] == 0 {
+			off += int64(63 - s&63)
+			continue
+		}
+		if e.occupied[s>>6]&(1<<uint(s&63)) != 0 {
+			return e.curTick + off
+		}
+	}
+	panic("sim: wheel events present but no occupied slot")
+}
+
+// sortEvents orders the agenda by (Time, seq). Slot contents arrive almost
+// sorted (insertion order tracks seq; times within one tick cluster), so a
+// binary-insertion pass wins for the common small case.
+func sortEvents(evs []*Event) {
+	if len(evs) > 48 {
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].Time != evs[j].Time {
+				return evs[i].Time < evs[j].Time
+			}
+			return evs[i].seq < evs[j].seq
+		})
+		return
+	}
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		j := i - 1
+		for j >= 0 && (evs[j].Time > ev.Time || (evs[j].Time == ev.Time && evs[j].seq > ev.seq)) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = ev
+	}
 }
 
 // Cancel cancels ev. Safe to call with a fired or nil event.
@@ -97,40 +385,80 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 }
 
-// Pending returns the number of events still queued. Cancelled events are
-// removed eagerly, so they never inflate the count.
-func (e *Engine) Pending() int { return len(e.pq) }
+// Pending returns the number of events still scheduled. Cancelled events
+// never inflate the count.
+func (e *Engine) Pending() int { return e.live }
 
 // Stop makes Run and RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
-	e.RunUntil(1<<63 - 1)
+	e.RunUntil(maxTime)
 }
 
 // RunUntil executes events with Time <= horizon, then advances the clock to
 // horizon (if the run was not stopped early and the horizon is finite).
 func (e *Engine) RunUntil(horizon int64) {
 	e.stopped = false
+	if e.noWheel {
+		e.runHeap(horizon)
+	} else {
+		e.runWheel(horizon)
+	}
+	if !e.stopped && horizon < maxTime && e.now < horizon {
+		e.now = horizon
+	}
+}
+
+func (e *Engine) runWheel(horizon int64) {
+	for !e.stopped {
+		for e.dueIdx >= len(e.due) {
+			if !e.refillDue() {
+				return
+			}
+		}
+		ev := e.due[e.dueIdx]
+		if ev.Time > horizon {
+			return
+		}
+		e.due[e.dueIdx] = nil
+		e.dueIdx++
+		if ev.fn == nil {
+			continue // cancelled while staged
+		}
+		e.fire(ev)
+	}
+}
+
+func (e *Engine) runHeap(horizon int64) {
 	for len(e.pq) > 0 && !e.stopped {
 		ev := e.pq[0]
 		if ev.Time > horizon {
-			break
+			return
 		}
 		heap.Pop(&e.pq)
 		if ev.fn == nil {
 			continue // cancelled
 		}
-		e.now = ev.Time
-		fn := ev.fn
-		ev.fn = nil
-		fn()
-		e.Processed++
+		e.fire(ev)
 	}
-	if !e.stopped && horizon < 1<<63-1 && e.now < horizon {
-		e.now = horizon
-	}
+}
+
+// fire runs ev's callback, first detaching the event completely so a stale
+// handle kept by model code is inert: fn/arg are cleared (fired events read
+// as cancelled), and eng/idx are nilled so a late Cancel can never reach
+// into the queue and remove a live entry.
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.Time
+	fn, arg := ev.fn, ev.arg
+	ev.fn = nil
+	ev.arg = nil
+	ev.eng = nil
+	ev.idx = idxNone
+	e.live--
+	fn(arg)
+	e.Processed++
 }
 
 // eventHeap orders by (Time, seq): earliest first, FIFO within an instant.
@@ -158,7 +486,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
-	ev.idx = -1
+	ev.idx = idxNone
 	*h = old[:n-1]
 	return ev
 }

@@ -17,11 +17,15 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 	return &Timer{eng: eng, fn: fn}
 }
 
+// timerExpire is the shared func(any) trampoline for all timers, so
+// Reset never builds a per-arm closure.
+func timerExpire(a any) { a.(*Timer).expire() }
+
 // Reset (re-)arms the timer to fire after d nanoseconds, cancelling any
 // previously armed expiry.
 func (t *Timer) Reset(d int64) {
 	t.Stop()
-	t.ev = t.eng.Schedule(d, t.expire)
+	t.ev = t.eng.ScheduleArg(d, timerExpire, t)
 }
 
 // Stop disarms the timer. Reports whether a pending expiry was cancelled.

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// wheelOp is one step of a generated scheduler workload. The same op list
+// is replayed against the wheel engine and the plain-heap oracle, so any
+// divergence in firing order or observable state is a wheel bug.
+type wheelOp struct {
+	kind  int   // 0: schedule, 1: cancel, 2: nested schedule-from-callback
+	delay int64 // relative to now at execution
+	pick  int   // which earlier event a cancel targets
+}
+
+// genOps builds a workload that straddles every scheduler regime: same-tick
+// inserts, intra-wheel slots, far-future overflow promotion, zero-delay
+// storms, and cancels against all of them.
+func genOps(rng *rand.Rand, n int) []wheelOp {
+	ops := make([]wheelOp, n)
+	for i := range ops {
+		op := wheelOp{kind: rng.Intn(6), pick: rng.Int()}
+		switch rng.Intn(5) {
+		case 0: // same instant / same tick
+			op.delay = rng.Int63n(1 << tickBits)
+		case 1: // inside the wheel window
+			op.delay = rng.Int63n(numSlots << tickBits)
+		case 2: // straddling the wheel horizon
+			op.delay = (numSlots << tickBits) + rng.Int63n(4<<tickBits) - 2<<tickBits
+		case 3: // deep overflow
+			op.delay = rng.Int63n(1 << 40)
+		case 4: // zero delay
+			op.delay = 0
+		}
+		if op.delay < 0 {
+			op.delay = 0
+		}
+		if op.kind >= 3 {
+			op.kind = op.kind - 3 // bias: equal thirds schedule/cancel/nested
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// runOps drives one engine through the workload and returns the event IDs
+// in firing order.
+func runOps(e *Engine, ops []wheelOp) []int {
+	var fired []int
+	var handles []*Event
+	next := 0
+	for _, op := range ops {
+		switch op.kind {
+		case 0:
+			id := next
+			next++
+			handles = append(handles, e.Schedule(op.delay, func() { fired = append(fired, id) }))
+		case 1:
+			if len(handles) > 0 {
+				handles[op.pick%len(handles)].Cancel()
+			}
+		case 2:
+			id := next
+			next++
+			d := op.delay
+			handles = append(handles, e.Schedule(d, func() {
+				fired = append(fired, id)
+				// Reschedule deterministically from inside the callback,
+				// exercising dueInsert and slot inserts mid-drain.
+				nid := -id - 1
+				e.Schedule(d%(1<<tickBits+3), func() { fired = append(fired, nid) })
+			}))
+		}
+		// Interleave partial runs so events are consumed while later ops
+		// still schedule into drained ticks.
+		if op.pick%7 == 0 {
+			e.RunUntil(e.Now() + op.delay/2)
+		}
+	}
+	e.Run()
+	return fired
+}
+
+// TestWheelMatchesHeapOracle is the equivalence harness the tentpole rests
+// on: for arbitrary schedule/cancel/nested workloads, the calendar-queue
+// engine must fire the exact event sequence of the retired plain-heap
+// scheduler (kept available via Options.NoWheel as the oracle).
+func TestWheelMatchesHeapOracle(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw%600) + 5
+		ops := genOps(rand.New(rand.NewSource(seed)), n)
+		wheel := runOps(NewWith(Options{}), ops)
+		oracle := runOps(NewWith(Options{NoWheel: true, NoSlab: true}), ops)
+		if len(wheel) != len(oracle) {
+			t.Logf("seed %d: wheel fired %d events, oracle %d", seed, len(wheel), len(oracle))
+			return false
+		}
+		for i := range wheel {
+			if wheel[i] != oracle[i] {
+				t.Logf("seed %d: order diverges at %d: wheel %d, oracle %d", seed, i, wheel[i], oracle[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWheelClockMatchesOracle checks the observable clock/pending state of
+// both engines across horizon-bounded partial runs.
+func TestWheelClockMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		wheel := NewWith(Options{})
+		oracle := NewWith(Options{NoWheel: true})
+		for i := 0; i < 40; i++ {
+			d := rng.Int63n(3 << (tickBits + 4))
+			wheel.Schedule(d, func() {})
+			oracle.Schedule(d, func() {})
+			if i%5 == 0 {
+				h := wheel.Now() + rng.Int63n(1<<(tickBits+2))
+				wheel.RunUntil(h)
+				oracle.RunUntil(h)
+				if wheel.Now() != oracle.Now() || wheel.Pending() != oracle.Pending() {
+					t.Logf("seed %d: now %d/%d pending %d/%d", seed,
+						wheel.Now(), oracle.Now(), wheel.Pending(), oracle.Pending())
+					return false
+				}
+			}
+		}
+		wheel.Run()
+		oracle.Run()
+		return wheel.Now() == oracle.Now() && wheel.Processed == oracle.Processed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLateCancelAfterFireIsInert is the regression test for the fire-path
+// fix: firing must clear eng and idx so a stale handle — kept by model
+// code and cancelled long after the event ran — can never reach back into
+// the queue and remove an unrelated live entry.
+func TestLateCancelAfterFireIsInert(t *testing.T) {
+	for _, opt := range []Options{{}, {NoWheel: true}} {
+		e := NewWith(opt)
+		stale := e.Schedule(10, func() {})
+		e.Run()
+		if !stale.Cancelled() {
+			t.Fatal("fired event does not read as cancelled")
+		}
+		if stale.eng != nil || stale.idx != idxNone {
+			t.Fatalf("fire left eng=%v idx=%d populated", stale.eng, stale.idx)
+		}
+
+		fired := false
+		live := e.Schedule(1<<40, func() { fired = true }) // far future: heap-resident
+		stale.Cancel()                                     // late cancel on the fired handle
+		if e.Pending() != 1 {
+			t.Fatalf("Pending = %d after late cancel, want 1 (live event must survive)", e.Pending())
+		}
+		e.Run()
+		if !fired {
+			t.Fatal("late Cancel on a fired handle killed a live event")
+		}
+		_ = live
+	}
+}
+
+// BenchmarkEngineSchedule measures the pure schedule+fire cycle at mixed
+// horizons (wheel slots and overflow both exercised).
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New()
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(int64(i%977)*512, fn, nil)
+		if e.Pending() > 4096 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkEngineScheduleCancel measures the arm/cancel churn typical of
+// retransmission timers (far-future arm, cancel before expiry).
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := New()
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(200*Millisecond, fn, nil).Cancel()
+	}
+}
+
+// BenchmarkEngineHeapOracle is the same loop as BenchmarkEngineSchedule on
+// the NoWheel engine, so the wheel's win is visible in one benchstat diff.
+func BenchmarkEngineHeapOracle(b *testing.B) {
+	e := NewWith(Options{NoWheel: true})
+	fn := func(any) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(int64(i%977)*512, fn, nil)
+		if e.Pending() > 4096 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

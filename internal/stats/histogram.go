@@ -13,9 +13,11 @@ type Histogram struct {
 	Base float64 // bucket growth factor (> 1); default 2 via NewHistogram
 	Unit float64 // value of bucket 0's lower edge
 
-	counts map[int]int64
-	n      int64
-	under  int64 // values below Unit
+	counts []int64 // dense by bucket index; 64 preallocated buckets cover
+	// 2^64x of dynamic range at Base 2, so Add is allocation-free in the
+	// steady state
+	n     int64
+	under int64 // values below Unit
 }
 
 // NewHistogram returns a histogram with the given smallest bucket edge and
@@ -24,7 +26,7 @@ func NewHistogram(unit, base float64) *Histogram {
 	if unit <= 0 || base <= 1 {
 		panic("stats: histogram needs unit > 0 and base > 1")
 	}
-	return &Histogram{Base: base, Unit: unit, counts: make(map[int]int64)}
+	return &Histogram{Base: base, Unit: unit, counts: make([]int64, 0, 64)}
 }
 
 // Add records one value.
@@ -34,7 +36,12 @@ func (h *Histogram) Add(v float64) {
 		h.under++
 		return
 	}
+	// v >= Unit makes the ratio >= 1 and the log >= 0 (division and log
+	// are correctly rounded), so the index cannot go negative.
 	i := int(math.Floor(math.Log(v/h.Unit) / math.Log(h.Base)))
+	for i >= len(h.counts) {
+		h.counts = append(h.counts, 0)
+	}
 	h.counts[i]++
 }
 
@@ -42,7 +49,12 @@ func (h *Histogram) Add(v float64) {
 func (h *Histogram) N() int64 { return h.n }
 
 // Bucket returns the count in bucket i.
-func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+func (h *Histogram) Bucket(i int) int64 {
+	if i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i]
+}
 
 // Edges returns the [lo, hi) value range of bucket i.
 func (h *Histogram) Edges(i int) (float64, float64) {
@@ -61,14 +73,12 @@ func (h *Histogram) QuantileUpperBound(q float64) float64 {
 	if cum > target {
 		return h.Unit
 	}
-	maxI := 0
-	for i := range h.counts {
-		if i > maxI {
-			maxI = i
-		}
+	maxI := len(h.counts) - 1
+	if maxI < 0 {
+		maxI = 0
 	}
-	for i := 0; i <= maxI; i++ {
-		cum += h.counts[i]
+	for i, c := range h.counts {
+		cum += c
 		if cum > target {
 			_, hi := h.Edges(i)
 			return hi
@@ -84,14 +94,8 @@ func (h *Histogram) String() string {
 	if h.under > 0 {
 		fmt.Fprintf(&b, "<%g: %d\n", h.Unit, h.under)
 	}
-	maxI := -1
-	for i := range h.counts {
-		if i > maxI {
-			maxI = i
-		}
-	}
-	for i := 0; i <= maxI; i++ {
-		if c := h.counts[i]; c > 0 {
+	for i, c := range h.counts {
+		if c > 0 {
 			lo, hi := h.Edges(i)
 			fmt.Fprintf(&b, "%g-%g: %d\n", lo, hi, c)
 		}

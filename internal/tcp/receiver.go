@@ -354,17 +354,17 @@ func (r *Receiver) window() int64 {
 }
 
 func (r *Receiver) newPacket() *netem.Packet {
-	return &netem.Packet{
-		ID:        r.host.NextPacketID(),
-		Src:       r.host.ID,
-		Dst:       r.peer,
-		SrcPort:   r.lport,
-		DstPort:   r.rport,
-		TSVal:     r.eng.Now(),
-		WScaleOpt: -1,
-		Wire:      netem.HeaderSize,
-		SentAt:    r.eng.Now(),
-	}
+	p := netem.AllocPacket()
+	p.ID = r.host.NextPacketID()
+	p.Src = r.host.ID
+	p.Dst = r.peer
+	p.SrcPort = r.lport
+	p.DstPort = r.rport
+	p.TSVal = r.eng.Now()
+	p.WScaleOpt = -1
+	p.Wire = netem.HeaderSize
+	p.SentAt = r.eng.Now()
+	return p
 }
 
 func (r *Receiver) send(p *netem.Packet) {

@@ -170,18 +170,20 @@ func (s *Sender) sendSYN() {
 	s.timer.Reset(s.rto)
 }
 
-// newPacket fills the fields common to every outgoing segment.
+// newPacket fills the fields common to every outgoing segment. Packets are
+// pool-allocated; ownership passes to the host on transmit and the far end
+// releases them.
 func (s *Sender) newPacket() *netem.Packet {
-	return &netem.Packet{
-		ID:        s.host.NextPacketID(),
-		Src:       s.host.ID,
-		Dst:       s.dst,
-		SrcPort:   s.sport,
-		DstPort:   s.dport,
-		TSVal:     s.eng.Now(),
-		WScaleOpt: -1,
-		SentAt:    s.eng.Now(),
-	}
+	p := netem.AllocPacket()
+	p.ID = s.host.NextPacketID()
+	p.Src = s.host.ID
+	p.Dst = s.dst
+	p.SrcPort = s.sport
+	p.DstPort = s.dport
+	p.TSVal = s.eng.Now()
+	p.WScaleOpt = -1
+	p.SentAt = s.eng.Now()
+	return p
 }
 
 func (s *Sender) transmit(p *netem.Packet) {

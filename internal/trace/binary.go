@@ -69,7 +69,7 @@ func (bw *BinaryWriter) Write(t int64, d Dir, host string, p *netem.Packet) erro
 	buf[8] = byte(d)
 	buf[9] = byte(len(host))
 	bw.put(buf[:10])
-	bw.put([]byte(host))
+	bw.putString(host)
 
 	binary.BigEndian.PutUint32(buf[0:], uint32(p.Src))
 	binary.BigEndian.PutUint32(buf[4:], uint32(p.Dst))
@@ -99,6 +99,14 @@ func (bw *BinaryWriter) put(b []byte) {
 		return
 	}
 	_, bw.err = bw.w.Write(b)
+}
+
+// putString writes s without the []byte(s) copy Write would force.
+func (bw *BinaryWriter) putString(s string) {
+	if bw.err != nil {
+		return
+	}
+	_, bw.err = bw.w.WriteString(s)
 }
 
 // Count returns the records written.

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"hwatch/internal/netem"
+)
+
+// FuzzBinaryRoundTrip feeds arbitrary bytes to the HWT1 decoder. The
+// contract under test: truncated or corrupted streams must surface as
+// errors, never as panics or runaway allocation — and any stream that does
+// decode must survive an encode/decode round trip unchanged (the format has
+// one canonical serialization per record).
+func FuzzBinaryRoundTrip(f *testing.F) {
+	// A valid two-record stream as the happy-path seed.
+	var valid bytes.Buffer
+	if bw, err := NewBinaryWriter(&valid); err == nil {
+		bw.Write(42, Out, "h0", &netem.Packet{
+			Src: 1, Dst: 2, SrcPort: 3000, DstPort: 80, Seq: 1, Ack: 0,
+			Flags: netem.FlagSYN, ECN: netem.ECT0, Payload: 0, Wire: 58, Rwnd: 1000,
+		})
+		bw.Write(97, In, "leaf-3", &netem.Packet{
+			Src: 2, Dst: 1, SrcPort: 80, DstPort: 3000, Seq: 0, Ack: 2,
+			Flags: netem.FlagSYN | netem.FlagACK, ECN: netem.CE, Probe: true,
+			Payload: 1442, Wire: 1500, Rwnd: 65535,
+		})
+		bw.Flush()
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:7])                                         // truncated mid-header
+	f.Add(valid.Bytes()[:len(valid.Bytes())-5])                      // truncated mid-body
+	f.Add([]byte("HWT1"))                                            // magic only
+	f.Add([]byte("HWT2junk"))                                        // bad magic
+	f.Add([]byte{})                                                  // empty
+	f.Add(append([]byte("HWT1"), bytes.Repeat([]byte{0xff}, 60)...)) // giant host length
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			return // invalid magic: rejected, fine
+		}
+		recs, err := br.ReadAll()
+		if err != nil {
+			return // truncated/corrupt tail: rejected, fine
+		}
+		// Decoded clean: re-encode and decode again; records must match.
+		var buf bytes.Buffer
+		bw, err := NewBinaryWriter(&buf)
+		if err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		for _, r := range recs {
+			p := &netem.Packet{
+				Src: r.Src, Dst: r.Dst, SrcPort: r.SrcPort, DstPort: r.DstPort,
+				Seq: r.Seq, Ack: r.Ack, Flags: r.Flags, ECN: r.ECN, Probe: r.Probe,
+				Payload: r.Payload, Wire: r.Wire, Rwnd: r.Rwnd,
+			}
+			if err := bw.Write(r.T, r.Dir, r.Host, p); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		br2, err := NewBinaryReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read magic: %v", err)
+		}
+		recs2, err := br2.ReadAll()
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(recs2) != len(recs) {
+			t.Fatalf("round trip: %d records became %d", len(recs), len(recs2))
+		}
+		for i := range recs {
+			if recs[i] != recs2[i] {
+				t.Fatalf("record %d: %+v != %+v", i, recs[i], recs2[i])
+			}
+		}
+	})
+}
+
+// FuzzBinaryReaderNoPanic hammers Next directly with a size cap on reads,
+// catching panics and unbounded host-length handling on adversarial input.
+func FuzzBinaryReaderNoPanic(f *testing.F) {
+	f.Add([]byte("HWT1\x00\x00\x00\x00\x00\x00\x00\x2a\x00\x05hello"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br, err := NewBinaryReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			if _, err := br.Next(); err != nil {
+				if err != io.EOF {
+					_ = err.Error() // errors must format cleanly
+				}
+				return
+			}
+		}
+	})
+}
