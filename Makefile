@@ -4,7 +4,7 @@ DATE := $(shell date +%F)
 # document history and are not enforced).
 BASELINE ?= $(lastword $(sort $(filter-out %_seed.json,$(wildcard BENCH_*.json))))
 
-.PHONY: all build test race bench bench-baseline bench-check fuzz-smoke poison
+.PHONY: all build test race lint vet bench bench-baseline bench-check fuzz-smoke poison
 
 all: build test
 
@@ -13,6 +13,17 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Static-analysis gate: formatting, the stock vet suite, and the repo's
+# own hwatchvet analyzers (detrand, pktown, schedclosure, directive plus
+# the curated vendored passes). CI's static-analysis job runs exactly this.
+lint:
+	@test -z "$$(gofmt -l . | grep -v '^vendor/')" || { gofmt -l . | grep -v '^vendor/'; echo "gofmt: files need formatting"; exit 1; }
+	$(GO) vet ./...
+	$(GO) run ./cmd/hwatchvet ./...
+
+vet:
+	$(GO) run ./cmd/hwatchvet ./...
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,70 @@
+// Command hwatchvet runs the repo's static-analysis suite: the four
+// custom contract analyzers (detrand, pktown, schedclosure,
+// hwatchdirective — see DESIGN.md §6f) plus a curated set of vendored
+// standard go/analysis passes.
+//
+// Usage:
+//
+//	go run ./cmd/hwatchvet ./...        # analyze packages (the common case)
+//	go run ./cmd/hwatchvet help         # list analyzers
+//	go run ./cmd/hwatchvet help detrand # analyzer detail + flags
+//
+// The binary speaks the go vet unitchecker protocol: when invoked by the
+// go command with -V=full / -flags / a *.cfg argument it behaves as a
+// vet tool. For package-pattern arguments it re-executes itself through
+// `go vet -vettool=<self>` so the build system handles loading, export
+// data and caching — this is how a multichecker works without network
+// access to the full x/tools module.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"hwatch/internal/analysis/suite"
+)
+
+func main() {
+	args := os.Args[1:]
+	if isUnitcheckerInvocation(args) {
+		unitchecker.Main(suite.All()...) // does not return
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hwatchvet: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "hwatchvet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// isUnitcheckerInvocation reports whether the go command (or a user asking
+// for help) is driving us via the vet tool protocol.
+func isUnitcheckerInvocation(args []string) bool {
+	if len(args) == 0 {
+		return false
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-V") || a == "-flags" || strings.HasSuffix(a, ".cfg") {
+			return true
+		}
+	}
+	return args[0] == "help"
+}

@@ -1,0 +1,173 @@
+// Package allowdir implements the //hwatchvet:allow suppression directive
+// shared by the hwatchvet analyzers.
+//
+// Grammar:
+//
+//	//hwatchvet:allow <analyzer> <reason...>
+//
+// The analyzer name must be one of the hwatchvet custom analyzers and the
+// reason is mandatory prose (it is the reviewer-facing justification). A
+// directive trailing a line of code suppresses findings on that line; a
+// directive on its own line suppresses findings on the next line of code.
+// Directives in _test.go files are inert: the hwatchvet analyzers do not
+// inspect test files.
+//
+// The directive analyzer validates syntax and reports directives that no
+// longer suppress anything (stale allows), so suppressions cannot outlive
+// the code they were written for.
+package allowdir
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Prefix starts every hwatchvet directive comment.
+const Prefix = "//hwatchvet:"
+
+// Directive is one parsed //hwatchvet: comment.
+type Directive struct {
+	Verb     string // "allow" for well-formed suppressions
+	Analyzer string // analyzer the suppression names
+	Reason   string // mandatory justification prose
+	Err      string // non-empty when the directive is malformed
+
+	Pos    token.Pos // position of the comment
+	Line   int       // line the comment is on
+	Target int       // line of code the directive suppresses
+}
+
+// Set holds every directive of one package, indexed for suppression lookup.
+type Set struct {
+	fset *token.FileSet
+	// byFileLine: filename -> target line -> directives aimed at that line.
+	byFileLine map[string]map[int][]*Directive
+	all        []*Directive
+}
+
+// Used records the positions of directives that suppressed at least one
+// finding. Each hwatchvet analyzer returns its Used map as its result; the
+// directive analyzer unions them to detect stale suppressions.
+type Used map[token.Pos]bool
+
+// IsTestFile reports whether the file behind f is a _test.go file, which
+// the hwatchvet analyzers skip.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Collect parses every //hwatchvet: directive in the package (test files
+// included; callers filter).
+func Collect(pass *analysis.Pass) *Set {
+	s := &Set{fset: pass.Fset, byFileLine: make(map[string]map[int][]*Directive)}
+	for _, f := range pass.Files {
+		if IsTestFile(pass.Fset, f) {
+			continue
+		}
+		s.collectFile(f)
+	}
+	return s
+}
+
+func (s *Set) collectFile(f *ast.File) {
+	fset := s.fset
+	// Lines holding code tokens, to distinguish trailing from standalone
+	// directives. Comments are not walked by ast.Inspect, so every visited
+	// node position is a code token.
+	codeLines := make(map[int]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		codeLines[fset.Position(n.Pos()).Line] = true
+		return true
+	})
+
+	var ds []*Directive
+	directiveLines := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, Prefix) {
+				continue
+			}
+			d := parse(c.Text)
+			d.Pos = c.Slash
+			d.Line = fset.Position(c.Slash).Line
+			ds = append(ds, d)
+			directiveLines[d.Line] = true
+		}
+	}
+
+	filename := fset.Position(f.Pos()).Filename
+	m := make(map[int][]*Directive)
+	for _, d := range ds {
+		if codeLines[d.Line] {
+			d.Target = d.Line // trailing comment: suppresses its own line
+		} else {
+			// Standalone: suppress the next line of code, skipping over any
+			// stacked directives in between.
+			t := d.Line + 1
+			for directiveLines[t] {
+				t++
+			}
+			d.Target = t
+		}
+		m[d.Target] = append(m[d.Target], d)
+		s.all = append(s.all, d)
+	}
+	s.byFileLine[filename] = m
+}
+
+func parse(text string) *Directive {
+	rest := strings.TrimPrefix(text, Prefix)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return &Directive{Err: "missing verb: want //hwatchvet:allow <analyzer> <reason>"}
+	}
+	verb := fields[0]
+	d := &Directive{Verb: verb}
+	if verb != "allow" {
+		d.Err = "unknown verb " + strconv.Quote(verb) + ": only //hwatchvet:allow is supported"
+		return d
+	}
+	if len(fields) < 2 {
+		d.Err = "missing analyzer name: want //hwatchvet:allow <analyzer> <reason>"
+		return d
+	}
+	d.Analyzer = fields[1]
+	if len(fields) < 3 {
+		d.Err = "missing reason: //hwatchvet:allow " + d.Analyzer + " needs a justification"
+		return d
+	}
+	d.Reason = strings.Join(fields[2:], " ")
+	return d
+}
+
+// Suppresses returns the directive covering a finding of the named analyzer
+// at pos, or nil.
+func (s *Set) Suppresses(name string, pos token.Pos) *Directive {
+	p := s.fset.Position(pos)
+	for _, d := range s.byFileLine[p.Filename][p.Line] {
+		if d.Err == "" && d.Analyzer == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// All returns every directive collected, malformed ones included.
+func (s *Set) All() []*Directive { return s.all }
+
+// Report files a diagnostic for the named analyzer unless an allow
+// directive covers it, in which case the directive is marked used.
+func Report(pass *analysis.Pass, set *Set, used Used, name string, pos token.Pos, format string, args ...any) {
+	if d := set.Suppresses(name, pos); d != nil {
+		used[d.Pos] = true
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}

@@ -1,0 +1,35 @@
+package allowdir
+
+import "testing"
+
+// TestParse covers the directive grammar corners the fixture files cannot
+// express inline (a // want expectation appended to a directive comment
+// becomes part of its reason field).
+func TestParse(t *testing.T) {
+	cases := []struct {
+		text     string
+		wantErr  bool
+		analyzer string
+		reason   string
+	}{
+		{"//hwatchvet:allow detrand epoch sweep is commutative", false, "detrand", "epoch sweep is commutative"},
+		{"//hwatchvet:allow pktown x", false, "pktown", "x"},
+		{"//hwatchvet:", true, "", ""},                 // missing verb
+		{"//hwatchvet:allow", true, "", ""},            // missing analyzer
+		{"//hwatchvet:allow detrand", true, "", ""},    // missing reason
+		{"//hwatchvet:deny detrand why", true, "", ""}, // unknown verb
+	}
+	for _, c := range cases {
+		d := parse(c.text)
+		if (d.Err != "") != c.wantErr {
+			t.Errorf("parse(%q): err %q, wantErr=%v", c.text, d.Err, c.wantErr)
+			continue
+		}
+		if c.wantErr {
+			continue
+		}
+		if d.Analyzer != c.analyzer || d.Reason != c.reason {
+			t.Errorf("parse(%q) = (%q, %q), want (%q, %q)", c.text, d.Analyzer, d.Reason, c.analyzer, c.reason)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package atest is a minimal offline stand-in for
+// golang.org/x/tools/go/analysis/analysistest, which the vendored x/tools
+// subset does not include. It loads a fixture package from a testdata
+// directory, typechecks it against the installed standard library, runs an
+// analyzer (resolving its Requires graph), and matches diagnostics against
+// `// want "regexp"` comments on the offending lines — the same expectation
+// syntax analysistest uses, so fixtures stay forward-compatible if the real
+// harness becomes available.
+package atest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads the fixture directory dir as a package whose import path is
+// pkgPath (the analyzers' scope regexps match on it), runs a and its
+// requirements, and asserts the diagnostics equal the fixture's // want
+// expectations. It returns each analyzer's result keyed by analyzer, so
+// callers can assert on result values too.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) map[*analysis.Analyzer]any {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("atest: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("atest: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+	}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("atest: typecheck %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	runAnalyzer(t, a, fset, files, pkg, info, results, &diags)
+
+	checkExpectations(t, fset, files, diags)
+	return results
+}
+
+// runAnalyzer executes a (after its Requires, recursively), collecting
+// diagnostics into diags and results into results.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, results map[*analysis.Analyzer]any, diags *[]analysis.Diagnostic) {
+	t.Helper()
+	if _, done := results[a]; done {
+		return
+	}
+	for _, req := range a.Requires {
+		runAnalyzer(t, req, fset, files, pkg, info, results, diags)
+	}
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   copyResults(results),
+		Report: func(d analysis.Diagnostic) {
+			*diags = append(*diags, d)
+		},
+		// Fact plumbing: single-package fixtures have no dependencies'
+		// facts to import; exports are dropped.
+		ImportObjectFact:  func(types.Object, analysis.Fact) bool { return false },
+		ExportObjectFact:  func(types.Object, analysis.Fact) {},
+		ImportPackageFact: func(*types.Package, analysis.Fact) bool { return false },
+		ExportPackageFact: func(analysis.Fact) {},
+		AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+		AllPackageFacts:   func() []analysis.PackageFact { return nil },
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		t.Fatalf("atest: analyzer %s: %v", a.Name, err)
+	}
+	if a.ResultType != nil && res != nil {
+		results[a] = res
+	} else {
+		results[a] = nil
+	}
+}
+
+func copyResults(m map[*analysis.Analyzer]any) map[*analysis.Analyzer]any {
+	out := make(map[*analysis.Analyzer]any, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRE accepts the two analysistest pattern spellings: a double-quoted
+// string (group 1, backslash-escaped) or a raw backquoted string (group 2).
+var wantRE = regexp.MustCompile("// want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// checkExpectations matches diagnostics to // want comments line by line.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					raw := m[1]
+					if m[2] != "" {
+						raw = m[2]
+					}
+					pat, err := unquotePattern(raw)
+					if err != nil {
+						t.Fatalf("atest: bad want pattern %q: %v", raw, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("atest: bad want regexp %q: %v", pat, err)
+					}
+					p := fset.Position(c.Slash)
+					wants = append(wants, &expectation{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == p.Filename && w.line == p.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// unquotePattern undoes the \" escaping a want comment needs to hold a
+// double quote inside the pattern.
+func unquotePattern(s string) (string, error) {
+	if !strings.Contains(s, `\`) {
+		return s, nil
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '"':
+				b.WriteByte('"')
+				i++
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,15 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"hwatch/internal/analysis/atest"
+	"hwatch/internal/analysis/detrand"
+)
+
+// TestDetrand exercises the banned-call and map-order checks against the
+// fixture; the test fails if the analyzer misses a want or reports a line
+// without one (including the //hwatchvet:allow-suppressed range).
+func TestDetrand(t *testing.T) {
+	atest.Run(t, "testdata/src/a", "hwatch/internal/sim/a", detrand.Analyzer)
+}

@@ -1,0 +1,83 @@
+// Fixture for the detrand analyzer: loaded by atest under the package
+// path hwatch/internal/sim/a, which is inside the determinism scope.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Minimal stand-ins for the simulator types the analyzer recognizes by
+// name (receiver type Engine, receiver type Digest).
+type Event struct{}
+
+type Engine struct{ now int64 }
+
+func (e *Engine) Schedule(delay int64, fn func()) *Event          { return &Event{} }
+func (e *Engine) ScheduleArg(d int64, fn func(any), a any) *Event { return &Event{} }
+func (e *Engine) Now() int64                                      { return e.now }
+
+type Digest struct{ h uint64 }
+
+func (d *Digest) Add(v uint64) { d.h ^= v }
+
+func wallClock(e *Engine) {
+	_ = time.Now()          // want `time.Now is wall clock`
+	t := time.Unix(0, 0)    // time.Unix is pure conversion: allowed
+	_ = time.Since(t)       // want `time.Since is wall clock`
+	time.Sleep(time.Second) // want `time.Sleep is wall clock`
+	_ = e.Now()             // engine clock: the sanctioned path
+}
+
+func globalRand() {
+	_ = rand.Int() // want `rand.Int draws from the global, unseeded RNG`
+	r := rand.New(rand.NewSource(42))
+	_ = r.Int() // seeded instance: allowed
+}
+
+func mapOrderDirect(e *Engine, m map[int]func()) {
+	for _, fn := range m { // want `map iteration order can reach Engine.Schedule`
+		e.Schedule(1, fn)
+	}
+}
+
+func mapOrderDigest(d *Digest, m map[int]uint64) {
+	for _, v := range m { // want `map iteration order can reach a digest`
+		d.Add(v)
+	}
+}
+
+func mapOrderOutput(m map[string]int) {
+	for k, v := range m { // want `map iteration order can reach emitted output`
+		fmt.Println(k, v)
+	}
+}
+
+// helper reaches Engine.Schedule one static call away; the interprocedural
+// reacher must see through it.
+func helper(e *Engine) { e.Schedule(1, noop) }
+
+func noop() {}
+
+func mapOrderViaHelper(e *Engine, m map[int]int) {
+	for range m { // want `map iteration order can reach Engine.Schedule \(via helper\)`
+		helper(e)
+	}
+}
+
+func mapOrderBenign(m map[int]int) int {
+	// Pure accumulation: commutative, order-insensitive, no sink reached.
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func suppressed(e *Engine, m map[int]func()) {
+	//hwatchvet:allow detrand exercised by the directive fixture: order is proven commutative here
+	for _, fn := range m {
+		e.Schedule(1, fn)
+	}
+}

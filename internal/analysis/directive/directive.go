@@ -1,0 +1,68 @@
+// Package directive defines the analyzer that keeps the //hwatchvet:allow
+// suppression system honest. It validates directive syntax (known verb,
+// known analyzer name, mandatory reason) and reports directives that did
+// not suppress any finding this run — stale allows whose code has since
+// been fixed or moved. A suppression that outlives its finding is deleted,
+// not inherited.
+package directive
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"hwatch/internal/analysis/allowdir"
+	"hwatch/internal/analysis/detrand"
+	"hwatch/internal/analysis/pktown"
+	"hwatch/internal/analysis/schedclosure"
+)
+
+// requires is named separately so run can range over it without forming
+// an initialization cycle through Analyzer.
+var requires = []*analysis.Analyzer{
+	detrand.Analyzer,
+	pktown.Analyzer,
+	schedclosure.Analyzer,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hwatchdirective",
+	Doc: "validate //hwatchvet:allow suppression directives and report stale " +
+		"ones that no longer suppress any finding",
+	Requires: requires,
+	Run:      run,
+}
+
+// knownAnalyzers are the names an allow directive may target.
+var knownAnalyzers = map[string]bool{
+	"detrand":      true,
+	"pktown":       true,
+	"schedclosure": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// Union of directives each analyzer consumed while suppressing.
+	used := allowdir.Used{}
+	for _, req := range requires {
+		res := pass.ResultOf[req]
+		if res == nil {
+			continue
+		}
+		if u, ok := res.(allowdir.Used); ok {
+			for pos := range u {
+				used[pos] = true
+			}
+		}
+	}
+
+	set := allowdir.Collect(pass)
+	for _, d := range set.All() {
+		switch {
+		case d.Err != "":
+			pass.Reportf(d.Pos, "malformed hwatchvet directive: %s", d.Err)
+		case !knownAnalyzers[d.Analyzer]:
+			pass.Reportf(d.Pos, "hwatchvet directive names unknown analyzer %q (known: detrand, pktown, schedclosure)", d.Analyzer)
+		case !used[d.Pos]:
+			pass.Reportf(d.Pos, "stale //hwatchvet:allow %s directive: it suppresses no finding; delete it", d.Analyzer)
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,15 @@
+package directive_test
+
+import (
+	"testing"
+
+	"hwatch/internal/analysis/atest"
+	"hwatch/internal/analysis/directive"
+)
+
+// TestDirective exercises the suppression lifecycle end to end: a used
+// allow is silent, a stale allow and malformed/unknown directives are
+// reported at the directive itself.
+func TestDirective(t *testing.T) {
+	atest.Run(t, "testdata/src/a", "hwatch/internal/netem/a", directive.Analyzer)
+}

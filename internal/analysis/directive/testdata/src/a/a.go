@@ -1,0 +1,44 @@
+// Fixture for the directive analyzer: loaded under the package path
+// hwatch/internal/netem/a so the required analyzers are in scope. A used
+// allow stays silent; a stale, unknown-verb or unknown-analyzer directive
+// is reported at the directive itself.
+package a
+
+type Event struct{}
+
+type Engine struct{}
+
+func (e *Engine) Schedule(delay int64, fn func()) *Event { return &Event{} }
+
+type Packet struct{ ID int }
+
+func AllocPacket() *Packet    { return &Packet{} }
+func ReleasePacket(p *Packet) {}
+func Send(p *Packet)          {}
+
+type Host struct{ eng *Engine }
+
+func (h *Host) deliver(p *Packet) {}
+
+func usedAllow(h *Host, p *Packet) {
+	//hwatchvet:allow schedclosure cold path, runs once per scenario setup
+	h.eng.Schedule(1, func() { h.deliver(p) })
+}
+
+func staleAllow() {
+	//hwatchvet:allow pktown nothing on this line leaks // want `stale //hwatchvet:allow pktown directive`
+	p := AllocPacket()
+	Send(p)
+}
+
+func badVerb() {
+	//hwatchvet:deny pktown not a real verb // want `malformed hwatchvet directive: unknown verb "deny"`
+	p := AllocPacket()
+	Send(p)
+}
+
+func unknownAnalyzer() {
+	//hwatchvet:allow nosuch imaginary analyzer // want `names unknown analyzer "nosuch"`
+	p := AllocPacket()
+	Send(p)
+}

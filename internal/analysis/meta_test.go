@@ -1,0 +1,45 @@
+// Package analysis_test holds the suite-level meta-test: the repo itself
+// must be clean under its own static-analysis tool.
+package analysis_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestHwatchvetCleanAtHead builds cmd/hwatchvet and runs it over every
+// package, asserting exit 0 — the acceptance gate CI enforces. Any new
+// finding (or stale suppression) anywhere in the tree fails this test.
+func TestHwatchvetCleanAtHead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets the whole module; skipped in -short")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/hwatchvet", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("hwatchvet is not clean at HEAD:\n%s\n(%v)", out, err)
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

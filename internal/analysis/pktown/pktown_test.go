@@ -1,0 +1,15 @@
+package pktown_test
+
+import (
+	"testing"
+
+	"hwatch/internal/analysis/atest"
+	"hwatch/internal/analysis/pktown"
+)
+
+// TestPktown exercises use-after-release, double release, drop-path leaks
+// (locals and released parameters), the borrow/transfer distinction, and
+// suppression.
+func TestPktown(t *testing.T) {
+	atest.Run(t, "testdata/src/a", "hwatch/internal/netem/a", pktown.Analyzer)
+}

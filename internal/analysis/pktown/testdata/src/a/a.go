@@ -1,0 +1,82 @@
+// Fixture for the pktown analyzer: loaded under the package path
+// hwatch/internal/netem/a, inside the ownership scope.
+package a
+
+type Packet struct {
+	ID   int
+	Rwnd uint16
+}
+
+func AllocPacket() *Packet          { return &Packet{} }
+func ClonePacket(p *Packet) *Packet { c := *p; return &c }
+func ReleasePacket(p *Packet)       {}
+
+// Send takes ownership (transfer-by-name).
+func Send(p *Packet) {}
+
+// inspect borrows: the caller still owns the packet afterwards.
+func inspect(p *Packet) int { return p.ID }
+
+func useAfterRelease() {
+	p := AllocPacket()
+	ReleasePacket(p)
+	_ = p.ID // want `use of packet p after ReleasePacket`
+}
+
+func doubleRelease() {
+	p := AllocPacket()
+	ReleasePacket(p)
+	ReleasePacket(p) // want `double release of packet p`
+}
+
+func leakOnDropPath(drop bool) {
+	p := AllocPacket()
+	if drop {
+		return // want `pooled packet p leaks on this path`
+	}
+	Send(p)
+}
+
+func cloneLeaks(orig *Packet) {
+	c := ClonePacket(orig)
+	_ = c.ID
+} // want `pooled packet c leaks on this path`
+
+func balanced(drop bool) {
+	p := AllocPacket()
+	if drop {
+		ReleasePacket(p)
+		return
+	}
+	Send(p)
+}
+
+func returned() *Packet {
+	p := AllocPacket()
+	p.ID = 7
+	return p // ownership moves to the caller: clean
+}
+
+func borrowThenSend() {
+	p := AllocPacket()
+	_ = inspect(p) // borrow: still owned
+	Send(p)
+}
+
+// consume releases a parameter, so every path through it owes a release —
+// the shape Host.deliverUp has, and the one a deleted Release call breaks.
+func consume(p *Packet, bad bool) {
+	if bad {
+		return // want `pooled packet p leaks on this path`
+	}
+	ReleasePacket(p)
+}
+
+func suppressedLeak(drop bool) {
+	p := AllocPacket()
+	if drop {
+		//hwatchvet:allow pktown ownership moves through a side table the dataflow cannot see
+		return
+	}
+	Send(p)
+}

@@ -1,0 +1,14 @@
+package schedclosure_test
+
+import (
+	"testing"
+
+	"hwatch/internal/analysis/atest"
+	"hwatch/internal/analysis/schedclosure"
+)
+
+// TestSchedclosure exercises capturing literals (direct and via a local
+// variable), the sanctioned cached-bound-method shape, and suppression.
+func TestSchedclosure(t *testing.T) {
+	atest.Run(t, "testdata/src/a", "hwatch/internal/netem/a", schedclosure.Analyzer)
+}

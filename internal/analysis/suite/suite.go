@@ -1,0 +1,74 @@
+// Package suite assembles the hwatchvet analyzer set: the four custom
+// contract analyzers plus a curated slice of the vendored standard
+// go/analysis passes.
+//
+// The standard set is limited to passes that work from syntax + types
+// alone. The SSA-based passes the issue tracker wishlists (nilness,
+// unusedwrite, shadow) need go/ssa, which the offline vendored x/tools
+// subset does not carry; they are gated out here and documented in
+// DESIGN.md §6f so they can be enabled the day the dependency is
+// available.
+package suite
+
+import (
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/assign"
+	"golang.org/x/tools/go/analysis/passes/atomic"
+	"golang.org/x/tools/go/analysis/passes/bools"
+	"golang.org/x/tools/go/analysis/passes/copylock"
+	"golang.org/x/tools/go/analysis/passes/defers"
+	"golang.org/x/tools/go/analysis/passes/errorsas"
+	"golang.org/x/tools/go/analysis/passes/loopclosure"
+	"golang.org/x/tools/go/analysis/passes/lostcancel"
+	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/sigchanyzer"
+	"golang.org/x/tools/go/analysis/passes/stdmethods"
+	"golang.org/x/tools/go/analysis/passes/stringintconv"
+	"golang.org/x/tools/go/analysis/passes/structtag"
+	"golang.org/x/tools/go/analysis/passes/unreachable"
+	"golang.org/x/tools/go/analysis/passes/unsafeptr"
+	"golang.org/x/tools/go/analysis/passes/unusedresult"
+
+	"hwatch/internal/analysis/detrand"
+	"hwatch/internal/analysis/directive"
+	"hwatch/internal/analysis/pktown"
+	"hwatch/internal/analysis/schedclosure"
+)
+
+// Custom returns the four hwatchvet contract analyzers.
+func Custom() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detrand.Analyzer,
+		pktown.Analyzer,
+		schedclosure.Analyzer,
+		directive.Analyzer,
+	}
+}
+
+// Standard returns the curated vendored x/tools passes hwatchvet runs
+// alongside the custom set.
+func Standard() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		assign.Analyzer,
+		atomic.Analyzer,
+		bools.Analyzer,
+		copylock.Analyzer,
+		defers.Analyzer,
+		errorsas.Analyzer,
+		loopclosure.Analyzer,
+		lostcancel.Analyzer,
+		nilfunc.Analyzer,
+		sigchanyzer.Analyzer,
+		stdmethods.Analyzer,
+		stringintconv.Analyzer,
+		structtag.Analyzer,
+		unreachable.Analyzer,
+		unsafeptr.Analyzer,
+		unusedresult.Analyzer,
+	}
+}
+
+// All returns the full hwatchvet suite.
+func All() []*analysis.Analyzer {
+	return append(Custom(), Standard()...)
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 )
@@ -62,3 +64,30 @@ func (t *flowTable) remove(k netem.FlowKey) *flowEntry {
 }
 
 func (t *flowTable) len() int { return len(t.entries) }
+
+// keyLess orders flow keys by 4-tuple; the one total order every
+// iteration with schedule-visible side effects must use.
+func keyLess(a, b netem.FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	return a.DstPort < b.DstPort
+}
+
+// keysSorted returns the table's keys in 4-tuple order. Sweeps that
+// schedule events per entry must iterate this, not the map: map order
+// would make event seq assignment depend on the runtime's hash seed.
+func (t *flowTable) keysSorted() []netem.FlowKey {
+	keys := make([]netem.FlowKey, 0, len(t.entries))
+	for k := range t.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	return keys
+}

@@ -29,6 +29,12 @@ type Shim struct {
 	stats   Stats
 	hosts   int
 	crashed bool
+
+	// Bound callbacks cached at construction so the per-flow timers
+	// (epoch close, post-expiry linger) schedule without allocating a
+	// closure per event (DESIGN.md §6e).
+	closeEpochFn func(any)
+	removeFn     func(any)
 }
 
 // Attach builds a Shim and installs it on the host's filter chains (the
@@ -56,6 +62,8 @@ func NewShim(eng *sim.Engine, cfg Config, seedSalt int64) *Shim {
 		table:  newFlowTable(),
 		bucket: newTokenBucket(cfg.SynAckBurst, cfg.RefillEvery),
 	}
+	s.closeEpochFn = s.closeEpochArg
+	s.removeFn = s.removeExpired
 	if cfg.GCInterval > 0 && cfg.IdleTimeout > 0 {
 		s.eng.Schedule(cfg.GCInterval, s.gcSweep)
 	}
@@ -66,7 +74,9 @@ func NewShim(eng *sim.Engine, cfg Config, seedSalt int64) *Shim {
 // attached hosts share the flow table, statistics and SYN-ACK pacer, as VM
 // ports on one OvS do.
 func (s *Shim) AttachHost(host *netem.Host) {
-	host.AddFilter(&hostTap{shim: s, host: host})
+	t := &hostTap{shim: s, host: host}
+	t.injectOutFn = t.injectOutbound
+	host.AddFilter(t)
 	s.hosts++
 }
 
@@ -78,6 +88,11 @@ func (s *Shim) Hosts() int { return s.hosts }
 type hostTap struct {
 	shim *Shim
 	host *netem.Host
+
+	// injectOutFn is the bound injection callback, cached at attach time
+	// so deferred injections (held SYNs, probes, paced SYN-ACKs) schedule
+	// without a per-event closure.
+	injectOutFn func(any)
 }
 
 // Name implements netem.Filter.
@@ -85,19 +100,25 @@ func (t *hostTap) Name() string { return "hwatch" }
 
 // Outbound implements netem.Filter.
 func (t *hostTap) Outbound(p *netem.Packet) netem.Verdict {
-	return t.shim.outbound(t.host, p)
+	return t.shim.outbound(t, p)
 }
 
 // Inbound implements netem.Filter.
 func (t *hostTap) Inbound(p *netem.Packet) netem.Verdict {
-	return t.shim.inbound(t.host, p)
+	return t.shim.inbound(p)
 }
+
+// injectOutbound is the ScheduleArg form of host.InjectOutbound.
+func (t *hostTap) injectOutbound(a any) { t.host.InjectOutbound(a.(*netem.Packet)) }
 
 // gcSweep expires entries whose flows went silent without a FIN (crashed
 // guests, migrated VMs): the paper's flow table must not grow unboundedly.
 func (s *Shim) gcSweep() {
 	now := s.eng.Now()
-	for _, e := range s.table.entries {
+	// Sorted iteration: expire schedules the linger event, so the sweep
+	// order feeds event seq assignment and must not follow map order.
+	for _, k := range s.table.keysSorted() {
+		e := s.table.entries[k]
 		if !e.closed && now-e.lastActive > s.cfg.IdleTimeout {
 			s.expire(e)
 		}
@@ -176,19 +197,7 @@ func (s *Shim) Snapshot() []FlowInfo {
 			Closed:       e.closed,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Key, out[j].Key
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		if a.SrcPort != b.SrcPort {
-			return a.SrcPort < b.SrcPort
-		}
-		if a.Dst != b.Dst {
-			return a.Dst < b.Dst
-		}
-		return a.DstPort < b.DstPort
-	})
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
 	return out
 }
 
@@ -203,15 +212,15 @@ func (s *Shim) batcher() binpack.Batcher {
 }
 
 // outbound handles guest -> network packets for one attached host.
-func (s *Shim) outbound(h *netem.Host, p *netem.Packet) netem.Verdict {
+func (s *Shim) outbound(t *hostTap, p *netem.Packet) netem.Verdict {
 	if s.crashed {
 		return netem.VerdictPass
 	}
 	switch {
 	case p.Flags.Has(netem.FlagSYN) && !p.Flags.Has(netem.FlagACK):
-		return s.outSYN(h, p)
+		return s.outSYN(t, p)
 	case p.Flags.Has(netem.FlagSYN) && p.Flags.Has(netem.FlagACK):
-		return s.outSynAck(h, p)
+		return s.outSynAck(t, p)
 	default:
 		return s.outEstablished(p)
 	}
@@ -219,7 +228,7 @@ func (s *Shim) outbound(h *netem.Host, p *netem.Packet) netem.Verdict {
 
 // outSYN is the Rule 2 sender side: hold the guest's SYN behind a probe
 // train so the receiver shim can measure path congestion first.
-func (s *Shim) outSYN(h *netem.Host, p *netem.Packet) netem.Verdict {
+func (s *Shim) outSYN(t *hostTap, p *netem.Packet) netem.Verdict {
 	e, created := s.table.ensure(p.FlowKey(), roleSender)
 	e.lastActive = s.eng.Now()
 	if created {
@@ -231,16 +240,15 @@ func (s *Shim) outSYN(h *netem.Host, p *netem.Packet) netem.Verdict {
 		return netem.VerdictPass
 	}
 	s.stats.SynsHeld++
-	s.sendProbeTrain(h, p.FlowKey())
-	syn := p
-	s.eng.Schedule(s.cfg.ProbeSpan, func() { h.InjectOutbound(syn) })
+	s.sendProbeTrain(t, p.FlowKey())
+	s.eng.ScheduleArg(s.cfg.ProbeSpan, t.injectOutFn, p)
 	return netem.VerdictStolen
 }
 
 // sendProbeTrain emits the probe packets with non-uniform inter-departure
 // times within ProbeSpan (Section IV-C: spacing must be neither zero nor
 // uniform for an unbiased queue sample).
-func (s *Shim) sendProbeTrain(h *netem.Host, k netem.FlowKey) {
+func (s *Shim) sendProbeTrain(t *hostTap, k netem.FlowKey) {
 	n := s.cfg.ProbeCount
 	base := s.cfg.ProbeSpan / int64(n+1)
 	for i := 0; i < n; i++ {
@@ -252,7 +260,7 @@ func (s *Shim) sendProbeTrain(h *netem.Host, k netem.FlowKey) {
 			at = s.cfg.ProbeSpan - 1
 		}
 		probe := netem.AllocPacket()
-		probe.ID = h.NextPacketID()
+		probe.ID = t.host.NextPacketID()
 		probe.Src = k.Src
 		probe.Dst = k.Dst
 		probe.SrcPort = k.SrcPort
@@ -264,13 +272,13 @@ func (s *Shim) sendProbeTrain(h *netem.Host, k netem.FlowKey) {
 		probe.SentAt = s.eng.Now()
 		netem.SetChecksum(probe)
 		s.stats.ProbesSent++
-		s.eng.Schedule(at, func() { h.InjectOutbound(probe) })
+		s.eng.ScheduleArg(at, t.injectOutFn, probe)
 	}
 }
 
 // outSynAck is the Rule 2 receiver side: stamp the guest's SYN-ACK with the
 // probe-derived initial window and pace correlated SYN-ACK bursts.
-func (s *Shim) outSynAck(h *netem.Host, p *netem.Packet) netem.Verdict {
+func (s *Shim) outSynAck(t *hostTap, p *netem.Packet) netem.Verdict {
 	key := p.FlowKey().Reverse() // table is keyed by data direction
 	e, created := s.table.ensure(key, roleReceiver)
 	e.lastActive = s.eng.Now()
@@ -299,8 +307,7 @@ func (s *Shim) outSynAck(h *netem.Host, p *netem.Packet) netem.Verdict {
 
 	if d := s.bucket.take(s.eng.Now()); d > 0 {
 		s.stats.SynAcksPaced++
-		sa := p
-		s.eng.Schedule(d, func() { h.InjectOutbound(sa) })
+		s.eng.ScheduleArg(d, t.injectOutFn, p)
 		return netem.VerdictStolen
 	}
 	return netem.VerdictPass
@@ -335,7 +342,7 @@ func (s *Shim) outEstablished(p *netem.Packet) netem.Verdict {
 }
 
 // inbound handles network -> guest packets for one attached host.
-func (s *Shim) inbound(h *netem.Host, p *netem.Packet) netem.Verdict {
+func (s *Shim) inbound(p *netem.Packet) netem.Verdict {
 	if s.crashed {
 		// Pass-through, probes included: with the shim dead nothing steals
 		// them, so they fall off the host's demux like any unclaimed raw IP.
@@ -446,8 +453,11 @@ func (s *Shim) startEpoch(e *flowEntry) {
 	if s.cfg.BaseRTT <= 0 {
 		return
 	}
-	e.epoch = s.eng.Schedule(s.cfg.BaseRTT, func() { s.closeEpoch(e) })
+	e.epoch = s.eng.ScheduleArg(s.cfg.BaseRTT, s.closeEpochFn, e)
 }
+
+// closeEpochArg adapts closeEpoch to the cached ScheduleArg callback shape.
+func (s *Shim) closeEpochArg(a any) { s.closeEpoch(a.(*flowEntry)) }
 
 // closeEpoch re-derives the flow's window from this epoch's mark counts via
 // the Next Fit batch rule, then opens the next epoch.
@@ -503,7 +513,7 @@ func (s *Shim) closeEpoch(e *flowEntry) {
 		e.wndSegs = w
 	}
 	e.marked, e.unmarked = 0, 0
-	e.epoch = s.eng.Schedule(s.cfg.BaseRTT, func() { s.closeEpoch(e) })
+	e.epoch = s.eng.ScheduleArg(s.cfg.BaseRTT, s.closeEpochFn, e)
 }
 
 // expire schedules flow-table cleanup after a linger period (so
@@ -520,10 +530,15 @@ func (s *Shim) expire(e *flowEntry) {
 	if linger <= 0 {
 		linger = sim.Millisecond
 	}
-	s.eng.Schedule(linger, func() {
-		if s.table.get(e.key) == e {
-			s.table.remove(e.key)
-			s.stats.FlowsExpired++
-		}
-	})
+	s.eng.ScheduleArg(linger, s.removeFn, e)
+}
+
+// removeExpired drops an expired entry once its linger period ends, unless
+// the key was re-occupied by a new flow in the meantime.
+func (s *Shim) removeExpired(a any) {
+	e := a.(*flowEntry)
+	if s.table.get(e.key) == e {
+		s.table.remove(e.key)
+		s.stats.FlowsExpired++
+	}
 }

@@ -148,7 +148,7 @@ func (h *Host) Send(pkt *Packet) {
 			return
 		case VerdictStolen:
 			h.stats.FilterSteal++
-			return
+			return //hwatchvet:allow pktown VerdictStolen transfers ownership to the filter, a conditional transfer the dataflow cannot see
 		}
 	}
 	h.transmit(pkt)
@@ -183,7 +183,7 @@ func (h *Host) Deliver(pkt *Packet) {
 			return
 		case VerdictStolen:
 			h.stats.FilterSteal++
-			return
+			return //hwatchvet:allow pktown VerdictStolen transfers ownership to the filter, a conditional transfer the dataflow cannot see
 		}
 	}
 	h.deliverUp(pkt)

@@ -92,6 +92,11 @@ type Impairment struct {
 
 	host *Host
 
+	// Bound injection callbacks cached at attach time so duplicate and
+	// reorder re-injections schedule without a per-event closure.
+	injectInFn  func(any)
+	injectOutFn func(any)
+
 	Dropped, Duplicated, Reordered, Corrupted int64
 }
 
@@ -105,9 +110,16 @@ func AttachImpairment(h *Host, imp *Impairment) *Impairment {
 		panic("netem: impairment needs an RNG")
 	}
 	imp.host = h
+	imp.injectInFn = imp.injectInbound
+	imp.injectOutFn = imp.injectOutbound
 	h.AddFilter(imp)
 	return imp
 }
+
+// injectInbound / injectOutbound are the ScheduleArg forms of the host
+// injection entry points.
+func (im *Impairment) injectInbound(a any)  { im.host.InjectInbound(a.(*Packet)) }
+func (im *Impairment) injectOutbound(a any) { im.host.InjectOutbound(a.(*Packet)) }
 
 // Name implements Filter.
 func (im *Impairment) Name() string { return "impair" }
@@ -164,18 +176,14 @@ func (im *Impairment) apply(p *Packet, inbound bool) Verdict {
 }
 
 func (im *Impairment) inject(p *Packet, inbound bool, delay int64) {
-	deliver := func() {
-		if inbound {
-			im.host.InjectInbound(p)
-		} else {
-			im.host.InjectOutbound(p)
-		}
+	deliver := im.injectOutFn
+	if inbound {
+		deliver = im.injectInFn
 	}
-	if delay <= 0 {
+	if delay < 0 {
 		// Duplicates go out immediately but from a fresh event, so the
 		// original keeps its place in the chain.
-		im.Eng.Schedule(0, deliver)
-		return
+		delay = 0
 	}
-	im.Eng.Schedule(delay, deliver)
+	im.Eng.ScheduleArg(delay, deliver, p)
 }

@@ -1,0 +1,14 @@
+//go:build tools
+
+// This file pins the lint toolchain in go.mod so tool invocations are
+// reproducible: golang.org/x/tools (the go/analysis framework hwatchvet
+// builds on) is a vendored module dependency, held by the imports below
+// even if no first-party package imported it. govulncheck cannot be
+// vendored (it needs go/ssa and network-fetched vulnerability data), so
+// CI pins it by version on the invocation instead:
+// `go run golang.org/x/vuln/cmd/govulncheck@v1.1.4`.
+package hwatch
+
+import (
+	_ "golang.org/x/tools/go/analysis/unitchecker"
+)
