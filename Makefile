@@ -1,10 +1,14 @@
 GO ?= go
 DATE := $(shell date +%F)
 # Newest committed BENCH_*.json is the regression baseline (seed records
-# document history and are not enforced).
-BASELINE ?= $(lastword $(sort $(filter-out %_seed.json,$(wildcard BENCH_*.json))))
+# document history and are not enforced; BENCH_LADDER_*.json belongs to the
+# ladder suite below).
+BASELINE ?= $(lastword $(sort $(filter-out %_seed.json BENCH_LADDER_%,$(wildcard BENCH_*.json))))
+# Newest committed scale-ladder record, the bench-ladder baseline.
+LADDER_BASELINE ?= $(lastword $(sort $(wildcard BENCH_LADDER_*.json)))
 
-.PHONY: all build test race lint vet bench bench-baseline bench-check fuzz-smoke poison
+.PHONY: all build test race lint vet bench bench-baseline bench-check \
+	bench-ladder bench-ladder-check fuzz-smoke poison
 
 all: build test
 
@@ -45,11 +49,30 @@ bench-check:
 	@test -n "$(BASELINE)" || { echo "no BENCH_*.json baseline found"; exit 1; }
 	$(GO) run ./cmd/benchdiff -check -baseline $(BASELINE) -out /tmp/bench_check.json
 
+# Run the full scale ladder (1x/10x/100x dumbbells plus both 10k-flow
+# incast storms) and record the trajectory as BENCH_LADDER_$(DATE).json.
+# Commit the record alongside any change that moves the numbers.
+bench-ladder:
+	$(GO) run ./cmd/benchdiff -suite ladder -out BENCH_LADDER_$(DATE).json
+
+# Re-run the affordable rungs (1x and 10x; CI wall-clock budget) and fail
+# on regression against the newest committed ladder record. CI's
+# bench-ladder job runs exactly this. The alloc threshold is looser than
+# the main suite's: pool-refill jitter scales with the rungs' live flow
+# sets (~0.3% observed), while a real per-packet or per-flow regression
+# is orders of magnitude above 1%.
+bench-ladder-check:
+	@test -n "$(LADDER_BASELINE)" || { echo "no BENCH_LADDER_*.json baseline found"; exit 1; }
+	$(GO) run ./cmd/benchdiff -suite ladder -bench 'BenchmarkLadder1x$$|BenchmarkLadder10x$$' \
+		-check -subset -alloc-threshold 0.01 -baseline $(LADDER_BASELINE) \
+		-out /tmp/bench_ladder_check.json
+
 # Short fuzz smoke over every fuzz target with a committed corpus.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzBinaryRoundTrip -fuzztime 10s ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzChecksumPatchChain -fuzztime 10s ./internal/netem
 	$(GO) test -run '^$$' -fuzz FuzzPacketPoolZeroed -fuzztime 10s ./internal/netem
+	$(GO) test -run '^$$' -fuzz FuzzFlowSlab -fuzztime 10s ./internal/core
 
 # Pool-poisoning build: released packets are scribbled with sentinels, so
 # any use-after-release flips a digest or an assertion.

@@ -73,6 +73,31 @@ func BenchmarkFig11(b *testing.B) {
 	}
 }
 
+// benchRung runs one registered scale-ladder rung at full scale per
+// iteration. The rungs are the standing scalability gate for the flat
+// flow-state work: each reports its completion count and mean short FCT so
+// BENCH_LADDER records track the whole trajectory, not just wall time.
+func benchRung(b *testing.B, name string, scale float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		run, err := RunRung(name, scale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(run.ShortDone), "flows-done")
+		if run.ShortFCTms.N() > 0 {
+			b.ReportMetric(run.ShortFCTms.Mean(), "fct-ms")
+		}
+	}
+}
+
+func BenchmarkLadder1x(b *testing.B)   { benchRung(b, "ladder/1x", 1) }
+func BenchmarkLadder10x(b *testing.B)  { benchRung(b, "ladder/10x", 1) }
+func BenchmarkLadder100x(b *testing.B) { benchRung(b, "ladder/100x", 1) }
+
+func BenchmarkStormWebSearch(b *testing.B)  { benchRung(b, "storm/websearch", 1) }
+func BenchmarkStormDataMining(b *testing.B) { benchRung(b, "storm/datamining", 1) }
+
 // BenchmarkSchemeHWatch times a single HWatch dumbbell run: the end-to-end
 // cost of the simulator + shim datapath (events/sec throughput proxy).
 func BenchmarkSchemeHWatch(b *testing.B) {

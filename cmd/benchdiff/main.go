@@ -6,8 +6,14 @@
 // Modes (combine freely):
 //
 //	benchdiff -out BENCH_2026-08-05.json            # run, record
+//	benchdiff -suite ladder -out BENCH_LADDER_2026-08-05.json
 //	benchdiff -compare -baseline A.json -new B.json # diff two records
 //	benchdiff -check -baseline A.json               # run, then diff vs A
+//
+// Suites: "main" is the figure + micro benchmarks; "ladder" is the scale
+// ladder (1x/10x/100x dumbbells and the 10k-flow incast storms), recorded
+// as BENCH_LADDER_<date>.json so the two baselines evolve independently.
+// Explicit -bench / -packages override the suite's presets.
 //
 // Regression policy: allocs/op may not grow beyond -alloc-threshold
 // (default 0.1% — sync.Pool refills under GC make figure-scale counts
@@ -62,10 +68,11 @@ type Record struct {
 func main() {
 	var (
 		out       = flag.String("out", "", "write results to this JSON file (default BENCH_<date>.json when running)")
-		benchRe   = flag.String("bench", defaultBench, "go test -bench regex")
+		suite     = flag.String("suite", "main", "benchmark suite preset: main|ladder")
+		benchRe   = flag.String("bench", "", "go test -bench regex (default from -suite)")
 		benchtime = flag.String("benchtime", "1x", "go test -benchtime")
 		count     = flag.Int("count", 5, "go test -count")
-		pkgList   = flag.String("packages", defaultPkgs, "space-separated packages to benchmark")
+		pkgList   = flag.String("packages", "", "space-separated packages to benchmark (default from -suite)")
 		compare   = flag.Bool("compare", false, "compare -baseline against -new instead of running")
 		check     = flag.Bool("check", false, "run the benchmarks, then compare against -baseline")
 		baseline  = flag.String("baseline", "", "baseline JSON for -compare / -check")
@@ -73,32 +80,57 @@ func main() {
 		nsThresh  = flag.Float64("ns-threshold", 0.10, "allowed fractional ns/op regression")
 		nsFloor   = flag.Float64("ns-floor", 1e6, "ns/op compared only when baseline >= this (ns)")
 		alThresh  = flag.Float64("alloc-threshold", 0.001, "allowed fractional allocs/op growth (absorbs pool/GC jitter)")
+		subset    = flag.Bool("subset", false, "allow the new run to cover only part of the baseline (partial-suite checks, e.g. the affordable ladder rungs in CI)")
 	)
 	flag.Parse()
 
 	if *compare {
 		old := load(*baseline)
 		cur := load(*newFile)
-		os.Exit(diff(old, cur, *nsThresh, *nsFloor, *alThresh))
+		os.Exit(diff(old, cur, *nsThresh, *nsFloor, *alThresh, *subset))
+	}
+
+	prefix := "BENCH_"
+	switch *suite {
+	case "main":
+		if *benchRe == "" {
+			*benchRe = mainBench
+		}
+		if *pkgList == "" {
+			*pkgList = mainPkgs
+		}
+	case "ladder":
+		prefix = "BENCH_LADDER_"
+		if *benchRe == "" {
+			*benchRe = ladderBench
+		}
+		if *pkgList == "" {
+			*pkgList = ladderPkgs
+		}
+	default:
+		fatal(fmt.Errorf("unknown -suite %q (want main or ladder)", *suite))
 	}
 
 	rec := run(*benchRe, *benchtime, *count, strings.Fields(*pkgList))
 	path := *out
 	if path == "" {
-		path = "BENCH_" + rec.Date + ".json"
+		path = prefix + rec.Date + ".json"
 	}
 	save(path, rec)
 	fmt.Printf("recorded %d benchmarks -> %s\n", len(rec.Benchmarks), path)
 
 	if *check {
 		old := load(*baseline)
-		os.Exit(diff(old, rec, *nsThresh, *nsFloor, *alThresh))
+		os.Exit(diff(old, rec, *nsThresh, *nsFloor, *alThresh, *subset))
 	}
 }
 
 const (
-	defaultBench = "BenchmarkFig8$|BenchmarkScheme|BenchmarkEngineSchedule$|BenchmarkEngineScheduleCancel$|BenchmarkEngineHeapOracle$|BenchmarkPortForward$|BenchmarkPortThroughput$|BenchmarkHostFilterChain$|BenchmarkShimTransfer$|BenchmarkShimRewrite$|BenchmarkChecksum"
-	defaultPkgs  = ". ./internal/sim ./internal/netem ./internal/core"
+	mainBench = "BenchmarkFig8$|BenchmarkScheme|BenchmarkEngineSchedule$|BenchmarkEngineScheduleCancel$|BenchmarkEngineHeapOracle$|BenchmarkPortForward$|BenchmarkPortThroughput$|BenchmarkHostFilterChain$|BenchmarkShimTransfer$|BenchmarkShimRewrite$|BenchmarkChecksum|BenchmarkGCSweep$|BenchmarkFlowTableChurn$"
+	mainPkgs  = ". ./internal/sim ./internal/netem ./internal/core"
+
+	ladderBench = "BenchmarkLadder|BenchmarkStorm"
+	ladderPkgs  = "."
 )
 
 func run(benchRe, benchtime string, count int, pkgs []string) Record {
@@ -210,7 +242,7 @@ func parseBenchLine(line string) (string, map[string]float64, bool) {
 	return name, vals, len(vals) > 0
 }
 
-func diff(old, cur Record, nsThresh, nsFloor, alThresh float64) int {
+func diff(old, cur Record, nsThresh, nsFloor, alThresh float64, subset bool) int {
 	keys := make([]string, 0, len(old.Benchmarks))
 	for k := range old.Benchmarks {
 		keys = append(keys, k)
@@ -223,6 +255,9 @@ func diff(old, cur Record, nsThresh, nsFloor, alThresh float64) int {
 		o := old.Benchmarks[k]
 		c, ok := cur.Benchmarks[k]
 		if !ok {
+			if subset {
+				continue
+			}
 			fmt.Printf("%-60s %38s\n", k, "MISSING from new run")
 			regressions++
 			continue

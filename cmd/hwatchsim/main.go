@@ -7,7 +7,9 @@
 //	hwatchsim -exp fig9 -scale 0.5       # half-scale quick run
 //	hwatchsim -exp fig1 -out out/        # also dump CSV series per run
 //	hwatchsim -exp scheme -scheme hwatch -long 25 -short 25
+//	hwatchsim -exp ladder -rung storm/websearch -scale 0.1
 //	hwatchsim -list-schemes              # every registered scheme name
+//	hwatchsim -list-rungs                # every registered ladder rung
 package main
 
 import (
@@ -26,12 +28,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hwatchsim: ")
 	var (
-		exp         = flag.String("exp", "fig8", "experiment: fig1|fig2|fig8|fig9|fig11|scheme|spec")
+		exp         = flag.String("exp", "fig8", "experiment: fig1|fig2|fig8|fig9|fig11|scheme|spec|ladder")
 		spec        = flag.String("spec", "", "JSON scenario file (with -exp spec)")
 		faultsFile  = flag.String("faults", "", "JSON fault-schedule file armed on the run (with -exp scheme or spec)")
 		scale       = flag.Float64("scale", 1.0, "scenario scale in (0,1]; 1.0 = paper scale")
 		outDir      = flag.String("out", "", "directory for per-run CSV series (optional)")
 		scheme      = flag.String("scheme", "hwatch", "for -exp scheme: a registered scheme name (see -list-schemes)")
+		rung        = flag.String("rung", "", "for -exp ladder: run one rung (see -list-rungs); empty = whole ladder")
 		longN       = flag.Int("long", 25, "for -exp scheme: long-lived sources")
 		shortN      = flag.Int("short", 25, "for -exp scheme: short-lived sources")
 		seed        = flag.Int64("seed", 42, "scenario seed")
@@ -40,6 +43,7 @@ func main() {
 		check       = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
 		digest      = flag.Bool("digest", false, "print only '<digest> <label>' per run (for CI diffing)")
 		listSchemes = flag.Bool("list-schemes", false, "list every registered scheme and exit")
+		listRungs   = flag.Bool("list-rungs", false, "list every registered ladder rung and exit")
 		noPool      = flag.Bool("nopool", false, "disable packet pooling (escape hatch; digests must not change)")
 		noWheel     = flag.Bool("nowheel", false, "schedule on the plain binary heap instead of the timer wheel")
 	)
@@ -56,6 +60,12 @@ func main() {
 	if *listSchemes {
 		for _, def := range hwatch.Schemes() {
 			fmt.Printf("%-12s %-16s %s\n", def.Name, def.Label, def.Description)
+		}
+		return
+	}
+	if *listRungs {
+		for _, r := range hwatch.Rungs() {
+			fmt.Printf("%-18s %s\n", r.Name, r.Description)
 		}
 		return
 	}
@@ -118,6 +128,26 @@ func main() {
 			log.Fatal(err)
 		}
 		runs = []*hwatch.Run{run}
+	case "ladder":
+		names := []string{}
+		if *rung != "" {
+			if _, ok := hwatch.LookupRung(*rung); !ok {
+				log.Fatalf("unknown rung %q: registered rungs are %s",
+					*rung, strings.Join(hwatch.RungNames(), ", "))
+			}
+			names = append(names, *rung)
+		} else {
+			for _, r := range hwatch.Rungs() {
+				names = append(names, r.Name)
+			}
+		}
+		for _, name := range names {
+			run, err := hwatch.RunRung(name, *scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runs = append(runs, run)
+		}
 	case "spec":
 		if *spec == "" {
 			log.Fatal("-exp spec requires -spec file.json")

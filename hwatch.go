@@ -282,6 +282,31 @@ func RunIncastSweep(schemes []Scheme, p IncastSweepParams) []IncastPoint {
 	return experiments.RunIncastSweep(schemes, p)
 }
 
+// Rung is one step of the benchmark scale ladder: a named scenario at a
+// fixed multiple of the paper's testbed (1x/10x/100x) or an open-loop
+// incast storm drawn from an empirical flow-size CDF. Rungs back the
+// bench-ladder regression gate (`make bench-ladder`, cmd/benchdiff) and
+// carry their own golden digests.
+type Rung = scenario.Rung
+
+// Rungs lists the registered ladder rungs, bottom to top.
+func Rungs() []Rung { return scenario.Rungs() }
+
+// RungNames lists the registered rung names, sorted.
+func RungNames() []string { return scenario.RungNames() }
+
+// LookupRung finds a ladder rung by name ("ladder/10x", "storm/websearch").
+func LookupRung(name string) (Rung, bool) { return scenario.LookupRung(name) }
+
+// RunRung executes a registered ladder rung at the given scale (1 = the
+// full rung; smaller values shrink sources/flows proportionally).
+func RunRung(name string, scale float64) (*Run, error) { return scenario.RunRung(name, scale) }
+
+// RegisterRung adds a rung to the ladder registry; it becomes available
+// to RunRung, `hwatchsim -exp ladder` and the bench-ladder tooling.
+// Panics on duplicate names.
+func RegisterRung(r Rung) { scenario.RegisterRung(r) }
+
 // Spec is a JSON-file description of a runnable scenario (cmd/hwatchsim
 // -exp spec -spec file.json).
 type Spec = experiments.Spec

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"hwatch/internal/netem"
 	"hwatch/internal/sim"
 )
@@ -12,9 +10,28 @@ import (
 // hash-table indexed by source/destination IPs and ports. It stores the
 // window-scale factor exchanged at setup, the ECN mark accounting, and the
 // current window verdict.
+//
+// Entries live in generation-indexed slabs (see flowTable below), not
+// behind individual heap pointers: the row is owned by the table, handed
+// out as a *flowEntry that stays valid only until remove. Anything that
+// outlives a packet callback — the epoch timer, the post-expiry linger —
+// must hold the entry's flowHandle and re-resolve it, never the pointer.
 type flowEntry struct {
 	key  netem.FlowKey
 	role role
+
+	// Slab bookkeeping. gen is the occupancy generation drawn from the
+	// table's counter at ensure time; live distinguishes an occupied slot
+	// from a freed one awaiting reuse.
+	slot uint32
+	gen  uint32
+	live bool
+
+	// self is the entry's handle pre-boxed as an `any`, so the per-flow
+	// timers (epoch close, post-expiry linger) schedule through
+	// ScheduleArg without boxing per event: one 8-byte box per flow
+	// lifetime instead of one per RTT.
+	self any
 
 	// Receiver side: the guest's advertised window scale, captured from
 	// the SYN-ACK so clamps re-encode correctly (Section IV-E).
@@ -37,36 +54,231 @@ type flowEntry struct {
 	closed     bool
 }
 
-// flowTable maps data-direction keys to entries.
+// flowHandle names a table row as {slot, generation}: 32 bits of slot index
+// in the low word, 32 bits of generation in the high word. The zero handle
+// is never valid (generations start at 1). A handle resolves to an entry
+// only while that exact occupancy is live — after remove, or after the slot
+// is reused by a later flow, resolve returns nil. Generations are drawn
+// from a per-table counter that survives Crash (the replacement table
+// continues it), so a handle minted before a wipe can never alias a row
+// created after it.
+type flowHandle uint64
+
+func makeHandle(slot, gen uint32) flowHandle {
+	return flowHandle(uint64(gen)<<32 | uint64(slot))
+}
+
+func (h flowHandle) slot() uint32 { return uint32(h) }
+func (h flowHandle) gen() uint32  { return uint32(h >> 32) }
+
+// flowChunkShift sizes the slab chunks: 1<<flowChunkShift entries each.
+// Chunks are never reallocated once grown, so *flowEntry pointers handed
+// out by get/ensure remain stable for the entry's lifetime even as the
+// table grows — growth appends a chunk, it never moves existing rows.
+const (
+	flowChunkShift = 8
+	flowChunkSize  = 1 << flowChunkShift
+	flowChunkMask  = flowChunkSize - 1
+)
+
+// flowBucket is one slot of the open-addressing key index. h == 0 marks an
+// empty bucket (valid handles are never zero).
+type flowBucket struct {
+	h   flowHandle
+	key netem.FlowKey
+}
+
+// flowTable is the slab-backed flow state store: a dense chunked array of
+// rows addressed by slot, a freelist of vacated slots, and a compact
+// linear-probing index from FlowKey to handle. Compared to the previous
+// map[FlowKey]*flowEntry it allocates nothing per flow on the steady path
+// (rows are recycled through the freelist), keeps rows cache-dense, and
+// gives the GC two flat slices to scan instead of a pointer per flow.
+//
+// Determinism: FlowKey.Hash is seedless, so the probe order — and with it
+// every observable iteration the table performs (index rebuilds) — is
+// identical across processes. Sweeps iterate slot order, which is
+// insertion/reuse order and equally deterministic; nothing here depends on
+// the runtime's seeded map hash.
 type flowTable struct {
-	entries map[netem.FlowKey]*flowEntry
+	slabs [][]flowEntry // chunked rows; slabs[s>>shift][s&mask]
+	free  []uint32      // vacated slots, reused LIFO
+	next  uint32        // lowest never-occupied slot
+	used  int           // live rows
+
+	idx  []flowBucket // open-addressing key index, power-of-two sized
+	mask uint64
+
+	genc uint32 // next generation to assign; starts at 1, never reused
 }
 
-func newFlowTable() *flowTable {
-	return &flowTable{entries: make(map[netem.FlowKey]*flowEntry)}
+const flowIdxInitial = 128
+
+func newFlowTable() *flowTable { return newFlowTableGen(1) }
+
+// newFlowTableGen builds a table whose generation counter starts at gen;
+// Crash uses it so the replacement table cannot re-mint handles the wiped
+// table already handed out.
+func newFlowTableGen(gen uint32) *flowTable {
+	if gen == 0 {
+		gen = 1
+	}
+	return &flowTable{
+		idx:  make([]flowBucket, flowIdxInitial),
+		mask: flowIdxInitial - 1,
+		genc: gen,
+	}
 }
 
-func (t *flowTable) get(k netem.FlowKey) *flowEntry { return t.entries[k] }
+// at returns the row at slot. The slot must be < t.next.
+func (t *flowTable) at(slot uint32) *flowEntry {
+	return &t.slabs[slot>>flowChunkShift][slot&flowChunkMask]
+}
+
+func (t *flowTable) get(k netem.FlowKey) *flowEntry {
+	i := k.Hash() & t.mask
+	for {
+		b := &t.idx[i]
+		if b.h == 0 {
+			return nil
+		}
+		if b.key == k {
+			return t.at(b.h.slot())
+		}
+		i = (i + 1) & t.mask
+	}
+}
 
 func (t *flowTable) ensure(k netem.FlowKey, r role) (*flowEntry, bool) {
-	if e, ok := t.entries[k]; ok {
+	if e := t.get(k); e != nil {
 		return e, false
 	}
-	e := &flowEntry{key: k, role: r, wndSegs: -1}
-	t.entries[k] = e
+	var slot uint32
+	if n := len(t.free); n > 0 {
+		slot = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		slot = t.next
+		t.next++
+		if int(slot>>flowChunkShift) == len(t.slabs) {
+			t.slabs = append(t.slabs, make([]flowEntry, flowChunkSize))
+		}
+	}
+	gen := t.genc
+	t.genc++
+	e := t.at(slot)
+	*e = flowEntry{
+		key:     k,
+		role:    r,
+		slot:    slot,
+		gen:     gen,
+		live:    true,
+		self:    makeHandle(slot, gen),
+		wndSegs: -1,
+	}
+	t.idxInsert(k, makeHandle(slot, gen))
+	t.used++
 	return e, true
 }
 
-func (t *flowTable) remove(k netem.FlowKey) *flowEntry {
-	e := t.entries[k]
-	delete(t.entries, k)
+// resolve returns the entry a handle names, or nil if that occupancy has
+// ended (row removed, slot reused, or table replaced since the handle was
+// minted). This is the only safe way to reach a row from a deferred event.
+func (t *flowTable) resolve(h flowHandle) *flowEntry {
+	slot := h.slot()
+	if slot >= t.next {
+		return nil
+	}
+	e := t.at(slot)
+	if !e.live || e.gen != h.gen() {
+		return nil
+	}
 	return e
 }
 
-func (t *flowTable) len() int { return len(t.entries) }
+// remove vacates the row under k and returns it (nil if absent). The
+// returned pointer is only good for a last look at the fields: the slot is
+// already on the freelist and its generation retired, so held handles no
+// longer resolve and the row may be recycled by the next ensure.
+func (t *flowTable) remove(k netem.FlowKey) *flowEntry {
+	i := k.Hash() & t.mask
+	for {
+		b := &t.idx[i]
+		if b.h == 0 {
+			return nil
+		}
+		if b.key == k {
+			e := t.at(b.h.slot())
+			t.idxDelete(i)
+			e.live = false
+			e.self = nil
+			t.free = append(t.free, e.slot)
+			t.used--
+			return e
+		}
+		i = (i + 1) & t.mask
+	}
+}
 
-// keyLess orders flow keys by 4-tuple; the one total order every
-// iteration with schedule-visible side effects must use.
+func (t *flowTable) len() int { return t.used }
+
+// idxInsert adds a key under linear probing, growing the index at 3/4
+// load.
+func (t *flowTable) idxInsert(k netem.FlowKey, h flowHandle) {
+	if uint64(t.used+1)*4 > uint64(len(t.idx))*3 {
+		t.idxGrow()
+	}
+	i := k.Hash() & t.mask
+	for t.idx[i].h != 0 {
+		i = (i + 1) & t.mask
+	}
+	t.idx[i] = flowBucket{h: h, key: k}
+}
+
+// idxDelete empties bucket i and backward-shifts the probe chain behind it
+// (Knuth 6.4 algorithm R), so lookups need no tombstones.
+func (t *flowTable) idxDelete(i uint64) {
+	for {
+		t.idx[i] = flowBucket{}
+		j := i
+		for {
+			j = (j + 1) & t.mask
+			b := t.idx[j]
+			if b.h == 0 {
+				return
+			}
+			// b may fill the hole at i iff i lies on b's probe path, i.e.
+			// probing from b's home bucket reaches i no later than j.
+			home := b.key.Hash() & t.mask
+			if ((j - home) & t.mask) >= ((j - i) & t.mask) {
+				t.idx[i] = b
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// idxGrow doubles the index and reinserts all live keys in slot order
+// (deterministic: slot order is insertion/reuse order).
+func (t *flowTable) idxGrow() {
+	t.idx = make([]flowBucket, 2*len(t.idx))
+	t.mask = uint64(len(t.idx)) - 1
+	for slot := uint32(0); slot < t.next; slot++ {
+		e := t.at(slot)
+		if !e.live {
+			continue
+		}
+		i := e.key.Hash() & t.mask
+		for t.idx[i].h != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.idx[i] = flowBucket{h: makeHandle(e.slot, e.gen), key: e.key}
+	}
+}
+
+// keyLess orders flow keys by 4-tuple; the one total order operator-facing
+// listings (Snapshot) present rows in.
 func keyLess(a, b netem.FlowKey) bool {
 	if a.Src != b.Src {
 		return a.Src < b.Src
@@ -78,16 +290,4 @@ func keyLess(a, b netem.FlowKey) bool {
 		return a.Dst < b.Dst
 	}
 	return a.DstPort < b.DstPort
-}
-
-// keysSorted returns the table's keys in 4-tuple order. Sweeps that
-// schedule events per entry must iterate this, not the map: map order
-// would make event seq assignment depend on the runtime's hash seed.
-func (t *flowTable) keysSorted() []netem.FlowKey {
-	keys := make([]netem.FlowKey, 0, len(t.entries))
-	for k := range t.entries {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
-	return keys
 }

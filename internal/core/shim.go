@@ -31,10 +31,11 @@ type Shim struct {
 	crashed bool
 
 	// Bound callbacks cached at construction so the per-flow timers
-	// (epoch close, post-expiry linger) schedule without allocating a
-	// closure per event (DESIGN.md §6e).
+	// (epoch close, post-expiry linger) and the periodic GC sweep schedule
+	// without allocating a closure per event (DESIGN.md §6e).
 	closeEpochFn func(any)
 	removeFn     func(any)
+	gcSweepFn    func()
 }
 
 // Attach builds a Shim and installs it on the host's filter chains (the
@@ -64,8 +65,9 @@ func NewShim(eng *sim.Engine, cfg Config, seedSalt int64) *Shim {
 	}
 	s.closeEpochFn = s.closeEpochArg
 	s.removeFn = s.removeExpired
+	s.gcSweepFn = s.gcSweep
 	if cfg.GCInterval > 0 && cfg.IdleTimeout > 0 {
-		s.eng.Schedule(cfg.GCInterval, s.gcSweep)
+		s.eng.Schedule(cfg.GCInterval, s.gcSweepFn)
 	}
 	return s
 }
@@ -115,15 +117,18 @@ func (t *hostTap) injectOutbound(a any) { t.host.InjectOutbound(a.(*netem.Packet
 // guests, migrated VMs): the paper's flow table must not grow unboundedly.
 func (s *Shim) gcSweep() {
 	now := s.eng.Now()
-	// Sorted iteration: expire schedules the linger event, so the sweep
-	// order feeds event seq assignment and must not follow map order.
-	for _, k := range s.table.keysSorted() {
-		e := s.table.entries[k]
-		if !e.closed && now-e.lastActive > s.cfg.IdleTimeout {
+	// Stable slot-order iteration: expire schedules the linger event, so
+	// the sweep order feeds event seq assignment and must be
+	// deterministic. Slot order is insertion/reuse order — reproducible
+	// across runs, and unlike the old sorted-key snapshot it allocates
+	// nothing (BenchmarkGCSweep holds this at zero).
+	for slot, n := uint32(0), s.table.next; slot < n; slot++ {
+		e := s.table.at(slot)
+		if e.live && !e.closed && now-e.lastActive > s.cfg.IdleTimeout {
 			s.expire(e)
 		}
 	}
-	s.eng.Schedule(s.cfg.GCInterval, s.gcSweep)
+	s.eng.Schedule(s.cfg.GCInterval, s.gcSweepFn)
 }
 
 // Crash models the hypervisor module dying while the host keeps
@@ -139,13 +144,20 @@ func (s *Shim) Crash() {
 	}
 	s.crashed = true
 	s.stats.Crashes++
-	for _, e := range s.table.entries {
+	for slot, n := uint32(0), s.table.next; slot < n; slot++ {
+		e := s.table.at(slot)
+		if !e.live {
+			continue
+		}
 		e.closed = true
 		if e.epoch != nil {
 			e.epoch.Cancel()
 		}
 	}
-	s.table = newFlowTable()
+	// The replacement table continues the generation counter, so linger
+	// handles already in flight against the wiped table can never resolve
+	// to rows the fresh table mints after Restart.
+	s.table = newFlowTableGen(s.table.genc)
 }
 
 // Restart brings a crashed shim back with a cold flow table: connections
@@ -185,7 +197,11 @@ type FlowInfo struct {
 // debugging and operations tooling.
 func (s *Shim) Snapshot() []FlowInfo {
 	out := make([]FlowInfo, 0, s.table.len())
-	for _, e := range s.table.entries {
+	for slot, n := uint32(0), s.table.next; slot < n; slot++ {
+		e := s.table.at(slot)
+		if !e.live {
+			continue
+		}
 		out = append(out, FlowInfo{
 			Key:          e.key,
 			Receiver:     e.role == roleReceiver,
@@ -453,11 +469,19 @@ func (s *Shim) startEpoch(e *flowEntry) {
 	if s.cfg.BaseRTT <= 0 {
 		return
 	}
-	e.epoch = s.eng.ScheduleArg(s.cfg.BaseRTT, s.closeEpochFn, e)
+	e.epoch = s.eng.ScheduleArg(s.cfg.BaseRTT, s.closeEpochFn, e.self)
 }
 
-// closeEpochArg adapts closeEpoch to the cached ScheduleArg callback shape.
-func (s *Shim) closeEpochArg(a any) { s.closeEpoch(a.(*flowEntry)) }
+// closeEpochArg adapts closeEpoch to the cached ScheduleArg callback
+// shape. The event carries the entry's handle, not the pointer: if the row
+// was removed or its slot recycled since the epoch was armed, resolve
+// returns nil and the stale timer is inert (the same contract the event
+// slab gives stale *sim.Event handles).
+func (s *Shim) closeEpochArg(a any) {
+	if e := s.table.resolve(a.(flowHandle)); e != nil {
+		s.closeEpoch(e)
+	}
+}
 
 // closeEpoch re-derives the flow's window from this epoch's mark counts via
 // the Next Fit batch rule, then opens the next epoch.
@@ -513,7 +537,7 @@ func (s *Shim) closeEpoch(e *flowEntry) {
 		e.wndSegs = w
 	}
 	e.marked, e.unmarked = 0, 0
-	e.epoch = s.eng.ScheduleArg(s.cfg.BaseRTT, s.closeEpochFn, e)
+	e.epoch = s.eng.ScheduleArg(s.cfg.BaseRTT, s.closeEpochFn, e.self)
 }
 
 // expire schedules flow-table cleanup after a linger period (so
@@ -530,14 +554,16 @@ func (s *Shim) expire(e *flowEntry) {
 	if linger <= 0 {
 		linger = sim.Millisecond
 	}
-	s.eng.ScheduleArg(linger, s.removeFn, e)
+	s.eng.ScheduleArg(linger, s.removeFn, e.self)
 }
 
-// removeExpired drops an expired entry once its linger period ends, unless
-// the key was re-occupied by a new flow in the meantime.
+// removeExpired drops an expired entry once its linger period ends. The
+// linger event holds the entry's handle; if the row is already gone (a
+// Crash wiped the table, or the slot was recycled) the handle no longer
+// resolves and the event is a no-op — the handle-generation check replaces
+// the old map implementation's `get(key) == entry` identity test.
 func (s *Shim) removeExpired(a any) {
-	e := a.(*flowEntry)
-	if s.table.get(e.key) == e {
+	if e := s.table.resolve(a.(flowHandle)); e != nil {
 		s.table.remove(e.key)
 		s.stats.FlowsExpired++
 	}

@@ -8,10 +8,14 @@ import "encoding/binary"
 // hypervisor datapath does when it rewrites the receive window: either
 // recompute the sum in full or patch it incrementally per RFC 1624.
 
-// headerBytes serializes the checksummed header fields. The checksum field
-// itself is excluded (treated as zero), as in real TCP.
-func headerBytes(p *Packet) []byte {
-	var b [128]byte
+// headerInto serializes the checksummed header fields into the caller's
+// buffer and returns the byte count. The checksum field itself is excluded
+// (treated as zero), as in real TCP. The buffer is passed in (rather than
+// declared here and a slice of it returned) so it stays on the caller's
+// stack: returning b[:n] would force the array to escape, one heap
+// allocation per checksum over every packet — measured at 96% of
+// BenchmarkFig8's allocations.
+func headerInto(b *[128]byte, p *Packet) int {
 	binary.BigEndian.PutUint32(b[0:], uint32(p.Src))
 	binary.BigEndian.PutUint32(b[4:], uint32(p.Dst))
 	binary.BigEndian.PutUint16(b[8:], p.SrcPort)
@@ -39,7 +43,7 @@ func headerBytes(p *Packet) []byte {
 			break
 		}
 	}
-	return b[:n]
+	return n
 }
 
 // onesSum accumulates the one's-complement sum of 16-bit words.
@@ -63,7 +67,9 @@ func fold(sum uint32) uint16 {
 
 // Checksum computes the full checksum of the packet header.
 func Checksum(p *Packet) uint16 {
-	return ^fold(onesSum(headerBytes(p)))
+	var b [128]byte
+	n := headerInto(&b, p)
+	return ^fold(onesSum(b[:n]))
 }
 
 // SetChecksum stamps the packet with its freshly computed checksum.

@@ -26,6 +26,22 @@ func (k FlowKey) String() string {
 	return fmt.Sprintf("%d:%d>%d:%d", k.Src, k.SrcPort, k.Dst, k.DstPort)
 }
 
+// Hash mixes the 4-tuple through a splitmix64 finalizer for use as an
+// open-addressing table index. It is deliberately seedless: hash values —
+// and therefore any probe order derived from them — are identical across
+// processes and runs, which the deterministic-replay contract requires
+// (the runtime's seeded map hash is exactly what flow tables must avoid).
+func (k FlowKey) Hash() uint64 {
+	x := uint64(uint32(k.Src))<<32 | uint64(uint32(k.Dst))
+	x ^= (uint64(k.SrcPort)<<16 | uint64(k.DstPort)) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // TCPFlags are the TCP header flag bits used by the model.
 type TCPFlags uint8
 

@@ -29,8 +29,8 @@ type Receiver struct {
 
 	established bool
 	rcvNxt      int64
-	ooo         map[int64]int64 // seq -> end (exclusive), out-of-order runs
-	finSeq      int64           // -1 until a FIN is seen
+	ooo         []seqRun // out-of-order runs, sorted by start, disjoint
+	finSeq      int64    // -1 until a FIN is seen
 	closed      bool
 
 	peerEcn  bool
@@ -64,7 +64,6 @@ func NewReceiver(host *netem.Host, peer netem.NodeID, lport, rport uint16, cfg C
 		peer:   peer,
 		lport:  lport,
 		rport:  rport,
-		ooo:    make(map[int64]int64),
 		finSeq: -1,
 		wscale: wscaleFor(cfg.RcvBuf),
 	}
@@ -268,21 +267,34 @@ func (r *Receiver) advance(end, newBytes int64, p *netem.Packet) {
 	}
 }
 
+// seqRun is one contiguous buffered range [s, e) of the sequence space.
+// The run list replaced a map[int64]int64 (seq -> end): flat sorted runs
+// keep the receiver's per-flow state pointer-free and make every walk —
+// merge, drain, window, SACK selection — a short linear scan over a slice
+// that stays at most a window's worth of holes long.
+type seqRun struct{ s, e int64 }
+
 func (r *Receiver) insertOOO(seq, end int64) {
-	// Merge with any existing overlapping runs; the map stays small (at
-	// most a window's worth of holes).
-	for s, e := range r.ooo {
-		if seq <= e && s <= end { // overlap or adjacency
-			if s < seq {
-				seq = s
-			}
-			if e > end {
-				end = e
-			}
-			delete(r.ooo, s)
+	// Runs [i, j) overlap or touch the new segment; merge them into it.
+	i := sort.Search(len(r.ooo), func(k int) bool { return r.ooo[k].e >= seq })
+	j := i
+	for j < len(r.ooo) && r.ooo[j].s <= end {
+		if r.ooo[j].s < seq {
+			seq = r.ooo[j].s
 		}
+		if r.ooo[j].e > end {
+			end = r.ooo[j].e
+		}
+		j++
 	}
-	r.ooo[seq] = end
+	if i == j { // no merge: open a slot at i
+		r.ooo = append(r.ooo, seqRun{})
+		copy(r.ooo[i+1:], r.ooo[i:])
+		r.ooo[i] = seqRun{seq, end}
+		return
+	}
+	r.ooo[i] = seqRun{seq, end}
+	r.ooo = append(r.ooo[:i+1], r.ooo[j:]...)
 }
 
 func (r *Receiver) drainOOO() {
@@ -296,14 +308,19 @@ func (r *Receiver) drainOOO() {
 }
 
 func (r *Receiver) findRunAt(seq int64) (int64, bool) {
-	for s, e := range r.ooo {
-		if s <= seq && seq < e {
-			delete(r.ooo, s)
-			return e, true
-		}
-		if e <= seq { // fully consumed already
-			delete(r.ooo, s)
-		}
+	// Drop fully consumed runs (a sorted prefix), then check whether the
+	// first survivor covers seq.
+	drop := 0
+	for drop < len(r.ooo) && r.ooo[drop].e <= seq {
+		drop++
+	}
+	if drop > 0 {
+		r.ooo = r.ooo[:copy(r.ooo, r.ooo[drop:])]
+	}
+	if len(r.ooo) > 0 && r.ooo[0].s <= seq && seq < r.ooo[0].e {
+		e := r.ooo[0].e
+		r.ooo = r.ooo[:copy(r.ooo, r.ooo[1:])]
+		return e, true
 	}
 	return 0, false
 }
@@ -326,15 +343,16 @@ func (r *Receiver) sendAck(ece bool, tsecr int64) {
 }
 
 // sackBlocks reports up to 3 out-of-order runs, highest first (the most
-// informative blocks for hole repair).
+// informative blocks for hole repair). The run list is sorted ascending,
+// so the highest blocks are a reverse walk from its tail.
 func (r *Receiver) sackBlocks() []netem.SackBlock {
-	blocks := make([]netem.SackBlock, 0, len(r.ooo))
-	for s, e := range r.ooo {
-		blocks = append(blocks, netem.SackBlock{Start: s, End: e})
+	n := len(r.ooo)
+	if n > 3 {
+		n = 3
 	}
-	sort.Slice(blocks, func(i, j int) bool { return blocks[i].Start > blocks[j].Start })
-	if len(blocks) > 3 {
-		blocks = blocks[:3]
+	blocks := make([]netem.SackBlock, 0, n)
+	for i := len(r.ooo) - 1; i >= 0 && len(blocks) < 3; i-- {
+		blocks = append(blocks, netem.SackBlock{Start: r.ooo[i].s, End: r.ooo[i].e})
 	}
 	return blocks
 }
@@ -343,8 +361,8 @@ func (r *Receiver) sackBlocks() []netem.SackBlock {
 // only buffered out-of-order bytes reduce it.
 func (r *Receiver) window() int64 {
 	var buffered int64
-	for s, e := range r.ooo {
-		buffered += e - s
+	for _, run := range r.ooo {
+		buffered += run.e - run.s
 	}
 	w := int64(r.cfg.RcvBuf) - buffered
 	if w < 0 {

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"hwatch/internal/netem"
+	"hwatch/internal/sim"
+	"hwatch/internal/tcp"
+)
+
+// StormConfig describes an open-loop incast storm: Flows short flows
+// arrive as a Poisson process starting at Start (exponential
+// inter-arrivals with mean Window/Flows), each drawing its size from
+// Sizes and its source host uniformly from the source set. Unlike the
+// closed-loop epoch incast (IncastConfig), nothing waits for completions:
+// arrivals keep landing while earlier flows are still in slow start, which
+// is what drives the 10k-concurrent-flow regimes the scale ladder's storm
+// rungs measure.
+type StormConfig struct {
+	Port   uint16
+	Flows  int
+	Sizes  SizeDist
+	Start  int64 // first arrival, ns
+	Window int64 // mean arrival spread: inter-arrival mean is Window/Flows
+	Rng    *sim.RNG
+}
+
+// StormFlow is one planned flow of a storm.
+type StormFlow struct {
+	At   int64 // absolute start time, ns
+	Size int64 // payload bytes
+	Src  int   // index into the source-host set
+}
+
+// PlanStorm pre-draws the storm's complete arrival/size/source sequence.
+// The plan is a pure function of (config, nSrcs, RNG state): one RNG is
+// consumed in a fixed field order per flow, so two storms planned from the
+// same splitmix64-derived seed are identical element for element — the
+// property the determinism tests pin and the golden storm digests rest on.
+func PlanStorm(cfg StormConfig, nSrcs int) []StormFlow {
+	if cfg.Rng == nil {
+		panic("workload: storm needs an RNG")
+	}
+	if cfg.Flows <= 0 || nSrcs <= 0 {
+		panic("workload: storm needs flows and sources")
+	}
+	if cfg.Sizes == nil {
+		panic("workload: storm needs a size distribution")
+	}
+	gap := cfg.Window / int64(cfg.Flows)
+	plan := make([]StormFlow, cfg.Flows)
+	at := cfg.Start
+	for i := range plan {
+		if gap > 0 {
+			at += cfg.Rng.Exp(gap)
+		}
+		plan[i] = StormFlow{
+			At:   at,
+			Size: cfg.Sizes.Sample(cfg.Rng),
+			Src:  int(cfg.Rng.UniformRange(0, int64(nSrcs-1))),
+		}
+	}
+	return plan
+}
+
+// Storm tracks generator progress. Because the storm is open-loop against
+// a bottleneck it deliberately overloads, Completed < Started at the end
+// of a bounded run is expected: the FCT samples cover the flows that made
+// it, Started/Completed expose the backlog.
+type Storm struct {
+	Plan      []StormFlow
+	Started   int
+	Completed int
+	TimedOut  int   // completed flows that saw >= 1 RTO
+	Bytes     int64 // payload bytes of completed flows
+	Senders   []*tcp.Sender
+}
+
+// RunStorm schedules the whole plan. onDone (optional) fires per completed
+// flow with its FCT and size.
+func RunStorm(srcs []*netem.Host, dst netem.NodeID, cfgFor func(*netem.Host) tcp.Config, cfg StormConfig, onDone FlowDone) *Storm {
+	st := &Storm{Plan: PlanStorm(cfg, len(srcs))}
+	eng := srcs[0].Eng
+	for i := range st.Plan {
+		f := st.Plan[i]
+		h := srcs[f.Src]
+		eng.At(f.At, func() {
+			s := tcp.NewSender(h, dst, cfg.Port, f.Size, cfgFor(h))
+			st.Senders = append(st.Senders, s)
+			st.Started++
+			s.OnComplete = func(fct int64) {
+				st.Completed++
+				st.Bytes += f.Size
+				if s.Stats().Timeouts > 0 {
+					st.TimedOut++
+				}
+				if onDone != nil {
+					onDone(fct, f.Size)
+				}
+			}
+			s.Start()
+		})
+	}
+	return st
+}

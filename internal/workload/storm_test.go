@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hwatch/internal/harness"
+	"hwatch/internal/sim"
+)
+
+func stormPlanFor(seed int64, flows int) []StormFlow {
+	return PlanStorm(StormConfig{
+		Port:   9000,
+		Flows:  flows,
+		Sizes:  WebSearch(),
+		Start:  10 * sim.Millisecond,
+		Window: 50 * sim.Millisecond,
+		Rng:    sim.NewRNG(seed),
+	}, 40)
+}
+
+// TestStormPlanDeterministic pins the generator's reproducibility
+// contract: the same splitmix64-derived seed yields the identical
+// arrival/size/source sequence, element for element, and a different seed
+// yields a different one.
+func TestStormPlanDeterministic(t *testing.T) {
+	seed := harness.SeedFor("storm/websearch", 42)
+	a := stormPlanFor(seed, 2000)
+	b := stormPlanFor(seed, 2000)
+	if len(a) != len(b) {
+		t.Fatalf("plan lengths diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d diverged under one seed: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := stormPlanFor(harness.SeedFor("storm/websearch", 43), 2000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced an identical plan")
+	}
+}
+
+// TestStormPlanShape checks the plan's structural invariants: arrivals
+// start at Start and never go backwards, sizes are positive draws from the
+// distribution, and sources stay in range.
+func TestStormPlanShape(t *testing.T) {
+	plan := stormPlanFor(7, 5000)
+	if len(plan) != 5000 {
+		t.Fatalf("want 5000 flows, got %d", len(plan))
+	}
+	prev := int64(0)
+	for i, f := range plan {
+		if f.At < 10*sim.Millisecond {
+			t.Fatalf("flow %d arrives at %d, before Start", i, f.At)
+		}
+		if f.At < prev {
+			t.Fatalf("flow %d arrival %d precedes flow %d", i, f.At, i-1)
+		}
+		prev = f.At
+		if f.Size <= 0 {
+			t.Fatalf("flow %d has size %d", i, f.Size)
+		}
+		if f.Src < 0 || f.Src >= 40 {
+			t.Fatalf("flow %d source %d out of range", i, f.Src)
+		}
+	}
+}
+
+// cdfAt returns the empirical CDF of samples at x.
+func cdfAt(samples []int64, x int64) float64 {
+	n := 0
+	for _, s := range samples {
+		if s <= x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(samples))
+}
+
+// testCDFConformance draws 10k samples and requires the empirical CDF at
+// every knot to sit within binomial noise of the knot's probability: the
+// inverse-CDF sampler maps u <= P[i] exactly to sizes <= Size[i].
+func testCDFConformance(t *testing.T, name string, d Empirical) {
+	t.Helper()
+	const n = 10000
+	samples := sampleMany(d, n, harness.SeedFor(name, 1))
+	for i, p := range d.P {
+		got := cdfAt(samples, d.Size[i])
+		// ~4 sigma of Binomial(10000, p), floored for the tiny tails.
+		tol := 4 * math.Sqrt(p*(1-p)/n)
+		if tol < 0.005 {
+			tol = 0.005
+		}
+		if diff := got - p; diff < -tol || diff > tol {
+			t.Errorf("%s knot %d (size %d): empirical CDF %.4f, want %.4f +/- %.4f",
+				name, i, d.Size[i], got, p, tol)
+		}
+	}
+	// The largest knot is the distribution's maximum: nothing may exceed it.
+	max := d.Size[len(d.Size)-1]
+	for _, s := range samples {
+		if s > max {
+			t.Fatalf("%s sample %d exceeds distribution max %d", name, s, max)
+		}
+	}
+}
+
+func TestWebSearchCDFConformance(t *testing.T) {
+	testCDFConformance(t, "cdf/websearch", WebSearch())
+}
+
+func TestDataMiningCDFConformance(t *testing.T) {
+	testCDFConformance(t, "cdf/datamining", DataMining())
+}
