@@ -109,7 +109,7 @@ type flowTable struct {
 	idx  []flowBucket // open-addressing key index, power-of-two sized
 	mask uint64
 
-	genc uint32 // next generation to assign; starts at 1, never reused
+	genc uint32 // next generation to assign; starts at 1, never reused (ensure panics on wrap)
 }
 
 const flowIdxInitial = 128
@@ -143,10 +143,22 @@ func (t *flowTable) get(k netem.FlowKey) *flowEntry {
 			return nil
 		}
 		if b.key == k {
-			return t.at(b.h.slot())
+			return t.rowOf(b)
 		}
 		i = (i + 1) & t.mask
 	}
+}
+
+// rowOf resolves an index bucket to its slab row, checking that the row is
+// still the occupancy the bucket was minted for. The index and slab are
+// updated in lockstep, so a dead or recycled row here means the index is
+// corrupt — panic rather than silently alias one flow's state to another.
+func (t *flowTable) rowOf(b *flowBucket) *flowEntry {
+	e := t.at(b.h.slot())
+	if !e.live || e.gen != b.h.gen() {
+		panic("core: flowTable index bucket names a dead or recycled row")
+	}
+	return e
 }
 
 func (t *flowTable) ensure(k netem.FlowKey, r role) (*flowEntry, bool) {
@@ -166,6 +178,20 @@ func (t *flowTable) ensure(k netem.FlowKey, r role) (*flowEntry, bool) {
 	}
 	gen := t.genc
 	t.genc++
+	if t.genc == 0 {
+		// A wrapped counter would mint handle {0,0} — the empty-bucket
+		// sentinel — and start reusing generations, breaking the
+		// never-resurrect contract resolve() depends on. 2^32 ensures per
+		// table lineage is unreachable in any run we model; fail loudly
+		// rather than alias silently.
+		panic("core: flowTable generation counter wrapped")
+	}
+	h := makeHandle(slot, gen)
+	// Index the key before the row goes live: idxInsert may grow the index,
+	// and idxGrow reinserts every live row — a row already marked live here
+	// would be inserted by the grow and then again by idxInsert, leaving a
+	// duplicate bucket that outlives remove().
+	t.idxInsert(k, h)
 	e := t.at(slot)
 	*e = flowEntry{
 		key:     k,
@@ -173,10 +199,9 @@ func (t *flowTable) ensure(k netem.FlowKey, r role) (*flowEntry, bool) {
 		slot:    slot,
 		gen:     gen,
 		live:    true,
-		self:    makeHandle(slot, gen),
+		self:    h,
 		wndSegs: -1,
 	}
-	t.idxInsert(k, makeHandle(slot, gen))
 	t.used++
 	return e, true
 }
@@ -208,7 +233,7 @@ func (t *flowTable) remove(k netem.FlowKey) *flowEntry {
 			return nil
 		}
 		if b.key == k {
-			e := t.at(b.h.slot())
+			e := t.rowOf(b)
 			t.idxDelete(i)
 			e.live = false
 			e.self = nil

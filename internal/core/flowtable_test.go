@@ -118,6 +118,42 @@ func TestFlowTableMatchesMap(t *testing.T) {
 	}
 }
 
+// TestFlowTableGrowthBoundaryNoGhosts pins the ensure/idxGrow ordering: a
+// row must not be marked live until after it is indexed, or the grow
+// triggered at the 3/4-load boundary reinserts it and idxInsert then adds
+// the same key a second time. The duplicate bucket survives remove() and a
+// later get() resolves it to a dead or recycled row. 200 keys cross the
+// 128->256 and 256->512 boundaries; after removing every key the table and
+// its index must both be empty.
+func TestFlowTableGrowthBoundaryNoGhosts(t *testing.T) {
+	tab := newFlowTable()
+	keys := make([]netem.FlowKey, 200)
+	for i := range keys {
+		keys[i] = netem.FlowKey{Src: 1, Dst: 2, SrcPort: uint16(i), DstPort: 80}
+		if _, created := tab.ensure(keys[i], roleSender); !created {
+			t.Fatalf("ensure(%v) found a pre-existing row", keys[i])
+		}
+	}
+	for _, k := range keys {
+		if tab.remove(k) == nil {
+			t.Fatalf("remove(%v) lost the row", k)
+		}
+	}
+	if tab.len() != 0 {
+		t.Fatalf("len = %d after removing every key, want 0", tab.len())
+	}
+	for _, k := range keys {
+		if e := tab.get(k); e != nil {
+			t.Fatalf("get(%v) returned a ghost row %+v after removal", k, e)
+		}
+	}
+	for i, b := range tab.idx {
+		if b.h != 0 {
+			t.Fatalf("index bucket %d still occupied by %v after removing every key", i, b.key)
+		}
+	}
+}
+
 // TestFlowHandleStaleAfterRemove pins the handle contract: a handle stops
 // resolving the moment its row is removed, and keeps not resolving after
 // the slot is recycled by a different flow.
