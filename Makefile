@@ -55,7 +55,8 @@ bench-check:
 bench-ladder:
 	$(GO) run ./cmd/benchdiff -suite ladder -out BENCH_LADDER_$(DATE).json
 
-# Re-run the affordable rungs (1x and 10x; CI wall-clock budget) and fail
+# Re-run the affordable rungs (1x and 10x, plus the sharded 10x so the
+# shard dimension is tracked on every push; CI wall-clock budget) and fail
 # on regression against the newest committed ladder record. CI's
 # bench-ladder job runs exactly this. The alloc threshold is looser than
 # the main suite's: pool-refill jitter scales with the rungs' live flow
@@ -63,7 +64,7 @@ bench-ladder:
 # is orders of magnitude above 1%.
 bench-ladder-check:
 	@test -n "$(LADDER_BASELINE)" || { echo "no BENCH_LADDER_*.json baseline found"; exit 1; }
-	$(GO) run ./cmd/benchdiff -suite ladder -bench 'BenchmarkLadder1x$$|BenchmarkLadder10x$$' \
+	$(GO) run ./cmd/benchdiff -suite ladder -bench 'BenchmarkLadder1x$$|BenchmarkLadder10x$$|BenchmarkLadder10xShards4$$' \
 		-check -subset -alloc-threshold 0.01 -baseline $(LADDER_BASELINE) \
 		-out /tmp/bench_ladder_check.json
 

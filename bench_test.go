@@ -98,6 +98,28 @@ func BenchmarkLadder100x(b *testing.B) { benchRung(b, "ladder/100x", 1) }
 func BenchmarkStormWebSearch(b *testing.B)  { benchRung(b, "storm/websearch", 1) }
 func BenchmarkStormDataMining(b *testing.B) { benchRung(b, "storm/datamining", 1) }
 
+// benchRungShards reruns a rung with the fabric partitioned across n
+// engine shards. The digest is identical to the single-loop variant (the
+// parity matrix enforces that), so the ns/op delta against the unsharded
+// benchmark above is pure execution cost: the multi-core speedup on
+// parallel hardware, or the window-barrier overhead when cores are scarce.
+func benchRungShards(b *testing.B, name string, shards int) {
+	b.Helper()
+	SetShards(shards)
+	defer SetShards(0)
+	benchRung(b, name, 1)
+}
+
+// BenchmarkLadder10xShards4 is the rung cheap enough for CI's wall-clock
+// budget, so the bench-ladder job tracks the shard dimension on every push.
+func BenchmarkLadder10xShards4(b *testing.B) { benchRungShards(b, "ladder/10x", 4) }
+
+func BenchmarkLadder100xShards2(b *testing.B) { benchRungShards(b, "ladder/100x", 2) }
+func BenchmarkLadder100xShards4(b *testing.B) { benchRungShards(b, "ladder/100x", 4) }
+
+func BenchmarkStormWebSearchShards4(b *testing.B)  { benchRungShards(b, "storm/websearch", 4) }
+func BenchmarkStormDataMiningShards4(b *testing.B) { benchRungShards(b, "storm/datamining", 4) }
+
 // BenchmarkSchemeHWatch times a single HWatch dumbbell run: the end-to-end
 // cost of the simulator + shim datapath (events/sec throughput proxy).
 func BenchmarkSchemeHWatch(b *testing.B) {

@@ -40,6 +40,7 @@ func main() {
 		seed        = flag.Int64("seed", 42, "scenario seed")
 		asJSON      = flag.Bool("json", false, "emit run summaries as JSON")
 		parallel    = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "engine shards per run (0/1 = single loop; digests must not change)")
 		check       = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
 		digest      = flag.Bool("digest", false, "print only '<digest> <label>' per run (for CI diffing)")
 		listSchemes = flag.Bool("list-schemes", false, "list every registered scheme and exit")
@@ -49,6 +50,7 @@ func main() {
 	)
 	flag.Parse()
 	hwatch.SetParallel(*parallel)
+	hwatch.SetShards(*shards)
 	hwatch.SetInvariantChecks(*check)
 	if *noPool {
 		netem.SetPacketPooling(false)

@@ -1,17 +1,20 @@
 // Package detrand defines an analyzer that enforces the simulator's
 // determinism contract: inside the model packages, all time must come from
-// the engine clock and all entropy from the run's seeded RNG, and map
-// iteration order must never be able to reach the event queue, a digest,
-// or emitted output.
+// the engine clock and all entropy from the run's seeded RNG, and neither
+// map iteration order nor channel receive order may ever reach the event
+// queue, a digest, or emitted output.
 //
 // Golden-digest reproducibility (byte-identical runs for a fixed seed at
-// any parallelism) is the repo's load-bearing correctness evidence; this
-// analyzer turns the three ways it silently rots — wall clock, global
-// math/rand, map-order-dependent scheduling — into build failures.
+// any parallelism and shard count) is the repo's load-bearing correctness
+// evidence; this analyzer turns the ways it silently rots — wall clock,
+// global math/rand, map-order-dependent scheduling, and cross-shard
+// channel receives that bypass the group's deterministic outbox merge —
+// into build failures.
 package detrand
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"reflect"
 	"regexp"
@@ -30,8 +33,9 @@ const DefaultScope = `^hwatch/internal/(sim|netem|tcp|core|aqm|faults|experiment
 
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
-	Doc: "forbid wall-clock time, global math/rand and map-order-dependent " +
-		"scheduling/digesting/output in the deterministic simulator packages",
+	Doc: "forbid wall-clock time, global math/rand, and map-iteration or " +
+		"channel-receive order reaching scheduling/digesting/output in the " +
+		"deterministic simulator packages",
 	Requires:   []*analysis.Analyzer{inspect.Analyzer},
 	ResultType: usedType,
 	Run:        run,
@@ -62,9 +66,13 @@ var allowedRand = map[string]bool{
 
 // schedNames are the sim.Engine scheduling entry points: anything whose
 // relative order depends on map iteration makes event seq assignment, and
-// therefore same-instant FIFO order, nondeterministic.
+// therefore same-instant FIFO order, nondeterministic. ScheduleRemoteArg
+// is the cross-shard variant: the sender fixes the event's (sched, rank,
+// seq) identity at call time, so call order reaching it is just as
+// order-sensitive as a local Schedule.
 var schedNames = map[string]bool{
 	"Schedule": true, "ScheduleArg": true, "At": true, "AtArg": true,
+	"ScheduleRemoteArg": true,
 }
 
 func run(pass *analysis.Pass) (any, error) {
@@ -80,7 +88,7 @@ func run(pass *analysis.Pass) (any, error) {
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	r := &reacher{pass: pass, decls: indexFuncDecls(pass), memo: make(map[*types.Func]string)}
 
-	nodeFilter := []ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil)}
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil), (*ast.RangeStmt)(nil), (*ast.SelectStmt)(nil)}
 	ins.Preorder(nodeFilter, func(n ast.Node) {
 		if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
 			return
@@ -88,8 +96,11 @@ func run(pass *analysis.Pass) (any, error) {
 		switch n := n.(type) {
 		case *ast.CallExpr:
 			checkCall(pass, set, used, n)
+			checkRecvArg(pass, set, used, n)
 		case *ast.RangeStmt:
-			checkMapRange(pass, set, used, r, n)
+			checkOrderedRange(pass, set, used, r, n)
+		case *ast.SelectStmt:
+			checkSelect(pass, set, used, r, n)
 		}
 	})
 	return used, nil
@@ -119,17 +130,89 @@ func checkCall(pass *analysis.Pass, set *allowdir.Set, used allowdir.Used, call 
 	}
 }
 
-func checkMapRange(pass *analysis.Pass, set *allowdir.Set, used allowdir.Used, r *reacher, rng *ast.RangeStmt) {
+// checkOrderedRange flags ranging over the two orderless sources — maps
+// (iteration order is randomized) and channels (receive order is goroutine
+// scheduling order, which GOMAXPROCS and the OS decide) — when the loop
+// body can reach an order-sensitive sink.
+func checkOrderedRange(pass *analysis.Pass, set *allowdir.Set, used allowdir.Used, r *reacher, rng *ast.RangeStmt) {
 	t := pass.TypesInfo.TypeOf(rng.X)
 	if t == nil {
 		return
 	}
-	if _, ok := t.Underlying().(*types.Map); !ok {
+	switch t.Underlying().(type) {
+	case *types.Map:
+		if why := r.bodyReaches(rng.Body); why != "" {
+			allowdir.Report(pass, set, used, "detrand", rng.Pos(),
+				"map iteration order can reach %s: iterate sorted keys or a slice mirror", why)
+		}
+	case *types.Chan:
+		if why := r.bodyReaches(rng.Body); why != "" {
+			allowdir.Report(pass, set, used, "detrand", rng.Pos(),
+				"channel receive order can reach %s: receive order is goroutine scheduling, not simulation order — route cross-shard events through the group's outbox merge, or drain into a slice and sort", why)
+		}
+	}
+}
+
+// checkSelect flags select statements whose receive arms can reach an
+// order-sensitive sink: which arm wins a multi-way select is scheduler
+// nondeterminism, exactly like cross-shard channel receive order.
+func checkSelect(pass *analysis.Pass, set *allowdir.Set, used allowdir.Used, r *reacher, sel *ast.SelectStmt) {
+	if len(sel.Body.List) < 2 {
+		return // single-arm select: no ordering choice to lose
+	}
+	for _, cl := range sel.Body.List {
+		comm, ok := cl.(*ast.CommClause)
+		if !ok || !isRecvComm(comm.Comm) {
+			continue
+		}
+		for _, stmt := range comm.Body {
+			if why := r.bodyReaches(stmt); why != "" {
+				allowdir.Report(pass, set, used, "detrand", comm.Pos(),
+					"select receive arm can reach %s: arm choice is goroutine scheduling, not simulation order — route cross-shard events through the group's outbox merge", why)
+				break
+			}
+		}
+	}
+}
+
+// isRecvComm reports whether a select comm statement is a channel receive
+// (`<-ch`, `v := <-ch`, `v, ok := <-ch`).
+func isRecvComm(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := s.X.(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		u, ok := s.Rhs[0].(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	}
+	return false
+}
+
+// checkRecvArg flags a channel receive expression used directly as an
+// argument (or receiver) of a scheduling sink: the receive decides *when*
+// relative to other senders the event is armed, so seq order leaks the
+// scheduler interleaving even without a loop.
+func checkRecvArg(pass *analysis.Pass, set *allowdir.Set, used allowdir.Used, call *ast.CallExpr) {
+	fn, ok := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok {
 		return
 	}
-	if why := r.bodyReaches(rng.Body); why != "" {
-		allowdir.Report(pass, set, used, "detrand", rng.Pos(),
-			"map iteration order can reach %s: iterate sorted keys or a slice mirror", why)
+	if sinkName(fn) == "" {
+		return
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				allowdir.Report(pass, set, used, "detrand", u.Pos(),
+					"channel receive feeds %s directly: receive order is goroutine scheduling, not simulation order — route cross-shard events through the group's outbox merge", sinkName(fn))
+				return false
+			}
+			return true
+		})
 	}
 }
 

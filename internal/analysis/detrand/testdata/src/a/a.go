@@ -14,9 +14,11 @@ type Event struct{}
 
 type Engine struct{ now int64 }
 
-func (e *Engine) Schedule(delay int64, fn func()) *Event          { return &Event{} }
-func (e *Engine) ScheduleArg(d int64, fn func(any), a any) *Event { return &Event{} }
-func (e *Engine) Now() int64                                      { return e.now }
+func (e *Engine) Schedule(delay int64, fn func()) *Event                      { return &Event{} }
+func (e *Engine) ScheduleArg(d int64, fn func(any), a any) *Event             { return &Event{} }
+func (e *Engine) ScheduleRemoteArg(dst *Engine, d int64, fn func(any), a any) {}
+func (e *Engine) Now() int64                                                  { return e.now }
+func (e *Engine) RunUntil(horizon int64)                                      {}
 
 type Digest struct{ h uint64 }
 
@@ -79,5 +81,67 @@ func suppressed(e *Engine, m map[int]func()) {
 	//hwatchvet:allow detrand exercised by the directive fixture: order is proven commutative here
 	for _, fn := range m {
 		e.Schedule(1, fn)
+	}
+}
+
+// Cross-shard hazards: channel receive order is goroutine scheduling, so a
+// receive that can reach the event queue bypasses the group's merge.
+
+func chanOrderDirect(e *Engine, ch chan func()) {
+	for fn := range ch { // want `channel receive order can reach Engine.Schedule`
+		e.Schedule(1, fn)
+	}
+}
+
+func mapOrderRemote(e, dst *Engine, m map[int]int) {
+	for v := range m { // want `map iteration order can reach Engine.ScheduleRemoteArg`
+		e.ScheduleRemoteArg(dst, 1, handleAny, v)
+	}
+}
+
+func handleAny(any) {}
+
+func chanOrderRemote(e, dst *Engine, ch chan int) {
+	for v := range ch { // want `channel receive order can reach Engine.ScheduleRemoteArg`
+		e.ScheduleRemoteArg(dst, 1, handleAny, v)
+	}
+}
+
+func selectOrder(e *Engine, a, b chan func()) {
+	select {
+	case fn := <-a: // want `select receive arm can reach Engine.Schedule`
+		e.Schedule(1, fn)
+	case fn := <-b: // want `select receive arm can reach Engine.Schedule`
+		e.Schedule(1, fn)
+	}
+}
+
+func selectSingleArm(e *Engine, a chan func()) {
+	// One receive arm: nothing to race, no ordering choice lost.
+	select {
+	case fn := <-a:
+		e.Schedule(1, fn)
+	}
+}
+
+func recvFeedsSink(e *Engine, ch chan int) {
+	e.ScheduleArg(1, handleAny, <-ch) // want `channel receive feeds Engine.ScheduleArg directly`
+}
+
+func chanOrderBenign(ch chan int) int {
+	// Pure accumulation off a channel: commutative, no sink reached.
+	sum := 0
+	for v := range ch {
+		sum += v
+	}
+	return sum
+}
+
+func workerWindowLoop(e *Engine, cmd chan int64) {
+	// The sharded group's sanctioned worker shape: window ends drive
+	// RunUntil, and every cross-shard event flows through the outbox
+	// merge — the receive order never reaches the event queue.
+	for end := range cmd {
+		e.RunUntil(end)
 	}
 }

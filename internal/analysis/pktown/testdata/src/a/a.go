@@ -80,3 +80,30 @@ func suppressedLeak(drop bool) {
 	}
 	Send(p)
 }
+
+// Engine stands in for sim.Engine: ScheduleRemoteArg is the cross-shard
+// handoff (matched by the Schedule.* transfer pattern).
+type Engine struct{}
+
+func (e *Engine) ScheduleRemoteArg(dst *Engine, d int64, fn func(any), a any) {}
+
+func deliverArg(a any) {}
+
+// crossShardHandoff: handing a packet to another shard's engine via
+// ScheduleRemoteArg is a legal ownership transfer — the receiving shard's
+// dispatch releases it. No leak diagnostic.
+func crossShardHandoff(e, dst *Engine) {
+	p := AllocPacket()
+	e.ScheduleRemoteArg(dst, 1, deliverArg, p)
+}
+
+// crossShardUseAfterHandoff: once handed off, the sender no longer owns
+// the packet; the transfer is conservative (escaped), so later reads are
+// not flagged — but a drop path before the handoff still must release.
+func crossShardDropBeforeHandoff(e, dst *Engine, drop bool) {
+	p := AllocPacket()
+	if drop {
+		return // want `pooled packet p leaks on this path`
+	}
+	e.ScheduleRemoteArg(dst, 1, deliverArg, p)
+}

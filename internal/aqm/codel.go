@@ -43,6 +43,13 @@ func NewCoDel(capPkts int, target, interval int64, ecn bool, clock func() int64)
 	return &CoDel{CapPkts: capPkts, Target: target, Interval: interval, ECN: ecn, Clock: clock}
 }
 
+// SetClock rebinds the queue's time source; see RED.SetClock.
+func (q *CoDel) SetClock(fn func() int64) {
+	if fn != nil {
+		q.Clock = fn
+	}
+}
+
 // Enqueue implements netem.Queue (tail drop only at physical capacity;
 // CoDel acts at dequeue).
 func (q *CoDel) Enqueue(p *netem.Packet) bool {

@@ -87,6 +87,15 @@ func NewRED(cfg REDConfig, rng func() float64) *RED {
 // Avg returns the current average queue estimate (packets).
 func (q *RED) Avg() float64 { return q.avg }
 
+// SetClock rebinds the queue's time source. netem.NewPort calls this so a
+// clocked queue always reads the engine that owns its port — required in
+// sharded runs, where the Env-supplied clock may belong to another shard.
+func (q *RED) SetClock(fn func() int64) {
+	if fn != nil {
+		q.cfg.Clock = fn
+	}
+}
+
 // Enqueue implements netem.Queue.
 func (q *RED) Enqueue(p *netem.Packet) bool {
 	if q.idle {

@@ -72,6 +72,10 @@ func NewShim(eng *sim.Engine, cfg Config, seedSalt int64) *Shim {
 	return s
 }
 
+// Eng returns the engine the shim's timers run on — the shard that owns
+// the shim's host(s). Fault injection schedules shim events there.
+func (s *Shim) Eng() *sim.Engine { return s.eng }
+
 // AttachHost installs the shim on a (further) host's filter chains. All
 // attached hosts share the flow table, statistics and SYN-ACK pacer, as VM
 // ports on one OvS do.

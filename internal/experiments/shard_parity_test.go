@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"hwatch/internal/scenario"
+)
+
+// readGolden loads the checked-in digest map the parity matrix compares
+// against: the goldens are recorded single-loop, so matching them at every
+// (shards, GOMAXPROCS) combination proves sharding is execution-invisible.
+func readGolden(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden digests (regenerate with -args -update): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return want
+}
+
+// TestShardDigestParityMatrix is the PDES determinism gate: every golden
+// scenario (the 13 figure digests plus the two chaos schedules) must be
+// byte-identical to its checked-in digest at shards ∈ {1, 2, 4} ×
+// GOMAXPROCS ∈ {1, 8}. Any cross-shard ordering leak — a merge that
+// depends on which worker finished first, a rank chain that differs by
+// partition — lands here as a digest mismatch naming the run and combo.
+func TestShardDigestParityMatrix(t *testing.T) {
+	type combo struct{ shards, procs int }
+	matrix := []combo{{1, 1}, {1, 8}, {2, 1}, {2, 8}, {4, 1}, {4, 8}}
+	if testing.Short() {
+		matrix = []combo{{2, 8}, {4, 1}}
+	}
+	want := readGolden(t)
+
+	defer scenario.SetDefaultShards(0)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, c := range matrix {
+		t.Run(fmt.Sprintf("shards=%d,procs=%d", c.shards, c.procs), func(t *testing.T) {
+			scenario.SetDefaultShards(c.shards)
+			runtime.GOMAXPROCS(c.procs)
+			got := goldenRuns()
+			for k, w := range want {
+				if g, ok := got[k]; !ok {
+					t.Errorf("%s: missing from run", k)
+				} else if g != w {
+					t.Errorf("%s: digest %s, golden %s", k, g, w)
+				}
+			}
+		})
+	}
+}

@@ -194,9 +194,11 @@ func (f Fabric) link(target string) (*netem.Port, error) {
 	return nil, fmt.Errorf("no link %q in fabric (links: %s)", name, joinKeys(f.Links))
 }
 
-// strip resolves an ECNBlackhole target to its toggle: a whole switch by
-// name, or a single link as a fallback.
-func (f Fabric) strip(target string) (func(bool), error) {
+// strip resolves an ECNBlackhole target to its toggle — a whole switch by
+// name, or a single link as a fallback — and the engine that owns the
+// target, so a sharded run toggles it from the owning shard. A switch with
+// no ports yet reports a nil engine; the caller falls back to its own.
+func (f Fabric) strip(target string) (func(bool), *sim.Engine, error) {
 	name := target
 	if name == "" {
 		name = f.DefaultSwitch
@@ -205,12 +207,16 @@ func (f Fabric) strip(target string) (func(bool), error) {
 		}
 	}
 	if sw, ok := f.Switches[name]; ok && sw != nil {
-		return sw.SetStripECN, nil
+		var owner *sim.Engine
+		if sw.NumPorts() > 0 {
+			owner = sw.Port(0).Eng
+		}
+		return sw.SetStripECN, owner, nil
 	}
 	if p, ok := f.Links[name]; ok && p != nil {
-		return p.SetStripECN, nil
+		return p.SetStripECN, p.Eng, nil
 	}
-	return nil, fmt.Errorf("no switch or link %q in fabric (switches: %s; links: %s)",
+	return nil, nil, fmt.Errorf("no switch or link %q in fabric (switches: %s; links: %s)",
 		name, joinKeysSw(f.Switches), joinKeys(f.Links))
 }
 
@@ -224,6 +230,17 @@ func (f Fabric) shims(target string) ([]*core.Shim, error) {
 			target, len(f.Shims), len(f.Shims)-1)
 	}
 	return []*core.Shim{f.Shims[idx]}, nil
+}
+
+// shimIndex reports a shim's position in the fabric's deployment order,
+// so per-shim fault log lines name the shim the way targets do ("shim0"…).
+func shimIndex(all []*core.Shim, sh *core.Shim) int {
+	for i, s := range all {
+		if s == sh {
+			return i
+		}
+	}
+	return -1
 }
 
 func joinKeys(m map[string]*netem.Port) string {
@@ -245,21 +262,49 @@ func joinKeysSw(m map[string]*netem.Switch) string {
 }
 
 // Injector is an armed schedule. Arm resolves every target eagerly (a
-// typo fails the run before it starts, not at t=fault) and queues the
-// events on the engine; the injector then just records what fired.
+// typo fails the run before it starts, not at t=fault) and queues every
+// event on the engine that owns its target — the shard a sharded fabric
+// assigned the port, switch or shim to — so fault actions never mutate
+// state across shard boundaries. The injector then just records what
+// fired.
 type Injector struct {
 	Schedule Schedule
 
-	// Log lists every fault action in firing order, stamped with
-	// simulation time — deterministic, so tests can assert on it.
-	Log []string
-
 	lastClear int64
 	channels  []*netem.GilbertElliott
+	slots     []logSlot
+}
+
+// logSlot is one pre-allocated log line. Slots are claimed at Arm time in
+// schedule order with the event's fire instant; the fault action fills the
+// message in when it fires, possibly from different shards concurrently —
+// each action writes only its own slot, so no lock is needed.
+type logSlot struct {
+	at  int64
+	msg string
 }
 
 // LastClear returns the instant the final fault effect ends.
 func (inj *Injector) LastClear() int64 { return inj.lastClear }
+
+// Log lists every fault action that fired, stamped with simulation time,
+// ordered by fire instant with schedule order breaking ties — the firing
+// order a single-loop engine produces. Deterministic at any shard count,
+// so tests can assert on it.
+func (inj *Injector) Log() []string {
+	fired := make([]logSlot, 0, len(inj.slots))
+	for _, sl := range inj.slots {
+		if sl.msg != "" {
+			fired = append(fired, sl)
+		}
+	}
+	sort.SliceStable(fired, func(i, j int) bool { return fired[i].at < fired[j].at })
+	out := make([]string, len(fired))
+	for i, sl := range fired {
+		out[i] = sl.msg
+	}
+	return out
+}
 
 // BurstDrops totals the packets the armed burst-loss channels removed.
 func (inj *Injector) BurstDrops() int64 {
@@ -270,15 +315,27 @@ func (inj *Injector) BurstDrops() int64 {
 	return n
 }
 
-func (inj *Injector) logf(eng *sim.Engine, format string, args ...any) {
-	inj.Log = append(inj.Log, fmtNs(eng.Now())+" "+fmt.Sprintf(format, args...))
+// slot reserves a log line for an action scheduled at `at`. Must be called
+// during Arm, before any engine runs.
+func (inj *Injector) slot(at int64) int {
+	inj.slots = append(inj.slots, logSlot{at: at})
+	return len(inj.slots) - 1
+}
+
+// logf fills a reserved slot when its action fires on the owning engine.
+func (inj *Injector) logf(slot int, eng *sim.Engine, format string, args ...any) {
+	inj.slots[slot].msg = fmtNs(eng.Now()) + " " + fmt.Sprintf(format, args...)
 }
 
 // Arm validates the schedule, resolves every target against the fabric
-// and queues the fault events on the engine. Call after the topology and
-// shims are built but before the engine runs. Burst-loss channels fork
-// the run RNG once per event, in schedule order, so the loss pattern is a
-// pure function of seed + schedule.
+// and queues the fault events — each on the engine that owns its target,
+// so on a sharded fabric every action mutates only shard-local state.
+// Call after the topology and shims are built but before the engine runs.
+// Burst-loss channels fork the run RNG once per event, in schedule order,
+// so the loss pattern is a pure function of seed + schedule.
+//
+// eng is the fallback for targets with no resolvable owner (a port-less
+// switch); on a single-loop fabric every owner is eng anyway.
 func Arm(eng *sim.Engine, rng *sim.RNG, sched Schedule, fab Fabric) (*Injector, error) {
 	if err := sched.Validate(); err != nil {
 		return nil, err
@@ -293,35 +350,41 @@ func Arm(eng *sim.Engine, rng *sim.RNG, sched Schedule, fab Fabric) (*Injector, 
 				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
 			}
 			down := ev.Kind == LinkDown
-			eng.At(ev.At, func() {
+			slot := inj.slot(ev.At)
+			port.Eng.At(ev.At, func() {
 				port.SetDown(down)
-				inj.logf(eng, "%s %s", ev.Kind, port.Label)
+				inj.logf(slot, port.Eng, "%s %s", ev.Kind, port.Label)
 			})
 		case ProbeBlackout:
 			port, err := fab.link(ev.Target)
 			if err != nil {
 				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
 			}
-			eng.At(ev.At, func() {
+			on, off := inj.slot(ev.At), inj.slot(ev.Until)
+			port.Eng.At(ev.At, func() {
 				port.SetDropProbes(true)
-				inj.logf(eng, "probe-blackout on %s", port.Label)
+				inj.logf(on, port.Eng, "probe-blackout on %s", port.Label)
 			})
-			eng.At(ev.Until, func() {
+			port.Eng.At(ev.Until, func() {
 				port.SetDropProbes(false)
-				inj.logf(eng, "probe-blackout off %s", port.Label)
+				inj.logf(off, port.Eng, "probe-blackout off %s", port.Label)
 			})
 		case ECNBlackhole:
-			strip, err := fab.strip(ev.Target)
+			strip, owner, err := fab.strip(ev.Target)
 			if err != nil {
 				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
 			}
-			eng.At(ev.At, func() {
+			if owner == nil {
+				owner = eng
+			}
+			on, off := inj.slot(ev.At), inj.slot(ev.Until)
+			owner.At(ev.At, func() {
 				strip(true)
-				inj.logf(eng, "ecn-blackhole on")
+				inj.logf(on, owner, "ecn-blackhole on")
 			})
-			eng.At(ev.Until, func() {
+			owner.At(ev.Until, func() {
 				strip(false)
-				inj.logf(eng, "ecn-blackhole off")
+				inj.logf(off, owner, "ecn-blackhole off")
 			})
 		case ShimCrash, ShimRestart:
 			shims, err := fab.shims(ev.Target)
@@ -329,16 +392,26 @@ func Arm(eng *sim.Engine, rng *sim.RNG, sched Schedule, fab Fabric) (*Injector, 
 				return nil, fmt.Errorf("faults[%d] %s: %v", i, ev.Kind, err)
 			}
 			crash := ev.Kind == ShimCrash
-			eng.At(ev.At, func() {
-				for _, sh := range shims {
+			// One event per shim, in fabric order, each on the shim's owning
+			// engine. The event count — and therefore every shared setup
+			// sequence number drawn after Arm — must be a function of the
+			// fabric alone, never of the partition: grouping shims per owning
+			// engine here would arm a shard-count-dependent number of events
+			// and silently re-rank everything the workload arms afterwards.
+			for _, sh := range shims {
+				sh := sh
+				se := sh.Eng()
+				idx := shimIndex(fab.Shims, sh)
+				slot := inj.slot(ev.At)
+				se.At(ev.At, func() {
 					if crash {
 						sh.Crash()
 					} else {
 						sh.Restart()
 					}
-				}
-				inj.logf(eng, "%s (%d shims)", ev.Kind, len(shims))
-			})
+					inj.logf(slot, se, "%s shim%d", ev.Kind, idx)
+				})
+			}
 		case BurstLoss:
 			port, err := fab.link(ev.Target)
 			if err != nil {
@@ -346,13 +419,14 @@ func Arm(eng *sim.Engine, rng *sim.RNG, sched Schedule, fab Fabric) (*Injector, 
 			}
 			ge := &netem.GilbertElliott{P: ev.GE, Rng: rng.Fork()}
 			inj.channels = append(inj.channels, ge)
-			eng.At(ev.At, func() {
+			on, off := inj.slot(ev.At), inj.slot(ev.Until)
+			port.Eng.At(ev.At, func() {
 				port.SetLoss(func(*netem.Packet) bool { return ge.Drop() })
-				inj.logf(eng, "burst-loss on %s", port.Label)
+				inj.logf(on, port.Eng, "burst-loss on %s", port.Label)
 			})
-			eng.At(ev.Until, func() {
+			port.Eng.At(ev.Until, func() {
 				port.SetLoss(nil)
-				inj.logf(eng, "burst-loss off %s (%d/%d dropped)", port.Label, ge.Drops, ge.Seen)
+				inj.logf(off, port.Eng, "burst-loss off %s (%d/%d dropped)", port.Label, ge.Drops, ge.Seen)
 			})
 		}
 	}

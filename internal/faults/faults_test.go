@@ -124,8 +124,8 @@ func TestInjectorTimeline(t *testing.T) {
 	if inj.LastClear() != 60*sim.Microsecond {
 		t.Fatalf("LastClear = %d", inj.LastClear())
 	}
-	if len(inj.Log) != 4 {
-		t.Fatalf("Log has %d entries, want 4: %v", len(inj.Log), inj.Log)
+	if log := inj.Log(); len(log) != 4 {
+		t.Fatalf("Log has %d entries, want 4: %v", len(log), log)
 	}
 }
 

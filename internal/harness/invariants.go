@@ -74,6 +74,14 @@ func (c *Checker) WatchSenders(src func() []*tcp.Sender) {
 	c.senders = append(c.senders, src)
 }
 
+// Every returns the sweep period.
+func (c *Checker) Every() int64 { return c.every }
+
+// Sweep runs one check pass immediately. Sharded runs call it from window
+// barriers (every shard quiescent) instead of Start's engine-scheduled
+// tick, which could not safely read state owned by other shards.
+func (c *Checker) Sweep() { c.sweep() }
+
 // Start schedules the periodic sweep on the engine.
 func (c *Checker) Start() {
 	var tick func()

@@ -52,6 +52,11 @@ type Port struct {
 	busy  bool
 	stats PortStats
 
+	// remote is the engine owning the peer when the link crosses a shard
+	// boundary (nil for a same-shard link). Delivery then goes through the
+	// group's conservative outbox/merge instead of a local schedule.
+	remote *sim.Engine
+
 	// Fault state, driven by internal/faults (all zero in a healthy run).
 	down       bool
 	stripECN   bool
@@ -64,11 +69,19 @@ type Port struct {
 	deliverFn func(any)
 }
 
+// clockedQueue is implemented by disciplines that read simulation time
+// (RED idle aging, CoDel sojourn). NewPort rebinds them to the engine that
+// owns the port, so the queue never reads another shard's clock.
+type clockedQueue interface{ SetClock(func() int64) }
+
 // NewPort returns a port transmitting at rateBps with the given one-way
 // propagation delay and queue discipline.
 func NewPort(eng *sim.Engine, q Queue, rateBps, delay int64) *Port {
 	if rateBps <= 0 {
 		panic("netem: port rate must be positive")
+	}
+	if cq, ok := q.(clockedQueue); ok {
+		cq.SetClock(eng.Now)
 	}
 	p := &Port{Eng: eng, Q: q, RateBps: rateBps, Delay: delay}
 	p.txDoneFn = p.txDone
@@ -78,6 +91,18 @@ func NewPort(eng *sim.Engine, q Queue, rateBps, delay int64) *Port {
 
 // Connect attaches the receiving end of the link.
 func (p *Port) Connect(peer Deliverer) { p.peer = peer }
+
+// BindRemote marks the peer as living on dst's shard. Packet ownership
+// transfers with the delivery event: the sender stages the packet in its
+// outbox at txDone and never touches it again; the merge hands it to the
+// destination shard before that shard's next window. The link's
+// propagation delay must be at least the group lookahead.
+func (p *Port) BindRemote(dst *sim.Engine) {
+	if dst == p.Eng {
+		dst = nil
+	}
+	p.remote = dst
+}
 
 // Peer returns the connected receiver (nil if unconnected).
 func (p *Port) Peer() Deliverer { return p.peer }
@@ -178,9 +203,14 @@ func (p *Port) transmitNext() {
 }
 
 // txDone fires when the last bit is on the wire: deliver after propagation,
-// then start the next packet.
+// then start the next packet. Cross-shard links route the delivery through
+// the group's deterministic merge.
 func (p *Port) txDone(arg any) {
-	p.Eng.ScheduleArg(p.Delay, p.deliverFn, arg)
+	if p.remote != nil {
+		p.Eng.ScheduleRemoteArg(p.remote, p.Delay, p.deliverFn, arg)
+	} else {
+		p.Eng.ScheduleArg(p.Delay, p.deliverFn, arg)
+	}
 	p.transmitNext()
 }
 

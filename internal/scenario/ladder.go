@@ -272,11 +272,12 @@ func (st *stormTraffic) Wire(rc *RunContext, run *Run) {
 			run.ShortFCTms.Add(float64(fct) / float64(sim.Millisecond))
 		})
 	rc.WatchSenders(func() []*tcp.Sender {
-		return append([]*tcp.Sender(nil), st.storm.Senders...)
+		return st.storm.LiveSenders()
 	})
 }
 
 func (st *stormTraffic) Finish(rc *RunContext, run *Run) {
+	st.storm.Finalize()
 	run.ShortAll = st.storm.Started
 	run.ShortDone = st.storm.Completed
 	var retrans stats.Sample

@@ -29,6 +29,26 @@ func SetInvariantChecks(on bool) { invariantsOn.Store(on) }
 // InvariantChecksOn reports the package-wide checker default.
 func InvariantChecksOn() bool { return invariantsOn.Load() }
 
+var defaultShards atomic.Int32
+
+// SetDefaultShards sets the shard count every subsequent run uses when its
+// Spec names none (the CLIs' -shards flag; <= 1 restores the single-loop
+// engine). Sharding never moves a digest — it only buys wall-clock.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards.Store(int32(n))
+}
+
+// DefaultShards reports the package-wide shard default (minimum 1).
+func DefaultShards() int {
+	if n := defaultShards.Load(); n > 1 {
+		return int(n)
+	}
+	return 1
+}
+
 // queueStats is satisfied by every aqm discipline.
 type queueStats interface{ Stats() aqm.Stats }
 
@@ -38,8 +58,16 @@ type queueStats interface{ Stats() aqm.Stats }
 // per-host guest configuration, and the bottleneck the telemetry and
 // invariant observers watch.
 type RunContext struct {
+	// Eng is the hub engine: the shard owning the bottleneck port (the
+	// only engine of a single-loop run). Telemetry and fault arming
+	// schedule here; workloads must schedule per-host work on the owning
+	// host's engine.
 	Eng *sim.Engine
-	Rng *sim.RNG
+	// Group is the conservative-lookahead shard group (nil single-loop).
+	// Observers needing a cross-shard view register barrier callbacks on
+	// it instead of engine events.
+	Group *sim.Group
+	Rng   *sim.RNG
 
 	Dumbbell  *topo.Dumbbell
 	DumbbellP DumbbellParams
@@ -156,6 +184,21 @@ func (o *invariantObserver) Start(rc *RunContext, run *Run) {
 	o.chk = harness.NewChecker(rc.Eng, rc.SampleEvery)
 	o.chk.WatchPort(rc.PortLabel, rc.BottleneckPort, rc.Bottleneck)
 	o.chk.WatchSenders(rc.Senders)
+	if rc.Group != nil {
+		// A sharded run sweeps at window barriers, when every shard is
+		// quiescent — the checker reads sender state that lives on other
+		// shards, so an engine-scheduled sweep would race. Cadence stays
+		// the checker's own period; barriers are at least as frequent.
+		every := o.chk.Every()
+		var next int64
+		rc.Group.OnBarrier(func(now int64) {
+			for now >= next {
+				o.chk.Sweep()
+				next += every
+			}
+		})
+		return
+	}
 	o.chk.Start()
 }
 

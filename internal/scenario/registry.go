@@ -103,6 +103,10 @@ type Definition struct {
 	// Shims, when non-nil, returns the hypervisor deployment for the
 	// materialized guest configuration.
 	Shims func(Env, tcp.Config) Deployment
+	// SingleShard marks a scheme whose deployment shares mutable state
+	// across every host from one engine (the OvS-style shared shim); such
+	// schemes refuse to run on a sharded fabric.
+	SingleShard bool
 }
 
 var (

@@ -59,6 +59,13 @@ type Spec struct {
 	Dumbbell DumbbellParams
 	Testbed  TestbedParams
 
+	// Shards partitions the fabric across that many engine shards running
+	// under the conservative-lookahead group (0 = the package default set
+	// by SetDefaultShards, itself defaulting to the single-loop engine).
+	// Sharding is an execution detail: the digest is byte-identical at any
+	// shard count.
+	Shards int
+
 	// Faults is a deterministic fault timeline armed on the assembled
 	// fabric before traffic starts (empty = fault-free run). A non-empty
 	// schedule also switches the deployed shims' degradation fallbacks on
@@ -75,6 +82,36 @@ type Spec struct {
 	// shim-stats observers. Instances are per-run: do not share stateful
 	// observers across concurrent Run calls.
 	Observers []Observer
+}
+
+// shards resolves the spec's effective shard count: an explicit
+// Spec.Shards wins, then the params' own count, then the package default.
+func (s *Spec) shards(paramShards int) int {
+	n := s.Shards
+	if n == 0 {
+		n = paramShards
+	}
+	if n == 0 {
+		n = DefaultShards()
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// singleShardOnly rejects scheme deployments that cannot span shards (a
+// shared OvS-style shim serves hosts of every shard from one engine).
+func singleShardOnly(shards int, names ...string) error {
+	if shards <= 1 {
+		return nil
+	}
+	for _, name := range names {
+		if def, ok := Lookup(name); ok && def.SingleShard {
+			return fmt.Errorf("scheme %q deploys shared per-fabric state and only runs single-loop; drop -shards or pick a per-host scheme", name)
+		}
+	}
+	return nil
 }
 
 // Run executes the spec and returns the measured outcome.
@@ -122,7 +159,8 @@ func RunTestbed(hwatch bool, p TestbedParams) *Run {
 }
 
 // DumbbellFabric builds the dumbbell topology for a materialized
-// bottleneck queue (edge ports stay deep, as in ns-2).
+// bottleneck queue (edge ports stay deep, as in ns-2). p.Shards > 1
+// partitions it for conservative-lookahead parallel execution.
 func DumbbellFabric(bottleneckQ func() netem.Queue, p DumbbellParams) *topo.Dumbbell {
 	return topo.NewDumbbell(topo.DumbbellConfig{
 		Senders:       p.LongSources + p.ShortSources,
@@ -131,6 +169,7 @@ func DumbbellFabric(bottleneckQ func() netem.Queue, p DumbbellParams) *topo.Dumb
 		LinkDelay:     p.LinkDelay,
 		BottleneckQ:   bottleneckQ,
 		EdgeQ:         func() netem.Queue { return aqm.NewDropTail(100000) },
+		Shards:        p.Shards,
 	})
 }
 
@@ -189,6 +228,7 @@ func overlayDeployment(env Env) Deployment {
 
 func (s *Spec) runDumbbell() (*Run, error) {
 	p := s.Dumbbell
+	p.Shards = s.shards(p.Shards)
 	rng := sim.NewRNG(p.Seed)
 	meanPkt := int64(netem.DefaultMTU) * 8 * sim.Second / p.BottleneckBps
 	baseRTT := 4 * p.LinkDelay
@@ -216,6 +256,13 @@ func (s *Spec) runDumbbell() (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	names := make([]string, len(mats))
+	for i := range mats {
+		names[i] = mats[i].Name
+	}
+	if err := singleShardOnly(p.Shards, names...); err != nil {
+		return nil, err
+	}
 	if s.Guest != nil {
 		for i := range mats {
 			mats[i].TCPConfig = *s.Guest
@@ -223,7 +270,9 @@ func (s *Spec) runDumbbell() (*Run, error) {
 	}
 
 	d := DumbbellFabric(mats[0].BottleneckQ, p)
-	eng = d.Net.Eng
+	// The hub engine owns the bottleneck port: telemetry samples and fault
+	// arming stay shard-local there (shard 0 == the hub single-loop).
+	eng = d.BottleneckPort.Eng
 
 	hosts := make([]*netem.Host, 0, len(d.Senders)+1)
 	hosts = append(hosts, d.Senders...)
@@ -254,6 +303,7 @@ func (s *Spec) runDumbbell() (*Run, error) {
 	}
 	rc := &RunContext{
 		Eng:       eng,
+		Group:     d.Net.Group(),
 		Rng:       rng,
 		Dumbbell:  d,
 		DumbbellP: p,
@@ -309,6 +359,10 @@ func (s *Spec) runTestbed() (*Run, error) {
 			string(scheme), strings.Join(Names(), ", "))
 	}
 	p := s.Testbed
+	p.Shards = s.shards(p.Shards)
+	if err := singleShardOnly(p.Shards, def.Name); err != nil {
+		return nil, err
+	}
 	rng := sim.NewRNG(p.Seed)
 	bufBytes := p.BufferPkts * netem.DefaultMTU
 	markPkts := int(float64(p.BufferPkts) * p.MarkFrac)
@@ -367,8 +421,12 @@ func (s *Spec) runTestbed() (*Run, error) {
 		CoreDelay:    p.LinkDelay,
 		EdgeQ:        func() netem.Queue { return aqm.NewDropTailBytes(4 * bufBytes) },
 		CoreQ:        mat.BottleneckQ,
+		Shards:       p.Shards,
 	})
-	eng = ls.Net.Eng
+	clientRack := p.Racks - 1
+	// The hub engine owns the spine's instrumented down port toward the
+	// client rack (the spine shard; shard 0 single-loop).
+	eng = ls.SpineDown[clientRack].Eng
 
 	var shims []*core.Shim
 	if mat.Attach != nil {
@@ -379,13 +437,13 @@ func (s *Spec) runTestbed() (*Run, error) {
 	}
 
 	run := &Run{Label: s.Label}
-	clientRack := p.Racks - 1
 	links := map[string]*netem.Port{"bottleneck": ls.SpineDown[clientRack]}
 	for i, sp := range ls.SpineDown {
 		links[fmt.Sprintf("spine.down%d", i)] = sp
 	}
 	rc := &RunContext{
 		Eng:            eng,
+		Group:          ls.Net.Group(),
 		Rng:            rng,
 		LeafSpine:      ls,
 		TestbedP:       p,
@@ -440,9 +498,14 @@ func (s *Spec) execute(rc *RunContext, run *Run, runUntil int64) (*Run, error) {
 	}
 
 	start := time.Now() //hwatchvet:allow detrand WallNs is an operator-facing speed metric, excluded from digests
-	rc.Eng.RunUntil(runUntil)
+	if rc.Group != nil {
+		rc.Group.RunUntil(runUntil)
+		run.Events = rc.Group.Processed()
+	} else {
+		rc.Eng.RunUntil(runUntil)
+		run.Events = rc.Eng.Processed
+	}
 	run.WallNs = time.Since(start).Nanoseconds() //hwatchvet:allow detrand WallNs is an operator-facing speed metric, excluded from digests
-	run.Events = rc.Eng.Processed
 
 	w.Finish(rc, run)
 	for _, o := range obs {

@@ -44,6 +44,7 @@ func init() {
 		Description: "HWatch as one shared OvS-style flow table and pacer for every host",
 		Bottleneck:  markThresholdQueue,
 		Shims:       sharedShim,
+		SingleShard: true,
 	})
 	Register(Definition{
 		Name:        string(CubicRED),

@@ -58,6 +58,11 @@ type FileSpec struct {
 
 	// Check enables the physical-invariant checker for the run.
 	Check bool `json:"check,omitempty"`
+
+	// Shards partitions the fabric across engine shards (0/1 = the
+	// single-loop engine, or whatever -shards set). Like Check it is an
+	// execution detail: it never moves the run's derived seed or digest.
+	Shards int `json:"shards,omitempty"`
 }
 
 // MixEntry is one tenant population in a mixed-scheme dumbbell spec.
@@ -67,11 +72,13 @@ type MixEntry struct {
 }
 
 // identity is the canonical string hashed into derived seeds when the spec
-// names none. Check is observability, not scenario, so it is excluded —
-// checking a run must not move its seed.
+// names none. Check is observability and Shards is execution parallelism,
+// not scenario, so both are excluded — checking or sharding a run must not
+// move its seed.
 func (s *FileSpec) identity() string {
 	c := *s
 	c.Check = false
+	c.Shards = 0
 	b, err := json.Marshal(&c)
 	if err != nil {
 		return s.Kind + "/" + s.Scheme
@@ -147,7 +154,7 @@ func schemeOrDefault(name string) Scheme {
 
 // Scenario converts the file form into the runnable Spec.
 func (s *FileSpec) Scenario() *Spec {
-	sc := &Spec{}
+	sc := &Spec{Shards: s.Shards}
 	switch s.Kind {
 	case "dumbbell":
 		sc.Kind = KindDumbbell

@@ -79,7 +79,7 @@ func (h *dumbbellTraffic) Wire(rc *RunContext, run *Run) {
 	rc.WatchSenders(func() []*tcp.Sender {
 		out := append([]*tcp.Sender(nil), h.longTx...)
 		if h.incast != nil {
-			out = append(out, h.incast.Senders...)
+			out = append(out, h.incast.LiveSenders()...)
 		}
 		return out
 	})
@@ -92,6 +92,7 @@ func (h *dumbbellTraffic) Finish(rc *RunContext, run *Run) {
 	}
 	run.LongFairness = stats.JainIndex(run.LongGoodputBps.Values())
 	if h.incast != nil {
+		h.incast.Finalize()
 		run.ShortAll = h.incast.Started
 		run.ShortDone = h.incast.Completed
 		for _, s := range h.incast.Senders {
@@ -150,7 +151,9 @@ func (h *testbedTraffic) Wire(rc *RunContext, run *Run) {
 			s := tcp.NewSender(src, dst.ID, DefaultPort+1, tcp.Infinite, tcfg)
 			h.longSenders = append(h.longSenders, s)
 			at := rng.UniformRange(0, 2*baseRTT)
-			ls.Net.Eng.At(at, s.Start)
+			// Start on the source host's engine: sharded fabrics fire the
+			// event on the owning shard.
+			src.Eng.At(at, s.Start)
 		}
 	}
 
@@ -175,12 +178,13 @@ func (h *testbedTraffic) Wire(rc *RunContext, run *Run) {
 
 	rc.WatchSenders(func() []*tcp.Sender {
 		out := append([]*tcp.Sender(nil), h.longSenders...)
-		return append(out, h.web.Senders...)
+		return append(out, h.web.LiveSenders()...)
 	})
 }
 
 func (h *testbedTraffic) Finish(rc *RunContext, run *Run) {
 	p := rc.TestbedP
+	h.web.Finalize()
 	for _, r := range h.longRecv {
 		run.LongGoodputBps.Add(float64(r.Delivered()) * 8 / (float64(p.Duration) / float64(sim.Second)))
 	}

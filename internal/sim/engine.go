@@ -1,16 +1,19 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
-// Time is measured in integer nanoseconds. Events scheduled for the same
-// instant fire in scheduling order (FIFO), which makes runs with a fixed
-// seed bit-for-bit reproducible. The engine is single-goroutine by design:
-// all model code runs inside event callbacks.
+// Time is measured in integer nanoseconds. Same-instant events fire
+// oldest-cause first (by the clock value at scheduling time), and events
+// scheduled at the same instant from causes at the same instant order by a
+// causal rank: setup-armed events keep scheduling order (FIFO), events
+// scheduled from inside callbacks chain a deterministic hash of their
+// ancestry. The total order is a pure function of the model and seed —
+// bit-for-bit reproducible, at any shard count (see Group) and GOMAXPROCS.
 //
 // The scheduler is a calendar queue: a timer wheel of power-of-two tick
 // slots covers the near future (~1 ms at 4.096 µs per tick), and a binary
 // heap holds the far-future overflow. Events for the tick being drained sit
-// in a sorted agenda so the (Time, seq) total order — and therefore every
-// golden digest — is identical to the plain-heap scheduler, which remains
-// available via Options.NoWheel as the test oracle.
+// in a sorted agenda so the (Time, sched, rank, seq) total order — and
+// therefore every golden digest — is identical to the plain-heap scheduler,
+// which remains available via Options.NoWheel as the test oracle.
 package sim
 
 import (
@@ -55,6 +58,21 @@ const (
 // Event.Cancel (or Engine.Cancel) before they fire.
 type Event struct {
 	Time int64 // absolute firing time, ns
+	// sched is the clock value at scheduling time. Same-instant events fire
+	// oldest-cause first: an event armed earlier (a port's tx-completion, a
+	// long-armed timer) beats one scheduled later for the same instant,
+	// which is also what gives saturated queues their
+	// departure-before-arrival boundary semantics.
+	sched int64
+	// rank breaks (Time, sched) ties. It is a pure function of the event's
+	// causal ancestry: events scheduled outside event dispatch (setup code,
+	// test harnesses) take the monotone scheduling counter, so pre-run
+	// arming keeps FIFO order; events scheduled from inside a callback take
+	// mix64(parent rank) + child index, so siblings of one cause stay FIFO
+	// while unrelated concurrently-scheduled events order by a canonical
+	// hash chain that is identical at any shard count and GOMAXPROCS (see
+	// Group).
+	rank uint64
 	seq  uint64
 	fn   func(any)
 	arg  any
@@ -158,8 +176,23 @@ type Engine struct {
 	// Pending stays exact even with lazy wheel cancellation.
 	live int
 
+	// Dispatch context for rank assignment: while fire runs a callback,
+	// children rank as dispatchBase (a hash of the parent's rank) plus a
+	// per-dispatch counter. Outside dispatch, ranks fall back to the
+	// scheduling sequence counter (setup FIFO).
+	inDispatch   bool
+	dispatchBase uint64
+	dispatchIdx  uint64
+
 	slab    []Event
 	slabIdx int
+
+	// Sharding (nil group for a standalone engine; see shard.go). shard is
+	// this engine's index in the group, outbox stages cross-shard messages
+	// produced during the current window for the barrier merge.
+	group  *Group
+	shard  int
+	outbox []remoteMsg
 
 	// Processed counts events executed; useful for progress reporting
 	// and as a runaway guard in tests.
@@ -226,14 +259,142 @@ func (e *Engine) at(t int64, fn func(any), arg any) *Event {
 	}
 	ev := e.newEvent()
 	ev.Time = t
-	ev.seq = e.seq
+	ev.sched = e.now
+	ev.seq = e.nextSeq()
+	ev.rank = e.nextRank(ev.seq)
 	ev.fn = fn
 	ev.arg = arg
 	ev.eng = e
-	e.seq++
 	e.live++
 	e.insert(ev)
 	return ev
+}
+
+// mix64 is the splitmix64 finalizer: the stateless hash that chains event
+// ranks from parent to child.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// nextRank assigns the same-instant tie-break rank. Inside a callback the
+// rank chains from the parent event (hash base + sibling index), making it
+// a pure function of causal ancestry — identical no matter which shard or
+// goroutine runs the chain. Outside dispatch it is the scheduling counter,
+// so setup-armed events keep FIFO order.
+func (e *Engine) nextRank(seq uint64) uint64 {
+	if !e.inDispatch {
+		return seq
+	}
+	r := e.dispatchBase + e.dispatchIdx
+	e.dispatchIdx++
+	return r
+}
+
+// nextSeq hands out the next tie-break sequence number. Standalone engines
+// (and sealed group members) use the per-engine counter; group members in
+// the sequential setup phase share the group's global counter, so events
+// armed before the run starts keep the exact single-loop FIFO order no
+// matter which shard they land on.
+func (e *Engine) nextSeq() uint64 {
+	if g := e.group; g != nil && !g.sealed {
+		s := g.setupSeq
+		g.setupSeq++
+		if s >= seqShardSpan {
+			panic("sim: group setup sequence space exhausted")
+		}
+		return s
+	}
+	s := e.seq
+	e.seq++
+	return s
+}
+
+// ScheduleRemoteArg runs fn(arg) after delay nanoseconds on dst, which may
+// belong to a different shard of the same Group. Outside a parallel window
+// (standalone engines, the sequential setup phase, or dst == e) the event
+// is inserted directly; inside a window it is staged in the sender's outbox
+// and carried across the barrier by the group's deterministic merge. The
+// delay must be at least the group's lookahead when shards run
+// concurrently — that bound is what makes the conservative window safe.
+func (e *Engine) ScheduleRemoteArg(dst *Engine, delay int64, fn func(any), arg any) {
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	g := e.group
+	if dst == e || g == nil || !g.parallel {
+		if dst.group != g {
+			panic("sim: ScheduleRemoteArg across unrelated engines")
+		}
+		seq := e.nextSeq()
+		dst.insertRemote(e.now+delay, e.now, e.nextRank(seq), seq, fn, arg)
+		return
+	}
+	if delay < g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard delay %d below lookahead %d", delay, g.lookahead))
+	}
+	seq := e.nextSeq()
+	e.outbox = append(e.outbox, remoteMsg{
+		dst: dst.shard, time: e.now + delay, sched: e.now,
+		rank: e.nextRank(seq), seq: seq, fn: fn, arg: arg,
+	})
+}
+
+// insertRemote inserts an event whose (sched, rank, seq) identity was
+// fixed by the sending engine. The firing time must not precede this
+// engine's clock; the group's lookahead bound guarantees that for merged
+// messages.
+func (e *Engine) insertRemote(t, sched int64, rank, seq uint64, fn func(any), arg any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: remote event at %d before now %d (lookahead violation)", t, e.now))
+	}
+	ev := e.newEvent()
+	ev.Time = t
+	ev.sched = sched
+	ev.rank = rank
+	ev.seq = seq
+	ev.fn = fn
+	ev.arg = arg
+	ev.eng = e
+	e.live++
+	e.insert(ev)
+}
+
+// PeekTime returns the firing time of the earliest queued event, or
+// maxTime when the queue is empty. Cancelled-but-staged events count (they
+// are dropped at drain time), which can only make a window start early,
+// never late — harmless for the conservative protocol.
+func (e *Engine) PeekTime() int64 {
+	t := int64(maxTime)
+	if e.noWheel {
+		if len(e.pq) > 0 {
+			t = e.pq[0].Time
+		}
+		return t
+	}
+	if e.dueIdx < len(e.due) {
+		t = e.due[e.dueIdx].Time
+	}
+	if e.wheelCount > 0 {
+		s := int(e.nextOccupiedTick() & slotMask)
+		for _, ev := range e.slots[s] {
+			if ev.Time < t {
+				t = ev.Time
+			}
+		}
+	}
+	if len(e.pq) > 0 && e.pq[0].Time < t {
+		t = e.pq[0].Time
+	}
+	return t
 }
 
 // newEvent hands out events from append-only slabs. Slabs are deliberately
@@ -277,15 +438,32 @@ func (e *Engine) insert(ev *Event) {
 	}
 }
 
+// eventBefore is the engine's total event order: (Time, sched, rank, seq).
+// sched and rank are both pure functions of the model (a clock value and a
+// causal-chain hash), identical at any shard count — so the order, and
+// therefore every digest, is too. seq (globally unique across a group) is
+// the fallback for the astronomically rare rank collision, and keeps the
+// order total.
+func eventBefore(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.sched != b.sched {
+		return a.sched < b.sched
+	}
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.seq < b.seq
+}
+
 // dueInsert places ev into the unconsumed agenda suffix, keeping it sorted
-// by (Time, seq). New events carry the largest seq so ties insert last,
-// preserving same-instant FIFO.
+// by (Time, sched, rank, seq).
 func (e *Engine) dueInsert(ev *Event) {
 	lo, hi := e.dueIdx, len(e.due)
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		m := e.due[mid]
-		if m.Time < ev.Time || (m.Time == ev.Time && m.seq < ev.seq) {
+		if eventBefore(e.due[mid], ev) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -298,17 +476,28 @@ func (e *Engine) dueInsert(ev *Event) {
 
 // refillDue advances curTick to the next tick holding events, stages that
 // tick's events in due, and promotes overflow events that now fall inside
-// the wheel window. Returns false when nothing is queued anywhere.
-func (e *Engine) refillDue() bool {
+// the wheel window. Returns false when nothing is queued anywhere, or when
+// the next occupied tick lies beyond the horizon's tick. The horizon guard
+// matters for windowed (sharded) execution: RunUntil is called once per
+// lookahead window, and letting curTick overshoot the window would force
+// every event scheduled into the overshot span through the sorted-agenda
+// insert path — an O(agenda) memmove per event — instead of an O(1) wheel
+// slot append.
+func (e *Engine) refillDue(horizon int64) bool {
+	hTick := horizon >> tickBits
 	e.due = e.due[:0]
 	e.dueIdx = 0
 	if e.wheelCount == 0 {
-		if len(e.pq) == 0 {
+		if len(e.pq) == 0 || e.pq[0].Time>>tickBits > hTick {
 			return false
 		}
 		e.curTick = e.pq[0].Time >> tickBits
 	} else {
-		e.curTick = e.nextOccupiedTick()
+		next := e.nextOccupiedTick()
+		if next > hTick {
+			return false
+		}
+		e.curTick = next
 		s := int(e.curTick & slotMask)
 		slot := e.slots[s]
 		e.due = append(e.due, slot...)
@@ -354,23 +543,18 @@ func (e *Engine) nextOccupiedTick() int64 {
 	panic("sim: wheel events present but no occupied slot")
 }
 
-// sortEvents orders the agenda by (Time, seq). Slot contents arrive almost
-// sorted (insertion order tracks seq; times within one tick cluster), so a
-// binary-insertion pass wins for the common small case.
+// sortEvents orders the agenda by (Time, sched, rank, seq). Slot contents arrive
+// almost sorted (insertion order tracks seq; times within one tick
+// cluster), so a binary-insertion pass wins for the common small case.
 func sortEvents(evs []*Event) {
 	if len(evs) > 48 {
-		sort.Slice(evs, func(i, j int) bool {
-			if evs[i].Time != evs[j].Time {
-				return evs[i].Time < evs[j].Time
-			}
-			return evs[i].seq < evs[j].seq
-		})
+		sort.Slice(evs, func(i, j int) bool { return eventBefore(evs[i], evs[j]) })
 		return
 	}
 	for i := 1; i < len(evs); i++ {
 		ev := evs[i]
 		j := i - 1
-		for j >= 0 && (evs[j].Time > ev.Time || (evs[j].Time == ev.Time && evs[j].seq > ev.seq)) {
+		for j >= 0 && eventBefore(ev, evs[j]) {
 			evs[j+1] = evs[j]
 			j--
 		}
@@ -414,7 +598,7 @@ func (e *Engine) RunUntil(horizon int64) {
 func (e *Engine) runWheel(horizon int64) {
 	for !e.stopped {
 		for e.dueIdx >= len(e.due) {
-			if !e.refillDue() {
+			if !e.refillDue(horizon) {
 				return
 			}
 		}
@@ -452,25 +636,25 @@ func (e *Engine) runHeap(horizon int64) {
 func (e *Engine) fire(ev *Event) {
 	e.now = ev.Time
 	fn, arg := ev.fn, ev.arg
+	e.dispatchBase = mix64(ev.rank)
+	e.dispatchIdx = 0
+	e.inDispatch = true
 	ev.fn = nil
 	ev.arg = nil
 	ev.eng = nil
 	ev.idx = idxNone
 	e.live--
 	fn(arg)
+	e.inDispatch = false
 	e.Processed++
 }
 
-// eventHeap orders by (Time, seq): earliest first, FIFO within an instant.
+// eventHeap orders by (Time, sched, rank, seq): earliest first,
+// oldest-cause then causal rank within an instant.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return eventBefore(h[i], h[j]) }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].idx = i

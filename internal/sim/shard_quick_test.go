@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// The quick property: on a random topology of message-passing nodes, the
+// per-node fire order (time + payload of every delivery, in the order the
+// owning engine ran them) is identical whether the nodes share one engine
+// or are partitioned across k shards of a Group. The cascade derives every
+// choice — fan-out, destination, delay, payload — from mix64 hashes of the
+// payload alone, so any disagreement is an ordering leak in the shard
+// protocol, not model nondeterminism.
+
+// qlookahead is the group window width; every cross-node delay is at least
+// this, while self-sends may land sub-window and even same-instant to
+// exercise the (Time, sched, rank, seq) tie-break.
+const qlookahead = 8
+
+type qrec struct {
+	T int64
+	X uint64
+}
+
+type qnode struct {
+	eng   *Engine
+	net   *qnet
+	trace []qrec
+}
+
+type qnet struct{ nodes []*qnode }
+
+// recv records the delivery, then spawns 0–2 children. The low nibble of
+// the payload is a hop budget; everything else is hash state.
+func (n *qnode) recv(a any) {
+	x := a.(uint64)
+	n.trace = append(n.trace, qrec{n.eng.Now(), x})
+	hops := x & 0xf
+	if hops == 0 {
+		return
+	}
+	for c := uint64(0); c < mix64(x)%3; c++ {
+		h := mix64(x ^ (c+1)*0x9e3779b97f4a7c15)
+		child := (h &^ 0xf) | (hops - 1)
+		dst := n.net.nodes[h%uint64(len(n.net.nodes))]
+		if dst == n {
+			n.eng.ScheduleArg(int64(h>>32)%qlookahead, n.recv, child)
+		} else {
+			delay := qlookahead + int64(h>>32)%(3*qlookahead)
+			n.eng.ScheduleRemoteArg(dst.eng, delay, dst.recv, child)
+		}
+	}
+}
+
+// runQuickCascade builds nNodes nodes partitioned round-robin over shards,
+// injects one seeded cascade per node at setup, runs to a fixed horizon,
+// and returns each node's delivery trace.
+func runQuickCascade(seed uint64, nNodes, shards int) [][]qrec {
+	g := NewGroup(shards, Options{})
+	g.SetLookahead(qlookahead)
+	net := &qnet{}
+	for i := 0; i < nNodes; i++ {
+		net.nodes = append(net.nodes, &qnode{eng: g.Engine(i % shards), net: net})
+	}
+	for i, nd := range net.nodes {
+		h := mix64(seed + uint64(i))
+		nd.eng.AtArg(int64(h%64), nd.recv, (h&^0xf)|8)
+	}
+	g.RunUntil(1 << 20)
+	out := make([][]qrec, nNodes)
+	for i, nd := range net.nodes {
+		out[i] = nd.trace
+	}
+	return out
+}
+
+// TestShardFireOrderQuick is the satellite property test: for random
+// (seed, node count, shard count), the sharded group's fire order agrees
+// with the single-loop engine's, node for node, delivery for delivery.
+func TestShardFireOrderQuick(t *testing.T) {
+	prop := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := 2 + int(nRaw%6)
+		k := 2 + int(kRaw%3)
+		return reflect.DeepEqual(runQuickCascade(seed, n, 1), runQuickCascade(seed, n, k))
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

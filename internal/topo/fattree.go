@@ -29,6 +29,11 @@ type FatTreeConfig struct {
 	RateBps int64
 	Delay   int64
 	Q       func() netem.Queue
+	// Shards partitions the tree: contiguous pod blocks (edge + aggr +
+	// hosts share the pod's shard) on the low shards, the core layer on
+	// the last. Only aggr<->core links cross shards, so the lookahead is
+	// Delay. 0 or 1 keeps the single-loop engine.
+	Shards int
 }
 
 // NewFatTree constructs the fabric with routing installed.
@@ -41,12 +46,21 @@ func NewFatTree(cfg FatTreeConfig) *FatTree {
 	}
 	k := cfg.K
 	half := k / 2
-	n := netem.NewNetwork()
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	podShards, coreShard := 1, 0
+	if shards >= 2 {
+		podShards = shards - 1
+		coreShard = shards - 1
+	}
+	n := netem.NewShardedNetwork(shards)
 	ft := &FatTree{Net: n, K: k}
 
 	// Core switches.
 	for i := 0; i < half*half; i++ {
-		ft.Core = append(ft.Core, n.NewSwitch(fmt.Sprintf("core%d", i)))
+		ft.Core = append(ft.Core, n.NewSwitchIn(coreShard, fmt.Sprintf("core%d", i)))
 	}
 
 	type hostLoc struct {
@@ -55,16 +69,17 @@ func NewFatTree(cfg FatTreeConfig) *FatTree {
 	locs := map[netem.NodeID]hostLoc{}
 
 	for p := 0; p < k; p++ {
+		podShard := p * podShards / k
 		var edges, aggrs []*netem.Switch
 		var hosts []*netem.Host
 		for e := 0; e < half; e++ {
-			edges = append(edges, n.NewSwitch(fmt.Sprintf("e%d.%d", p, e)))
-			aggrs = append(aggrs, n.NewSwitch(fmt.Sprintf("a%d.%d", p, e)))
+			edges = append(edges, n.NewSwitchIn(podShard, fmt.Sprintf("e%d.%d", p, e)))
+			aggrs = append(aggrs, n.NewSwitchIn(podShard, fmt.Sprintf("a%d.%d", p, e)))
 		}
 		// Hosts under each edge switch.
 		for e := 0; e < half; e++ {
 			for h := 0; h < half; h++ {
-				host := n.NewHost(fmt.Sprintf("p%de%dh%d", p, e, h))
+				host := n.NewHostIn(podShard, fmt.Sprintf("p%de%dh%d", p, e, h))
 				n.LinkHostSwitch(host, edges[e], cfg.Q(), cfg.Q(), cfg.RateBps, cfg.Delay)
 				hosts = append(hosts, host)
 				locs[host.ID] = hostLoc{pod: p, edge: e, idx: h}
@@ -126,6 +141,7 @@ func NewFatTree(cfg FatTreeConfig) *FatTree {
 			sw.Route(dst, loc.pod)
 		}
 	}
+	n.SealLookahead()
 	return ft
 }
 

@@ -35,6 +35,11 @@ type LeafSpineConfig struct {
 	CoreDelay    int64
 	EdgeQ        func() netem.Queue
 	CoreQ        func() netem.Queue // spine/leaf trunk ports (instrumented)
+	// Shards partitions the fabric: contiguous rack blocks (leaf + hosts
+	// share the rack's shard) on the low shards, the spine on the last.
+	// The lookahead bound is CoreDelay — only trunks cross shards. 0 or 1
+	// keeps the single-loop engine.
+	Shards int
 }
 
 // NewLeafSpine builds the fabric with shortest-path routing installed:
@@ -47,25 +52,40 @@ func NewLeafSpine(cfg LeafSpineConfig) *LeafSpine {
 	if cfg.EdgeQ == nil || cfg.CoreQ == nil {
 		panic("topo: leafspine needs queue factories")
 	}
-	n := netem.NewNetwork()
-	ls := &LeafSpine{Net: n, Spine: n.NewSwitch("spine")}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	// Rack blocks on shards [0, shards-1), the spine alone on the last —
+	// every cross-shard hop is a trunk with CoreDelay of lookahead.
+	rackShards, spineShard := 1, 0
+	if shards >= 2 {
+		rackShards = shards - 1
+		spineShard = shards - 1
+	}
+	n := netem.NewShardedNetwork(shards)
+	ls := &LeafSpine{Net: n, Spine: n.NewSwitchIn(spineShard, "spine")}
+	spineEng := n.SwitchEngine(ls.Spine)
 
 	for r := 0; r < cfg.Racks; r++ {
-		leaf := n.NewSwitch(fmt.Sprintf("leaf%d", r))
+		rackShard := r * rackShards / cfg.Racks
+		leaf := n.NewSwitchIn(rackShard, fmt.Sprintf("leaf%d", r))
 		ls.Leaves = append(ls.Leaves, leaf)
 
 		// Trunk: leaf -> spine and spine -> leaf.
 		upQ, downQ := cfg.CoreQ(), cfg.CoreQ()
 		// The trunk is always the leaf's port 0; cross-rack leaf routes
 		// below rely on this.
-		up := netem.NewPort(n.Eng, upQ, cfg.CoreRateBps, cfg.CoreDelay)
+		up := netem.NewPort(n.SwitchEngine(leaf), upQ, cfg.CoreRateBps, cfg.CoreDelay)
 		up.Label = leaf.Name + ".up"
 		up.Connect(ls.Spine)
+		n.CrossBind(up, spineEng)
 		leaf.AddPort(up)
 
-		down := netem.NewPort(n.Eng, downQ, cfg.CoreRateBps, cfg.CoreDelay)
+		down := netem.NewPort(spineEng, downQ, cfg.CoreRateBps, cfg.CoreDelay)
 		down.Label = fmt.Sprintf("spine.d%d", r)
 		down.Connect(leaf)
+		n.CrossBind(down, n.SwitchEngine(leaf))
 		ls.Spine.AddPort(down)
 		downIdx := ls.Spine.NumPorts() - 1
 
@@ -76,7 +96,7 @@ func NewLeafSpine(cfg LeafSpineConfig) *LeafSpine {
 
 		var rack []*netem.Host
 		for h := 0; h < cfg.HostsPerRack; h++ {
-			host := n.NewHost(fmt.Sprintf("r%dh%d", r, h))
+			host := n.NewHostIn(rackShard, fmt.Sprintf("r%dh%d", r, h))
 			n.LinkHostSwitch(host, leaf, cfg.EdgeQ(), cfg.EdgeQ(), cfg.EdgeRateBps, cfg.EdgeDelay)
 			rack = append(rack, host)
 			// Spine routes every host of rack r through its down port.
@@ -98,6 +118,7 @@ func NewLeafSpine(cfg LeafSpineConfig) *LeafSpine {
 			}
 		}
 	}
+	n.SealLookahead()
 	return ls
 }
 

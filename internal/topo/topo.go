@@ -36,6 +36,11 @@ type DumbbellConfig struct {
 	LinkDelay     int64 // per-hop one-way propagation, ns
 	BottleneckQ   func() netem.Queue
 	EdgeQ         func() netem.Queue // per edge port (deep by default)
+	// Shards partitions the fabric for conservative-lookahead parallel
+	// execution: sender blocks on the low shards, then the switch, then
+	// the receiver (2 shards: senders | switch+receiver). 0 or 1 keeps
+	// the single-loop engine.
+	Shards int
 }
 
 // NewDumbbell builds the fabric. The base RTT sender->receiver->sender is
@@ -47,17 +52,37 @@ func NewDumbbell(cfg DumbbellConfig) *Dumbbell {
 	if cfg.BottleneckQ == nil || cfg.EdgeQ == nil {
 		panic("topo: dumbbell needs queue factories")
 	}
-	n := netem.NewNetwork()
-	sw := n.NewSwitch("tor")
-	recv := n.NewHost("agg")
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	// Shard map: sender blocks first (ascending, matching host creation
+	// order so same-instant setup ties keep single-loop order), then the
+	// switch, then the receiver — the two hub nodes get their own shards
+	// as soon as there are at least 3, which is where the pipeline overlap
+	// between fan-in, switching and termination comes from.
+	senderShards, swShard, rcvShard := 1, 0, 0
+	switch {
+	case shards == 2:
+		swShard, rcvShard = 1, 1
+	case shards >= 3:
+		senderShards = shards - 2
+		swShard = shards - 2
+		rcvShard = shards - 1
+	}
+	n := netem.NewShardedNetwork(shards)
+	sw := n.NewSwitchIn(swShard, "tor")
+	recv := n.NewHostIn(rcvShard, "agg")
 
 	bq := cfg.BottleneckQ()
-	down := netem.NewPort(n.Eng, bq, cfg.BottleneckBps, cfg.LinkDelay)
+	down := netem.NewPort(n.SwitchEngine(sw), bq, cfg.BottleneckBps, cfg.LinkDelay)
 	down.Label = "tor.bottleneck"
 	down.Connect(recv)
+	n.CrossBind(down, recv.Eng)
 	sw.Route(recv.ID, sw.AddPort(down))
-	up := netem.NewPort(n.Eng, cfg.EdgeQ(), cfg.EdgeRateBps, cfg.LinkDelay)
+	up := netem.NewPort(recv.Eng, cfg.EdgeQ(), cfg.EdgeRateBps, cfg.LinkDelay)
 	up.Connect(sw)
+	n.CrossBind(up, n.SwitchEngine(sw))
 	recv.AttachUplink(up)
 
 	d := &Dumbbell{
@@ -65,10 +90,11 @@ func NewDumbbell(cfg DumbbellConfig) *Dumbbell {
 		Bottleneck: bq, BottleneckPort: down,
 	}
 	for i := 0; i < cfg.Senders; i++ {
-		h := n.NewHost(fmt.Sprintf("s%d", i))
+		h := n.NewHostIn(i*senderShards/cfg.Senders, fmt.Sprintf("s%d", i))
 		n.LinkHostSwitch(h, sw, cfg.EdgeQ(), cfg.EdgeQ(), cfg.EdgeRateBps, cfg.LinkDelay)
 		d.Senders = append(d.Senders, h)
 	}
+	n.SealLookahead()
 	return d
 }
 

@@ -64,7 +64,8 @@ func PlanStorm(cfg StormConfig, nSrcs int) []StormFlow {
 // Storm tracks generator progress. Because the storm is open-loop against
 // a bottleneck it deliberately overloads, Completed < Started at the end
 // of a bounded run is expected: the FCT samples cover the flows that made
-// it, Started/Completed expose the backlog.
+// it, Started/Completed expose the backlog. The counters are zero until
+// Finalize folds the per-flow slots in; use LiveSenders mid-run.
 type Storm struct {
 	Plan      []StormFlow
 	Started   int
@@ -72,32 +73,65 @@ type Storm struct {
 	TimedOut  int   // completed flows that saw >= 1 RTO
 	Bytes     int64 // payload bytes of completed flows
 	Senders   []*tcp.Sender
+
+	slots     []flowSlot
+	onDone    FlowDone
+	finalized bool
 }
 
-// RunStorm schedules the whole plan. onDone (optional) fires per completed
-// flow with its FCT and size.
+// RunStorm schedules the whole plan, each flow on its source host's own
+// engine. onDone (optional) fires once per completed flow with its FCT and
+// size, from Finalize, in plan order.
 func RunStorm(srcs []*netem.Host, dst netem.NodeID, cfgFor func(*netem.Host) tcp.Config, cfg StormConfig, onDone FlowDone) *Storm {
-	st := &Storm{Plan: PlanStorm(cfg, len(srcs))}
-	eng := srcs[0].Eng
+	st := &Storm{Plan: PlanStorm(cfg, len(srcs)), onDone: onDone}
+	st.slots = make([]flowSlot, len(st.Plan))
 	for i := range st.Plan {
+		i := i
 		f := st.Plan[i]
 		h := srcs[f.Src]
-		eng.At(f.At, func() {
+		st.slots[i].host = h
+		h.Eng.At(f.At, func() {
+			sl := &st.slots[i]
 			s := tcp.NewSender(h, dst, cfg.Port, f.Size, cfgFor(h))
-			st.Senders = append(st.Senders, s)
-			st.Started++
+			sl.s = s
 			s.OnComplete = func(fct int64) {
-				st.Completed++
-				st.Bytes += f.Size
-				if s.Stats().Timeouts > 0 {
-					st.TimedOut++
-				}
-				if onDone != nil {
-					onDone(fct, f.Size)
-				}
+				sl.fct = fct
+				sl.done = true
 			}
 			s.Start()
 		})
 	}
 	return st
+}
+
+// LiveSenders snapshots the senders created so far, in plan order.
+func (st *Storm) LiveSenders() []*tcp.Sender { return liveSenders(st.slots) }
+
+// Finalize folds the per-flow slots into the public counters and fires the
+// onDone callbacks, all in plan order. Call it once the engines are
+// stopped; repeated calls are no-ops.
+func (st *Storm) Finalize() {
+	if st.finalized {
+		return
+	}
+	st.finalized = true
+	for i := range st.slots {
+		sl := &st.slots[i]
+		if sl.s == nil {
+			continue
+		}
+		st.Senders = append(st.Senders, sl.s)
+		st.Started++
+		if !sl.done {
+			continue
+		}
+		st.Completed++
+		st.Bytes += st.Plan[i].Size
+		if sl.s.Stats().Timeouts > 0 {
+			st.TimedOut++
+		}
+		if st.onDone != nil {
+			st.onDone(sl.fct, st.Plan[i].Size)
+		}
+	}
 }

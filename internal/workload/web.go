@@ -25,15 +25,23 @@ type WebConfig struct {
 	Rng           *sim.RNG
 }
 
-// Web tracks web-workload progress.
+// Web tracks web-workload progress. The counters are zero until Finalize
+// folds the per-flow slots in; use LiveSenders mid-run.
 type Web struct {
 	Started   int
 	Completed int
 	Senders   []*tcp.Sender
+
+	slots     []flowSlot
+	size      int64
+	onDone    FlowDone
+	finalized bool
 }
 
 // RunWeb schedules Epochs rounds of Parallel fetches from every server to
-// every client. Clients must already be listening on cfg.Port.
+// every client, each fetch starting on its server's own engine. Clients
+// must already be listening on cfg.Port. onDone (optional) fires once per
+// completed fetch, from Finalize, in plan order.
 func RunWeb(servers, clients []*netem.Host, tcfg tcp.Config, cfg WebConfig, onDone FlowDone) *Web {
 	if cfg.Rng == nil {
 		panic("workload: web needs an RNG")
@@ -41,8 +49,7 @@ func RunWeb(servers, clients []*netem.Host, tcfg tcp.Config, cfg WebConfig, onDo
 	if len(servers) == 0 || len(clients) == 0 {
 		panic("workload: web needs servers and clients")
 	}
-	w := &Web{}
-	eng := servers[0].Eng
+	w := &Web{size: cfg.ObjectSize, onDone: onDone}
 	for e := 0; e < cfg.Epochs; e++ {
 		at := cfg.FirstEpoch + int64(e)*cfg.EpochInterval
 		for _, srv := range servers {
@@ -51,15 +58,15 @@ func RunWeb(servers, clients []*netem.Host, tcfg tcp.Config, cfg WebConfig, onDo
 					at += cfg.Rng.Exp(cfg.JitterMean)
 					srv, cli := srv, cli
 					start := at
-					eng.At(start, func() {
+					slot := len(w.slots)
+					w.slots = append(w.slots, flowSlot{host: srv})
+					srv.Eng.At(start, func() {
+						sl := &w.slots[slot]
 						s := tcp.NewSender(srv, cli.ID, cfg.Port, cfg.ObjectSize, tcfg)
-						w.Senders = append(w.Senders, s)
-						w.Started++
+						sl.s = s
 						s.OnComplete = func(fct int64) {
-							w.Completed++
-							if onDone != nil {
-								onDone(fct, cfg.ObjectSize)
-							}
+							sl.fct = fct
+							sl.done = true
 						}
 						s.Start()
 					})
@@ -68,4 +75,32 @@ func RunWeb(servers, clients []*netem.Host, tcfg tcp.Config, cfg WebConfig, onDo
 		}
 	}
 	return w
+}
+
+// LiveSenders snapshots the senders created so far, in plan order.
+func (w *Web) LiveSenders() []*tcp.Sender { return liveSenders(w.slots) }
+
+// Finalize folds the per-flow slots into the public counters and fires the
+// onDone callbacks, all in plan order. Call it once the engines are
+// stopped; repeated calls are no-ops.
+func (w *Web) Finalize() {
+	if w.finalized {
+		return
+	}
+	w.finalized = true
+	for i := range w.slots {
+		sl := &w.slots[i]
+		if sl.s == nil {
+			continue
+		}
+		w.Senders = append(w.Senders, sl.s)
+		w.Started++
+		if !sl.done {
+			continue
+		}
+		w.Completed++
+		if w.onDone != nil {
+			w.onDone(sl.fct, w.size)
+		}
+	}
 }

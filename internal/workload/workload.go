@@ -61,7 +61,34 @@ type IncastConfig struct {
 	Rng           *sim.RNG
 }
 
-// Incast tracks generator progress.
+// flowSlot is one planned flow's private cell. The start event — scheduled
+// on the source host's own engine, so sharded fabrics fire it on the owning
+// shard — and the completion callback write only their slot, never shared
+// state; Finalize folds the slots into the public counters once the run is
+// quiescent.
+type flowSlot struct {
+	host *netem.Host
+	s    *tcp.Sender
+	fct  int64
+	done bool
+}
+
+// liveSenders snapshots the senders the slots have created so far, in plan
+// order. Safe whenever no engine is mid-event: between events on a
+// single-loop run, at window barriers on a sharded one.
+func liveSenders(slots []flowSlot) []*tcp.Sender {
+	out := make([]*tcp.Sender, 0, len(slots))
+	for i := range slots {
+		if s := slots[i].s; s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Incast tracks generator progress. The counters and slices are zero until
+// Finalize folds the per-flow slots in — call it (idempotent) after the
+// engine stops; use LiveSenders for a mid-run view.
 type Incast struct {
 	Started   int
 	Completed int
@@ -71,10 +98,15 @@ type Incast struct {
 	// averages and variances across epochs can be computed (the paper's
 	// Fig. 2a plots exactly those AVG/VAR CDFs).
 	FCTsByHost map[netem.NodeID][]int64
+
+	slots     []flowSlot
+	size      int64
+	onDone    FlowDone
+	finalized bool
 }
 
-// RunIncast schedules the epochs. onDone (optional) fires per completed
-// flow with its FCT.
+// RunIncast schedules the epochs. onDone (optional) fires once per
+// completed flow with its FCT, from Finalize, in plan order.
 func RunIncast(srcs []*netem.Host, dst netem.NodeID, tcfg tcp.Config, cfg IncastConfig, onDone FlowDone) *Incast {
 	return RunIncastConfigs(srcs, dst, func(*netem.Host) tcp.Config { return tcfg }, cfg, onDone)
 }
@@ -89,8 +121,11 @@ func RunIncastConfigs(srcs []*netem.Host, dst netem.NodeID, cfgFor func(*netem.H
 	if len(srcs) == 0 || cfg.Epochs <= 0 {
 		panic("workload: incast needs sources and epochs")
 	}
-	inc := &Incast{FCTsByHost: make(map[netem.NodeID][]int64)}
-	eng := srcs[0].Eng
+	inc := &Incast{
+		FCTsByHost: make(map[netem.NodeID][]int64),
+		size:       cfg.FlowSize,
+		onDone:     onDone,
+	}
 	for e := 0; e < cfg.Epochs; e++ {
 		epochStart := cfg.FirstEpoch + int64(e)*cfg.EpochInterval
 		// Random sender order per epoch.
@@ -100,23 +135,55 @@ func RunIncastConfigs(srcs []*netem.Host, dst netem.NodeID, cfgFor func(*netem.H
 			h := srcs[idx]
 			at += cfg.Rng.Exp(cfg.JitterMean)
 			start := at
-			eng.At(start, func() {
+			slot := len(inc.slots)
+			inc.slots = append(inc.slots, flowSlot{host: h})
+			// Each flow starts on its own host's engine: a sharded fabric
+			// fires it on the owning shard, and the shared setup sequence
+			// keeps the plan order on simultaneous starts.
+			h.Eng.At(start, func() {
+				sl := &inc.slots[slot]
 				s := tcp.NewSender(h, dst, cfg.Port, cfg.FlowSize, cfgFor(h))
-				inc.Senders = append(inc.Senders, s)
-				inc.Started++
+				sl.s = s
 				s.OnComplete = func(fct int64) {
-					inc.Completed++
-					inc.FCTsByHost[h.ID] = append(inc.FCTsByHost[h.ID], fct)
-					if s.Stats().Timeouts > 0 {
-						inc.TimedOut = append(inc.TimedOut, s)
-					}
-					if onDone != nil {
-						onDone(fct, cfg.FlowSize)
-					}
+					sl.fct = fct
+					sl.done = true
 				}
 				s.Start()
 			})
 		}
 	}
 	return inc
+}
+
+// LiveSenders snapshots the senders created so far, in plan order (for
+// mid-run instrumentation such as the invariant checker).
+func (inc *Incast) LiveSenders() []*tcp.Sender { return liveSenders(inc.slots) }
+
+// Finalize folds the per-flow slots into the public counters and fires the
+// onDone callbacks, all in plan order. Call it once the engines are
+// stopped; repeated calls are no-ops.
+func (inc *Incast) Finalize() {
+	if inc.finalized {
+		return
+	}
+	inc.finalized = true
+	for i := range inc.slots {
+		sl := &inc.slots[i]
+		if sl.s == nil {
+			continue
+		}
+		inc.Senders = append(inc.Senders, sl.s)
+		inc.Started++
+		if !sl.done {
+			continue
+		}
+		inc.Completed++
+		inc.FCTsByHost[sl.host.ID] = append(inc.FCTsByHost[sl.host.ID], sl.fct)
+		if sl.s.Stats().Timeouts > 0 {
+			inc.TimedOut = append(inc.TimedOut, sl.s)
+		}
+		if inc.onDone != nil {
+			inc.onDone(sl.fct, inc.size)
+		}
+	}
 }

@@ -69,6 +69,7 @@ func TestIncastEpochsCountsAndFCTs(t *testing.T) {
 		}
 	})
 	d.Net.Eng.RunUntil(5 * sim.Second)
+	inc.Finalize()
 	if inc.Started != 30 {
 		t.Fatalf("started %d flows, want 30", inc.Started)
 	}
@@ -88,7 +89,7 @@ func TestIncastDeterministicWithSeed(t *testing.T) {
 		tcfg := tcp.DefaultConfig()
 		d.Receiver.Listen(port, tcp.NewListener(d.Receiver, tcfg, nil))
 		var fcts []int64
-		RunIncast(d.Senders, d.Receiver.ID, tcfg, IncastConfig{
+		inc := RunIncast(d.Senders, d.Receiver.ID, tcfg, IncastConfig{
 			Port: port, FlowSize: 10_000, Epochs: 2,
 			FirstEpoch:    sim.Millisecond,
 			EpochInterval: 50 * sim.Millisecond,
@@ -96,6 +97,7 @@ func TestIncastDeterministicWithSeed(t *testing.T) {
 			Rng:           sim.NewRNG(7),
 		}, func(fct, _ int64) { fcts = append(fcts, fct) })
 		d.Net.Eng.RunUntil(2 * sim.Second)
+		inc.Finalize()
 		return fcts
 	}
 	a, b := runOnce(), runOnce()
@@ -133,6 +135,7 @@ func TestWebWorkload(t *testing.T) {
 		Rng:           rng,
 	}, func(fct, _ int64) { fcts = append(fcts, fct) })
 	ls.Net.Eng.RunUntil(10 * sim.Second)
+	w.Finalize()
 	want := 3 * 3 * 2 * 2 // servers * clients * parallel * epochs
 	if w.Started != want || w.Completed != want {
 		t.Fatalf("started=%d completed=%d want %d", w.Started, w.Completed, want)
