@@ -8,7 +8,7 @@ BASELINE ?= $(lastword $(sort $(filter-out %_seed.json BENCH_LADDER_%,$(wildcard
 LADDER_BASELINE ?= $(lastword $(sort $(wildcard BENCH_LADDER_*.json)))
 
 .PHONY: all build test race lint vet bench bench-baseline bench-check \
-	bench-ladder bench-ladder-check fuzz-smoke poison
+	bench-ladder bench-ladder-check fuzz-smoke poison chaos
 
 all: build test
 
@@ -74,6 +74,17 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzChecksumPatchChain -fuzztime 10s ./internal/netem
 	$(GO) test -run '^$$' -fuzz FuzzPacketPoolZeroed -fuzztime 10s ./internal/netem
 	$(GO) test -run '^$$' -fuzz FuzzFlowSlab -fuzztime 10s ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzReorderBuffer -fuzztime 10s ./internal/netem
+
+# Chaos gate: the fault-injection goldens, the recurring-chaos shard
+# parity suite, and both example schedules under the recovery observer.
+chaos: build
+	$(GO) test -run 'TestGoldenDigests|TestRecurringChaosShardParity|TestChaosRunRecoversAndRepeats' \
+		-count=1 ./internal/experiments ./internal/scenario
+	$(GO) run ./cmd/hwatchsim -exp scheme -scheme hwatch \
+		-faults examples/chaos_recurring_flap.json -check -digest
+	$(GO) run ./cmd/hwatchsim -exp scheme -scheme hwatch \
+		-faults examples/chaos_reorder_jitter.json -check -digest
 
 # Pool-poisoning build: released packets are scribbled with sentinels, so
 # any use-after-release flips a digest or an assertion.

@@ -10,6 +10,7 @@
 //	hwatchsim -exp ladder -rung storm/websearch -scale 0.1
 //	hwatchsim -list-schemes              # every registered scheme name
 //	hwatchsim -list-rungs                # every registered ladder rung
+//	hwatchsim -list-faults               # every fault kind for -faults files
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 		digest      = flag.Bool("digest", false, "print only '<digest> <label>' per run (for CI diffing)")
 		listSchemes = flag.Bool("list-schemes", false, "list every registered scheme and exit")
 		listRungs   = flag.Bool("list-rungs", false, "list every registered ladder rung and exit")
+		listFaults  = flag.Bool("list-faults", false, "list every fault kind for -faults files and exit")
 		noPool      = flag.Bool("nopool", false, "disable packet pooling (escape hatch; digests must not change)")
 		noWheel     = flag.Bool("nowheel", false, "schedule on the plain binary heap instead of the timer wheel")
 	)
@@ -68,6 +70,16 @@ func main() {
 	if *listRungs {
 		for _, r := range hwatch.Rungs() {
 			fmt.Printf("%-18s %s\n", r.Name, r.Description)
+		}
+		return
+	}
+	if *listFaults {
+		for _, ki := range hwatch.FaultKinds() {
+			shape := "point"
+			if ki.Windowed {
+				shape = "window"
+			}
+			fmt.Printf("%-15s %-6s %s\n", ki.Kind, shape, ki.Doc)
 		}
 		return
 	}

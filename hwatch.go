@@ -128,12 +128,21 @@ const (
 
 // FaultSchedule is a deterministic fault timeline a Scenario arms on its
 // fabric (link flaps, ECN blackholes, shim crashes, probe blackouts,
-// burst-loss windows); FaultEvent is one entry. Same seed + spec +
-// schedule ⇒ identical digest.
+// burst-loss windows, and the impairment matrix: corruption, duplication,
+// reordering, jitter, rate limiting); FaultEvent is one entry, optionally
+// recurring (FaultRecurrence) or with random per-occurrence targets
+// (Pick). Same seed + spec + schedule ⇒ identical digest.
 type (
-	FaultSchedule = faults.Schedule
-	FaultEvent    = faults.Event
+	FaultSchedule   = faults.Schedule
+	FaultEvent      = faults.Event
+	FaultRecurrence = faults.Recurrence
+	FaultImpair     = faults.ImpairParams
+	FaultKindInfo   = faults.KindInfo
 )
+
+// FaultKinds lists every registered fault kind with a one-line doc, in
+// the order Validate's error messages use (hwatchsim -list-faults).
+func FaultKinds() []FaultKindInfo { return faults.Infos() }
 
 // FaultSpec is the JSON (millisecond-unit) form of one fault event, as
 // used in spec files' "faults" arrays and hwatchsim -faults files.

@@ -107,3 +107,63 @@ func crossShardDropBeforeHandoff(e, dst *Engine, drop bool) {
 	}
 	e.ScheduleRemoteArg(dst, 1, deliverArg, p)
 }
+
+func (e *Engine) ScheduleArg(d int64, fn func(any), a any) {}
+
+// corruptMaybeDrop is the impairment corrupt-then-drop shape: the drop
+// branch releases, the survivor transfers onward. Clean.
+func corruptMaybeDrop(e *Engine, drop bool) {
+	p := AllocPacket()
+	p.Rwnd ^= 0x0040
+	if drop {
+		ReleasePacket(p)
+		return
+	}
+	Send(p)
+}
+
+// corruptDropLeaks is the same shape with the release deleted.
+func corruptDropLeaks(drop bool) {
+	p := AllocPacket()
+	p.Rwnd ^= 0x0040
+	if drop {
+		return // want `pooled packet p leaks on this path`
+	}
+	Send(p)
+}
+
+// duplicateCopies: every clone is transferred (re-injected behind the
+// original via a scheduled event), then the original moves on. Clean.
+func duplicateCopies(e *Engine, orig *Packet, copies int) {
+	for i := 0; i < copies; i++ {
+		c := ClonePacket(orig)
+		e.ScheduleArg(0, deliverArg, c)
+	}
+	Send(orig)
+}
+
+// duplicateCopyLeaks drops a clone on the floor when the loop bails.
+func duplicateCopyLeaks(orig *Packet, bail bool) {
+	c := ClonePacket(orig)
+	if bail {
+		return // want `pooled packet c leaks on this path`
+	}
+	Send(c)
+	Send(orig)
+}
+
+// holdAndRelease is the reorder/jitter hold shape: the pending release
+// event owns the packet while it is parked. Clean.
+func holdAndRelease(e *Engine, delay int64) {
+	p := AllocPacket()
+	e.ScheduleArg(delay, deliverArg, p)
+}
+
+// holdLeaksWithoutTransfer parks the packet nowhere on the early path.
+func holdLeaksWithoutTransfer(e *Engine, skip bool) {
+	p := AllocPacket()
+	if skip {
+		return // want `pooled packet p leaks on this path`
+	}
+	e.ScheduleArg(1, deliverArg, p)
+}

@@ -147,6 +147,7 @@ type Stats struct {
 	Restarts       int64 // Restart() calls after a crash
 	ProbeFallbacks int64 // SYN-ACKs passed unstamped (whole train lost)
 	DarkReleases   int64 // clamp doublings taken because ECN went dark
+	StaleRemints   int64 // probes/SYNs for tombstoned flows, not re-minted
 }
 
 // role distinguishes which end of a flow this host's shim is on.

@@ -30,6 +30,17 @@ type Shim struct {
 	hosts   int
 	crashed bool
 
+	// Tombstones of recently removed rows. Network impairments (reorder
+	// holds, jitter, duplication) can delay a packet past the row's linger
+	// window; a straggler probe or SYN arriving after removal would
+	// otherwise re-mint a receiver row that no FIN will ever close (probe
+	// trains only exist at flow start), leaking it until the idle sweep.
+	// Ephemeral ports are allocated monotonically per host, so within the
+	// TTL a tombstoned key can only refer to the removed flow, never to a
+	// legitimate new one. Lookup-only on packet paths: no events, no RNG.
+	tombs map[netem.FlowKey]int64
+	tombQ []tombstone
+
 	// Bound callbacks cached at construction so the per-flow timers
 	// (epoch close, post-expiry linger) and the periodic GC sweep schedule
 	// without allocating a closure per event (DESIGN.md §6e).
@@ -160,8 +171,11 @@ func (s *Shim) Crash() {
 	}
 	// The replacement table continues the generation counter, so linger
 	// handles already in flight against the wiped table can never resolve
-	// to rows the fresh table mints after Restart.
+	// to rows the fresh table mints after Restart. Tombstones die with the
+	// module too: a crashed shim remembers nothing.
 	s.table = newFlowTableGen(s.table.genc)
+	s.tombs = nil
+	s.tombQ = nil
 }
 
 // Restart brings a crashed shim back with a cold flow table: connections
@@ -383,7 +397,17 @@ func (s *Shim) inbound(p *netem.Packet) netem.Verdict {
 // inProbe is the receiver-side probe counter: consume the probe, record
 // whether the fabric marked it.
 func (s *Shim) inProbe(p *netem.Packet) netem.Verdict {
-	e, created := s.table.ensure(p.FlowKey(), roleReceiver)
+	key := p.FlowKey()
+	if s.table.get(key) == nil && s.tombstoned(key) {
+		// Straggler outliving its flow: an impairment held this probe past
+		// the removed row's linger window. Consume it rowlessly — probe
+		// trains only exist at flow start, so minting here would leave a
+		// row no FIN will ever close.
+		s.stats.StaleRemints++
+		netem.ReleasePacket(p)
+		return netem.VerdictStolen
+	}
+	e, created := s.table.ensure(key, roleReceiver)
 	e.lastActive = s.eng.Now()
 	if created {
 		s.stats.FlowsTracked++
@@ -399,7 +423,15 @@ func (s *Shim) inProbe(p *netem.Packet) netem.Verdict {
 }
 
 func (s *Shim) inSYN(p *netem.Packet) {
-	e, created := s.table.ensure(p.FlowKey(), roleReceiver)
+	key := p.FlowKey()
+	if s.table.get(key) == nil && s.tombstoned(key) {
+		// A duplicated or delayed SYN for a flow that already completed:
+		// the guest still sees it (the verdict stays pass), but the shim
+		// must not resurrect the row.
+		s.stats.StaleRemints++
+		return
+	}
+	e, created := s.table.ensure(key, roleReceiver)
 	e.lastActive = s.eng.Now()
 	if created {
 		s.stats.FlowsTracked++
@@ -561,6 +593,42 @@ func (s *Shim) expire(e *flowEntry) {
 	s.eng.ScheduleArg(linger, s.removeFn, e.self)
 }
 
+// tombstoneTTL bounds how long a removed row's key stays tombstoned. It
+// must outlast any plausible straggler delay (chaos reorder holds run to
+// a few milliseconds); packets held even longer re-mint as before and the
+// recovery observer reports the leak.
+const tombstoneTTL = 50 * sim.Millisecond
+
+// tombstone records one removed row for the straggler guard.
+type tombstone struct {
+	key netem.FlowKey
+	at  int64
+}
+
+// entomb marks key as recently removed and prunes tombstones past the
+// TTL. The queue preserves removal order, so pruning is deterministic.
+func (s *Shim) entomb(key netem.FlowKey) {
+	now := s.eng.Now()
+	for len(s.tombQ) > 0 && now-s.tombQ[0].at > tombstoneTTL {
+		head := s.tombQ[0]
+		if s.tombs[head.key] == head.at {
+			delete(s.tombs, head.key)
+		}
+		s.tombQ = s.tombQ[1:]
+	}
+	if s.tombs == nil {
+		s.tombs = make(map[netem.FlowKey]int64)
+	}
+	s.tombs[key] = now
+	s.tombQ = append(s.tombQ, tombstone{key: key, at: now})
+}
+
+// tombstoned reports whether key belongs to a row removed within the TTL.
+func (s *Shim) tombstoned(key netem.FlowKey) bool {
+	at, ok := s.tombs[key]
+	return ok && s.eng.Now()-at <= tombstoneTTL
+}
+
 // removeExpired drops an expired entry once its linger period ends. The
 // linger event holds the entry's handle; if the row is already gone (a
 // Crash wiped the table, or the slot was recycled) the handle no longer
@@ -568,7 +636,9 @@ func (s *Shim) expire(e *flowEntry) {
 // the old map implementation's `get(key) == entry` identity test.
 func (s *Shim) removeExpired(a any) {
 	if e := s.table.resolve(a.(flowHandle)); e != nil {
-		s.table.remove(e.key)
+		key := e.key
+		s.table.remove(key)
 		s.stats.FlowsExpired++
+		s.entomb(key)
 	}
 }

@@ -557,3 +557,89 @@ func (f *probeDropper) Inbound(p *netem.Packet) netem.Verdict {
 	}
 	return netem.VerdictPass
 }
+
+func TestTombstoneBlocksStaleRemint(t *testing.T) {
+	// A probe or duplicated SYN delayed past a removed row's linger window
+	// (reorder/jitter chaos holds packets for milliseconds) must not
+	// re-mint a receiver row: probe trains only exist at flow start, so
+	// nothing would ever close it again.
+	delay := 25 * sim.Microsecond
+	cfg := DefaultConfig(testRTT(delay))
+	r := newRig(t, aqm.NewDropTail(1000), 1e9, delay, cfg)
+	tcfg := tcp.DefaultConfig()
+	r.b.Listen(port, tcp.NewListener(r.b, tcfg, nil))
+	s := tcp.NewSender(r.a, r.b.ID, port, 50_000, tcfg)
+	s.Start()
+	r.net.Eng.RunUntil(10 * sim.Millisecond)
+	if !s.Done() {
+		t.Fatal("flow did not complete")
+	}
+	if n := r.shimB.TrackedFlows(); n != 0 {
+		t.Fatalf("receiver table still holds %d rows after linger", n)
+	}
+
+	key := s.FlowKey()
+	straggler := func(probe bool) *netem.Packet {
+		p := netem.AllocPacket()
+		p.ID = r.a.NextPacketID()
+		p.Src, p.Dst = key.Src, key.Dst
+		p.SrcPort, p.DstPort = key.SrcPort, key.DstPort
+		p.ECN = netem.ECT0
+		p.WScaleOpt = -1
+		if probe {
+			p.Probe = true
+		} else {
+			p.Flags = netem.FlagSYN
+		}
+		netem.SetChecksum(p)
+		return p
+	}
+
+	if v := r.shimB.inbound(straggler(true)); v != netem.VerdictStolen {
+		t.Fatalf("stale probe verdict = %v, want stolen", v)
+	}
+	synDup := straggler(false)
+	if v := r.shimB.inbound(synDup); v != netem.VerdictPass {
+		t.Fatalf("stale SYN verdict = %v, want pass", v)
+	}
+	netem.ReleasePacket(synDup)
+	if n := r.shimB.TrackedFlows(); n != 0 {
+		t.Fatalf("straggler re-minted a flow row (%d tracked)", n)
+	}
+	if got := r.shimB.Stats().StaleRemints; got != 2 {
+		t.Fatalf("StaleRemints = %d, want 2", got)
+	}
+
+	// The tombstone has a bounded lifetime: past the TTL the guard steps
+	// aside (a straggler that late is the idle sweep's problem).
+	r.net.Eng.RunUntil(10*sim.Millisecond + tombstoneTTL + sim.Millisecond)
+	if v := r.shimB.inbound(straggler(true)); v != netem.VerdictStolen {
+		t.Fatalf("late probe verdict = %v, want stolen", v)
+	}
+	if n := r.shimB.TrackedFlows(); n != 1 {
+		t.Fatalf("post-TTL probe tracked %d rows, want 1 (guard must expire)", n)
+	}
+}
+
+func TestTombstonePruneAndCrashWipe(t *testing.T) {
+	eng := sim.New()
+	s := NewShim(eng, DefaultConfig(100*sim.Microsecond), 0)
+	k1 := netem.FlowKey{Src: 1, Dst: 2, SrcPort: 33000, DstPort: 80}
+	k2 := netem.FlowKey{Src: 1, Dst: 2, SrcPort: 33001, DstPort: 80}
+	s.entomb(k1)
+	if !s.tombstoned(k1) {
+		t.Fatal("fresh tombstone not visible")
+	}
+	eng.RunUntil(tombstoneTTL + sim.Millisecond)
+	if s.tombstoned(k1) {
+		t.Fatal("tombstone survived past the TTL")
+	}
+	s.entomb(k2) // prunes k1 from both map and queue
+	if len(s.tombs) != 1 || len(s.tombQ) != 1 {
+		t.Fatalf("prune left %d map entries, %d queued", len(s.tombs), len(s.tombQ))
+	}
+	s.Crash()
+	if s.tombs != nil || s.tombQ != nil {
+		t.Fatal("crash did not wipe tombstones")
+	}
+}

@@ -64,6 +64,37 @@ func faultGoldenRuns() map[string]string {
 		{Kind: faults.ShimRestart, At: 180 * sim.Millisecond},
 		{Kind: faults.ProbeBlackout, At: 180 * sim.Millisecond, Until: 240 * sim.Millisecond},
 	}
+	// The impairment-matrix goldens: one per new chaos class, each armed
+	// on the shared bottleneck so every flow crosses the impairment.
+	reorder := faults.Schedule{
+		{Kind: faults.Reorder, At: 100 * sim.Millisecond, Until: 300 * sim.Millisecond,
+			Impair: faults.ImpairParams{Prob: 0.05, Hold: 2 * sim.Millisecond}},
+		{Kind: faults.Jitter, At: 320 * sim.Millisecond, Until: 380 * sim.Millisecond,
+			Impair: faults.ImpairParams{Dist: "pareto", Delay: 100 * sim.Microsecond, Jitter: 50 * sim.Microsecond}},
+	}
+	corrupt := faults.Schedule{
+		{Kind: faults.Corrupt, At: 100 * sim.Millisecond, Until: 300 * sim.Millisecond,
+			Impair: faults.ImpairParams{Prob: 0.02, DropFrac: 0.5}},
+	}
+	dupjitter := faults.Schedule{
+		{Kind: faults.Duplicate, At: 100 * sim.Millisecond, Until: 300 * sim.Millisecond,
+			Impair: faults.ImpairParams{Prob: 0.05, Copies: 2, Egress: true}},
+		{Kind: faults.Jitter, At: 150 * sim.Millisecond, Until: 250 * sim.Millisecond,
+			Impair: faults.ImpairParams{Dist: "uniform", Delay: 200 * sim.Microsecond, Jitter: 200 * sim.Microsecond}},
+	}
+	// Recurring random-target flap: every occurrence downs two links drawn
+	// from the whole fabric for ~3 ms, with jittered starts.
+	flap := faults.Schedule{
+		{Kind: faults.LinkDown, At: 80 * sim.Millisecond, Pick: 2,
+			Recur: &faults.Recurrence{Interval: 60 * sim.Millisecond, Duration: 3 * sim.Millisecond,
+				Jitter: 8 * sim.Millisecond, Count: 4}},
+	}
+	ratelimit := faults.Schedule{
+		{Kind: faults.RateLimit, At: 120 * sim.Millisecond, Until: 160 * sim.Millisecond,
+			Impair: faults.ImpairParams{RateBps: 2e9, Burst: 32 * 1024}},
+		{Kind: faults.Jitter, At: 200 * sim.Millisecond, Until: 280 * sim.Millisecond,
+			Impair: faults.ImpairParams{Dist: "normal", Delay: 150 * sim.Microsecond, Jitter: 50 * sim.Microsecond, Egress: true}},
+	}
 	run := func(sched faults.Schedule, seed int64) string {
 		r, err := (&scenario.Spec{
 			Kind:     scenario.KindDumbbell,
@@ -79,6 +110,11 @@ func faultGoldenRuns() map[string]string {
 	return map[string]string{
 		"faults/linkflap":  run(linkflap, 7),
 		"faults/blackhole": run(blackhole, 9),
+		"faults/reorder":   run(reorder, 11),
+		"faults/corrupt":   run(corrupt, 13),
+		"faults/dupjitter": run(dupjitter, 17),
+		"faults/flap":      run(flap, 19),
+		"faults/ratelimit": run(ratelimit, 23),
 	}
 }
 

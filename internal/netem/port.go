@@ -63,10 +63,16 @@ type Port struct {
 	dropProbes bool
 	lossFn     func(*Packet) bool
 
+	// Impairment pipelines, created lazily by Impair (nil in a healthy
+	// run, so the hot path pays one pointer test per stage).
+	ingressImp *PortImpair
+	egressImp  *PortImpair
+
 	// Bound event callbacks, cached once so the per-packet transmit path
 	// schedules without building closures.
-	txDoneFn  func(any)
-	deliverFn func(any)
+	txDoneFn      func(any)
+	deliverFn     func(any)
+	injectQueueFn func(any)
 }
 
 // clockedQueue is implemented by disciplines that read simulation time
@@ -86,6 +92,7 @@ func NewPort(eng *sim.Engine, q Queue, rateBps, delay int64) *Port {
 	p := &Port{Eng: eng, Q: q, RateBps: rateBps, Delay: delay}
 	p.txDoneFn = p.txDone
 	p.deliverFn = p.deliver
+	p.injectQueueFn = p.injectQueueArg
 	return p
 }
 
@@ -175,6 +182,17 @@ func (p *Port) Send(pkt *Packet) {
 		ReleasePacket(pkt)
 		return
 	}
+	if p.ingressImp != nil {
+		p.ingressImp.Forward(pkt) // owns pkt; re-offers via injectQueue
+		return
+	}
+	p.injectQueue(pkt)
+}
+
+// injectQueue is the back half of Send — queue the packet and kick the
+// transmitter — and the re-entry point for ingress impairments (held
+// packets, duplicate copies). Ownership transfers with the call.
+func (p *Port) injectQueue(pkt *Packet) {
 	pkt.EnqueuedAt = p.Eng.Now()
 	if !p.Q.Enqueue(pkt) {
 		ReleasePacket(pkt) // dropped by the discipline
@@ -184,6 +202,10 @@ func (p *Port) Send(pkt *Packet) {
 		p.transmitNext()
 	}
 }
+
+// injectQueueArg is injectQueue behind the cached func(any) signature that
+// scheduled re-offers (duplicate copies, hold releases) go through.
+func (p *Port) injectQueueArg(a any) { p.injectQueue(a.(*Packet)) }
 
 func (p *Port) transmitNext() {
 	if p.down {
@@ -197,6 +219,11 @@ func (p *Port) transmitNext() {
 	}
 	p.busy = true
 	txTime := p.SerializationDelay(pkt.Wire)
+	if p.egressImp != nil {
+		// A token-bucket shaper stalls the transmitter before clocking the
+		// packet out, so sub-line rates build standing queue upstream.
+		txTime += p.egressImp.rateWait(p.Eng.Now(), pkt.Wire)
+	}
 	p.stats.TxPackets++
 	p.stats.TxBytes += int64(pkt.Wire)
 	p.Eng.ScheduleArg(txTime, p.txDoneFn, pkt)
@@ -206,12 +233,23 @@ func (p *Port) transmitNext() {
 // then start the next packet. Cross-shard links route the delivery through
 // the group's deterministic merge.
 func (p *Port) txDone(arg any) {
-	if p.remote != nil {
-		p.Eng.ScheduleRemoteArg(p.remote, p.Delay, p.deliverFn, arg)
+	if p.egressImp != nil {
+		p.egressImp.Forward(arg.(*Packet)) // owns it; schedules delivery
 	} else {
-		p.Eng.ScheduleArg(p.Delay, p.deliverFn, arg)
+		p.scheduleDeliver(arg.(*Packet), 0)
 	}
 	p.transmitNext()
+}
+
+// scheduleDeliver queues the delivery event after propagation plus any
+// impairment-added extra delay (extra >= 0, so a cross-shard link's delay
+// never drops below the group lookahead).
+func (p *Port) scheduleDeliver(pkt *Packet, extra int64) {
+	if p.remote != nil {
+		p.Eng.ScheduleRemoteArg(p.remote, p.Delay+extra, p.deliverFn, pkt)
+	} else {
+		p.Eng.ScheduleArg(p.Delay+extra, p.deliverFn, pkt)
+	}
 }
 
 func (p *Port) deliver(arg any) { p.peer.Deliver(arg.(*Packet)) }

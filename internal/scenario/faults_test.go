@@ -233,3 +233,120 @@ func TestSpecFileWithFaults(t *testing.T) {
 		t.Fatal("dropless burst-loss accepted at parse time")
 	}
 }
+
+// recurringChaosSchedule exercises the full impairment matrix plus a
+// recurring random-target flap in one timeline — the schedule the
+// recovery invariants must hold under.
+func recurringChaosSchedule() faults.Schedule {
+	return faults.Schedule{
+		{Kind: faults.LinkDown, At: 80 * sim.Millisecond, Pick: 2,
+			Recur: &faults.Recurrence{Interval: 60 * sim.Millisecond, Duration: 3 * sim.Millisecond,
+				Jitter: 8 * sim.Millisecond, Count: 4}},
+		// The windows are staggered, not stacked: corruption collapses
+		// throughput while it lasts, so an impairment window buried inside
+		// the collapse would see no traffic to impair.
+		{Kind: faults.Corrupt, At: 100 * sim.Millisecond, Until: 180 * sim.Millisecond,
+			Impair: faults.ImpairParams{Prob: 0.02, DropFrac: 0.5}},
+		{Kind: faults.Duplicate, At: 180 * sim.Millisecond, Until: 260 * sim.Millisecond,
+			Impair: faults.ImpairParams{Prob: 0.05, Copies: 2, Egress: true}},
+		{Kind: faults.Reorder, At: 260 * sim.Millisecond, Until: 340 * sim.Millisecond,
+			Impair: faults.ImpairParams{Prob: 0.05, Hold: 2 * sim.Millisecond}},
+		{Kind: faults.Jitter, At: 340 * sim.Millisecond, Until: 390 * sim.Millisecond,
+			Impair: faults.ImpairParams{Dist: "pareto", Delay: 100 * sim.Microsecond, Jitter: 50 * sim.Microsecond}},
+	}
+}
+
+// TestRecurringChaosShardParity is the PR's acceptance test: the full
+// chaos matrix under a recurring flap must (a) leave every recovery
+// invariant intact, (b) digest identically at 1, 2 and 4 shards, and
+// (c) report identical impairment counters everywhere — arming and
+// random target selection are partition-independent by construction.
+func TestRecurringChaosShardParity(t *testing.T) {
+	type outcome struct {
+		digest string
+		stats  netem.ImpairStats
+	}
+	run := func(shards int) outcome {
+		s := &Spec{
+			Kind:     KindDumbbell,
+			Schemes:  []Share{{Scheme: HWatch}},
+			Dumbbell: chaosParams(19),
+			Faults:   recurringChaosSchedule(),
+			Shards:   shards,
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(r.InvariantViolations) != 0 {
+			t.Fatalf("shards=%d: recovery violations: %v", shards, r.InvariantViolations)
+		}
+		if r.ShortDone != r.ShortAll {
+			t.Fatalf("shards=%d: %d/%d short flows after chaos cleared", shards, r.ShortDone, r.ShortAll)
+		}
+		if r.ChaosStats == nil {
+			t.Fatalf("shards=%d: no chaos stats on an impaired run", shards)
+		}
+		return outcome{r.DigestHex(), *r.ChaosStats}
+	}
+	base := run(1)
+	if base.stats.Corrupted == 0 || base.stats.Duplicated == 0 || base.stats.Reordered == 0 || base.stats.Jittered == 0 {
+		t.Fatalf("chaos matrix left counters untouched: %+v", base.stats)
+	}
+	if base.stats.Held != 0 {
+		t.Fatalf("hold buffer retains %d packets after drain", base.stats.Held)
+	}
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		if got.digest != base.digest {
+			t.Errorf("digest %s at %d shards, %s at 1", got.digest, shards, base.digest)
+		}
+		if got.stats != base.stats {
+			t.Errorf("impair stats diverge at %d shards: %+v vs %+v", shards, got.stats, base.stats)
+		}
+	}
+}
+
+// TestRenderFaultsImpairAndRecurrence: the operator-unit JSON fields
+// reach the engine-ready schedule converted, not truncated.
+func TestRenderFaultsImpairAndRecurrence(t *testing.T) {
+	sched, err := RenderFaults([]FaultSpec{
+		{Kind: "reorder", AtMs: 10, UntilMs: 20, Prob: 0.1, HoldUs: 500},
+		{Kind: "jitter", AtMs: 30, UntilMs: 40, Dist: "pareto", DelayUs: 100, JitterUs: 50, Shape: 2},
+		{Kind: "rate-limit", AtMs: 50, UntilMs: 60, RateMbps: 500, BurstKB: 16, Egress: true},
+		{Kind: "link-down", AtMs: 80, Count: 4, EveryMs: 60, ForMs: 3, JitterMs: 8, Pick: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched[0].Impair.Hold; got != 500*sim.Microsecond {
+		t.Fatalf("hold_us: %d", got)
+	}
+	if got := sched[1].Impair; got.Delay != 100*sim.Microsecond || got.Jitter != 50*sim.Microsecond ||
+		got.Dist != "pareto" || got.Shape != 2 {
+		t.Fatalf("jitter knobs lost: %+v", got)
+	}
+	if got := sched[2].Impair; got.RateBps != 500e6 || got.Burst != 16*1024 || !got.Egress {
+		t.Fatalf("rate knobs lost: %+v", got)
+	}
+	r := sched[3].Recur
+	if r == nil || r.Count != 4 || r.Interval != 60*sim.Millisecond ||
+		r.Duration != 3*sim.Millisecond || r.Jitter != 8*sim.Millisecond {
+		t.Fatalf("recurrence lost: %+v", r)
+	}
+	if sched[3].Pick != 2 {
+		t.Fatalf("pick lost: %d", sched[3].Pick)
+	}
+
+	for name, bad := range map[string][]FaultSpec{
+		"prob out of range": {{Kind: "corrupt", AtMs: 1, UntilMs: 2, Prob: 1.5}},
+		"neg hold":          {{Kind: "reorder", AtMs: 1, UntilMs: 2, Prob: 0.1, HoldUs: -1}},
+		"bad dist":          {{Kind: "jitter", AtMs: 1, UntilMs: 2, Dist: "bimodal", DelayUs: 10}},
+		"until with recur":  {{Kind: "link-down", AtMs: 1, UntilMs: 2, Count: 2, EveryMs: 10, ForMs: 1}},
+		"target and pick":   {{Kind: "link-down", AtMs: 1, Target: "x", Pick: 1}},
+	} {
+		if _, err := RenderFaults(bad); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -239,16 +239,37 @@ func (shimStatsObserver) Finish(rc *RunContext, run *Run) {
 		agg.Restarts += st.Restarts
 		agg.ProbeFallbacks += st.ProbeFallbacks
 		agg.DarkReleases += st.DarkReleases
+		agg.StaleRemints += st.StaleRemints
 	}
 	run.ShimStats = &agg
+}
+
+// chaosStatsObserver surfaces the per-kind impairment counters of an
+// armed schedule into the run (excluded from the digest, like ShimStats).
+type chaosStatsObserver struct{}
+
+func (chaosStatsObserver) Start(*RunContext, *Run) {}
+
+func (chaosStatsObserver) Finish(rc *RunContext, run *Run) {
+	if rc.Injector == nil || !rc.Injector.HasImpairments() {
+		return
+	}
+	st := rc.Injector.ImpairStats()
+	run.ChaosStats = &st
 }
 
 // RecoveryObserver asserts the run heals after its fault timeline clears:
 // every finite flow completes (or was deliberately aborted), the
 // bottleneck queue drains, no shim stays crashed, and no flow-table entry
 // outlives its completed flow — i.e. faults may hurt, but nothing sticks.
-// Findings land in Run.InvariantViolations (reported by -check, excluded
-// from the digest). Appended automatically when Spec.Faults is non-empty.
+// For recurring schedules the clear point is the last occurrence's actual
+// (jitter-drawn) end. Impairment schedules add three more invariants: the
+// hold buffers of reorder/jitter windows retain nothing after drain,
+// duplication leaves no duplicated-flow ghosts in any shim's flow slab,
+// and checksum drops at the hosts stay bounded by the corruptions
+// injected. Findings land in Run.InvariantViolations (reported by -check,
+// excluded from the digest). Appended automatically when Spec.Faults is
+// non-empty.
 type RecoveryObserver struct{}
 
 // Start implements Observer.
@@ -293,10 +314,37 @@ func (RecoveryObserver) Finish(rc *RunContext, run *Run) {
 		if sh.Crashed() {
 			viol("shim %d still crashed at run end", i)
 		}
-		for _, fi := range sh.Snapshot() {
+		// Snapshot is sorted by key, so duplicated-flow ghosts — two slab
+		// rows for one flow, as naive handling of duplicated SYNs would
+		// mint — sit adjacent.
+		var prev netem.FlowKey
+		for j, fi := range sh.Snapshot() {
 			if done[fi.Key] && !fi.Closed {
 				viol("shim %d leaks a live flow-table entry for completed flow %v", i, fi.Key)
 			}
+			if j > 0 && fi.Key == prev {
+				viol("shim %d holds duplicated-flow ghost rows for %v", i, fi.Key)
+			}
+			prev = fi.Key
+		}
+	}
+	if rc.Injector != nil && rc.Injector.HasImpairments() {
+		st := rc.Injector.ImpairStats()
+		if st.Held != 0 {
+			viol("reorder/jitter hold buffer retains %d packets after drain", st.Held)
+		}
+		if st.CorruptDrops > st.Corrupted {
+			viol("port corrupt-drops %d exceed corruptions injected %d", st.CorruptDrops, st.Corrupted)
+		}
+		var chkDrops int64
+		for _, h := range rc.Fabric.Hosts {
+			chkDrops += h.Stats().ChecksumDrops
+		}
+		// Every checksum discard must trace to an injected flip that was
+		// not already dropped at the port: more means corruption leaked
+		// somewhere it was never injected.
+		if chkDrops > st.Corrupted-st.CorruptDrops {
+			viol("host checksum drops %d exceed surviving corruptions %d", chkDrops, st.Corrupted-st.CorruptDrops)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"hwatch/internal/core"
 	"hwatch/internal/harness"
+	"hwatch/internal/netem"
 	"hwatch/internal/stats"
 )
 
@@ -43,6 +44,12 @@ type Run struct {
 	ShortAll  int
 
 	ShimStats *core.Stats // aggregate over all hosts (shim-deploying schemes)
+
+	// ChaosStats aggregates the per-kind impairment counters of an armed
+	// chaos schedule (nil when none armed). Like ShimStats it describes
+	// the injected chaos, not the schemes' observable outcome, so Digest
+	// excludes it.
+	ChaosStats *netem.ImpairStats
 
 	// Execution metadata. WallNs and Events describe the machine that ran
 	// the scenario, not the scenario itself, so Digest excludes them.

@@ -324,6 +324,7 @@ func (s *Spec) runDumbbell() (*Run, error) {
 			Switches:      map[string]*netem.Switch{"tor": d.Switch},
 			DefaultSwitch: "tor",
 			Shims:         shims,
+			Hosts:         hosts,
 		},
 	}
 	return s.execute(rc, run, p.Duration+p.DrainAfter)
@@ -462,6 +463,7 @@ func (s *Spec) runTestbed() (*Run, error) {
 			Switches:      map[string]*netem.Switch{"spine": ls.Spine},
 			DefaultSwitch: "spine",
 			Shims:         shims,
+			Hosts:         ls.AllHosts(),
 		},
 	}
 	return s.execute(rc, run, p.Duration)
@@ -488,7 +490,7 @@ func (s *Spec) execute(rc *RunContext, run *Run, runUntil int64) (*Run, error) {
 			return nil, fmt.Errorf("arming fault schedule: %w", err)
 		}
 		rc.Injector = inj
-		obs = append(obs, RecoveryObserver{})
+		obs = append(obs, RecoveryObserver{}, chaosStatsObserver{})
 	}
 	obs = append(obs, s.Observers...)
 
