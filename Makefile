@@ -8,7 +8,7 @@ BASELINE ?= $(lastword $(sort $(filter-out %_seed.json BENCH_LADDER_%,$(wildcard
 LADDER_BASELINE ?= $(lastword $(sort $(wildcard BENCH_LADDER_*.json)))
 
 .PHONY: all build test race lint vet bench bench-baseline bench-check \
-	bench-ladder bench-ladder-check fuzz-smoke poison chaos
+	bench-ladder bench-ladder-check fuzz-smoke poison chaos server-e2e
 
 all: build test
 
@@ -75,6 +75,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzPacketPoolZeroed -fuzztime 10s ./internal/netem
 	$(GO) test -run '^$$' -fuzz FuzzFlowSlab -fuzztime 10s ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzReorderBuffer -fuzztime 10s ./internal/netem
+	$(GO) test -run '^$$' -fuzz FuzzSpecCanonicalDigest -fuzztime 10s ./internal/scenario
 
 # Chaos gate: the fault-injection goldens, the recurring-chaos shard
 # parity suite, and both example schedules under the recovery observer.
@@ -85,6 +86,13 @@ chaos: build
 		-faults examples/chaos_recurring_flap.json -check -digest
 	$(GO) run ./cmd/hwatchsim -exp scheme -scheme hwatch \
 		-faults examples/chaos_reorder_jitter.json -check -digest
+
+# hwatchd gate: the end-to-end server suite (golden parity, cache hits,
+# single-flight dedup, backpressure, cancellation) under the race
+# detector. CI's hwatchd-e2e job runs this plus a live daemon-vs-CLI
+# digest cross-check.
+server-e2e:
+	$(GO) test -race ./internal/server/...
 
 # Pool-poisoning build: released packets are scribbled with sentinels, so
 # any use-after-release flips a digest or an assertion.

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -11,17 +12,20 @@ import (
 	"time"
 
 	"hwatch"
+	"hwatch/internal/server"
+	"hwatch/internal/server/client"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figgen: ")
 	var (
-		outDir   = flag.String("out", "out", "directory for CSV curve data")
-		scale    = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
-		only     = flag.String("only", "", "comma-separated subset, e.g. fig8,fig11")
-		parallel = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
-		check    = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
+		outDir    = flag.String("out", "out", "directory for CSV curve data")
+		scale     = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
+		only      = flag.String("only", "", "comma-separated subset, e.g. fig8,fig11")
+		parallel  = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		check     = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
+		serverURL = flag.String("server", "", "run figures via a hwatchd instance (e.g. http://127.0.0.1:8080) instead of locally")
 	)
 	flag.Parse()
 	hwatch.SetParallel(*parallel)
@@ -34,6 +38,14 @@ func main() {
 		}
 	}
 	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if *serverURL != "" {
+		if *check {
+			log.Fatal("-check runs locally; it cannot be combined with -server")
+		}
+		viaServer(*serverURL, *outDir, *scale, selected)
+		return
+	}
 
 	violations := 0
 	save := func(prefix string, r *hwatch.Run) {
@@ -115,4 +127,60 @@ func main() {
 	if violations > 0 {
 		log.Fatalf("%d invariant violations", violations)
 	}
+}
+
+// viaServer fetches each selected figure from a hwatchd instance. Results
+// arrive in wire form; client.Runs re-verifies every run digest, so the
+// CSVs written here are bit-equivalent to a local regeneration on the
+// same code version.
+func viaServer(base, outDir string, scale float64, selected func(string) bool) {
+	cl := client.New(base, nil)
+	ctx := context.Background()
+	start := time.Now()
+	for _, fig := range hwatch.FigNames() {
+		if !selected(fig) {
+			continue
+		}
+		res, err := cl.Submit(ctx, &server.JobRequest{Kind: "fig", Name: fig, Scale: scale})
+		if err != nil {
+			log.Fatalf("%s via %s: %v", fig, base, err)
+		}
+		runs, err := client.Runs(res)
+		if err != nil {
+			log.Fatalf("%s: %v", fig, err)
+		}
+		origin := "computed"
+		if res.Cached {
+			origin = "cache hit"
+		}
+		fmt.Printf("\n== %s — via %s (%s, version %s) ==\n", fig, base, origin, res.Version)
+		fmt.Print(hwatch.Table(runs))
+		var labels, prefixes []string
+		for _, r := range runs {
+			prefix := fig + "_" + sanitize(r.Label)
+			if err := hwatch.SaveRun(outDir, prefix, r); err != nil {
+				log.Fatalf("saving %s: %v", prefix, err)
+			}
+			labels = append(labels, r.Label)
+			prefixes = append(prefixes, prefix)
+		}
+		if err := hwatch.WriteFigurePlots(outDir, fig, labels, prefixes); err != nil {
+			log.Fatalf("plot scripts for %s: %v", fig, err)
+		}
+	}
+	fmt.Printf("\nall selected figures fetched in %v; curves under %s/\n",
+		time.Since(start).Round(time.Millisecond), outDir)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, s)
 }

@@ -44,6 +44,7 @@ func main() {
 		shards      = flag.Int("shards", 0, "engine shards per run (0/1 = single loop; digests must not change)")
 		check       = flag.Bool("check", false, "run the physical-invariant checker; exit 1 on violations")
 		digest      = flag.Bool("digest", false, "print only '<digest> <label>' per run (for CI diffing)")
+		specDigest  = flag.Bool("spec-digest", false, "print the canonical content digest of -spec and exit (no simulation)")
 		listSchemes = flag.Bool("list-schemes", false, "list every registered scheme and exit")
 		listRungs   = flag.Bool("list-rungs", false, "list every registered ladder rung and exit")
 		listFaults  = flag.Bool("list-faults", false, "list every fault kind for -faults files and exit")
@@ -81,6 +82,24 @@ func main() {
 			}
 			fmt.Printf("%-15s %-6s %s\n", ki.Kind, shape, ki.Doc)
 		}
+		return
+	}
+
+	if *specDigest {
+		if *spec == "" {
+			log.Fatal("-spec-digest requires -spec file.json")
+		}
+		sp, err := hwatch.LoadSpec(*spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := sp.CanonicalDigest()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The canonical digest is the job id and cache address hwatchd
+		// assigns this spec, so CLI and server path can be cross-checked.
+		fmt.Println(d)
 		return
 	}
 

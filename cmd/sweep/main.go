@@ -3,27 +3,39 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strings"
 
 	"hwatch"
+	"hwatch/internal/server"
+	"hwatch/internal/server/client"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 	var (
-		what     = flag.String("what", "all", "ablation: probes|k|icw|batch|pacing|guests|empirical|coflow|incast|all")
-		scale    = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
-		parallel = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
-		check    = flag.Bool("check", false, "run the physical-invariant checker on every cell")
-		schemes  = flag.String("schemes", "", "comma-separated registered scheme names for the extension studies (default: the paper's four)")
+		what      = flag.String("what", "all", "ablation: probes|k|icw|batch|pacing|guests|empirical|coflow|incast|all")
+		scale     = flag.Float64("scale", 1.0, "scenario scale in (0,1]")
+		parallel  = flag.Int("parallel", 0, "concurrent scenario runs (0 = GOMAXPROCS)")
+		check     = flag.Bool("check", false, "run the physical-invariant checker on every cell")
+		schemes   = flag.String("schemes", "", "comma-separated registered scheme names for the extension studies (default: the paper's four)")
+		serverURL = flag.String("server", "", "run sweeps via a hwatchd instance (e.g. http://127.0.0.1:8080) instead of locally")
 	)
 	flag.Parse()
 	hwatch.SetParallel(*parallel)
 	hwatch.SetInvariantChecks(*check)
+
+	if *serverURL != "" {
+		if *check {
+			log.Fatal("-check runs locally; it cannot be combined with -server")
+		}
+		viaServer(*serverURL, *what, *scale, *schemes)
+		return
+	}
 
 	set := hwatch.AllSchemes()
 	if *schemes != "" {
@@ -93,5 +105,68 @@ func main() {
 	}
 	if !found {
 		log.Fatalf("unknown ablation %q", *what)
+	}
+}
+
+// viaServer runs the selected sweeps as hwatchd jobs and prints the rows
+// the server computed (or had cached).
+func viaServer(base, what string, scale float64, schemes string) {
+	cl := client.New(base, nil)
+	ctx := context.Background()
+	var schemeList []string
+	if schemes != "" {
+		for _, name := range strings.Split(schemes, ",") {
+			schemeList = append(schemeList, strings.ToLower(strings.TrimSpace(name)))
+		}
+	}
+	type cell struct {
+		req     server.JobRequest
+		caption string
+	}
+	var cells []cell
+	study := func(name, caption string) {
+		cells = append(cells, cell{server.JobRequest{Kind: "study", Name: name, Schemes: schemeList}, caption})
+	}
+	ablation := func(name, caption string) {
+		cells = append(cells, cell{server.JobRequest{Kind: "ablation", Name: name, Scale: scale}, caption})
+	}
+	all := what == "all"
+	if all || what == "empirical" {
+		study("empirical", "web-search Poisson workload (extension)")
+	}
+	if all || what == "coflow" {
+		study("coflow", "job completion times, 16-wide jobs (extension)")
+	}
+	if all || what == "incast" {
+		study("incast", "latency cliff vs synchronized senders (extension)")
+	}
+	for _, a := range [][2]string{
+		{"probes", "probe count per connection setup"},
+		{"k", "ECN marking threshold (fraction of buffer)"},
+		{"icw", "initial-window policy (probe credit)"},
+		{"batch", "Rule 1 batch merge and growth cadence"},
+		{"pacing", "SYN-ACK token-bucket pacing"},
+		{"guests", "guest stack agnosticism (R3)"},
+	} {
+		if all || what == a[0] {
+			ablation(a[0], a[1])
+		}
+	}
+	if len(cells) == 0 {
+		log.Fatalf("unknown ablation %q", what)
+	}
+	for _, c := range cells {
+		res, err := cl.Submit(ctx, &c.req)
+		if err != nil {
+			log.Fatalf("%s %s via %s: %v", c.req.Kind, c.req.Name, base, err)
+		}
+		origin := "computed"
+		if res.Cached {
+			origin = "cache hit"
+		}
+		fmt.Printf("\n== %s %s — %s (via %s, %s) ==\n", c.req.Kind, c.req.Name, c.caption, base, origin)
+		for _, row := range res.Rows {
+			fmt.Println(row)
+		}
 	}
 }

@@ -23,6 +23,8 @@
 package hwatch
 
 import (
+	"context"
+
 	"hwatch/internal/core"
 	"hwatch/internal/experiments"
 	"hwatch/internal/faults"
@@ -239,6 +241,16 @@ func Fig9(scale float64) *Fig8Result { return experiments.Fig9(scale) }
 
 // Fig11 regenerates the testbed experiment (Fig. 11a-b).
 func Fig11(scale float64) *Fig11Result { return experiments.Fig11(scale) }
+
+// FigNames lists the figures FigRuns (and the hwatchd "fig" job kind) can
+// execute, in paper order.
+func FigNames() []string { return experiments.FigNames() }
+
+// FigRuns executes one named figure under ctx and returns its runs in the
+// figure's canonical order; it is the service-facing flat entry point.
+func FigRuns(ctx context.Context, name string, scale float64) ([]*Run, error) {
+	return experiments.FigRuns(ctx, name, scale)
+}
 
 // Ablations (see DESIGN.md §5).
 func AblationProbes(scale float64) []AblationPoint    { return experiments.AblationProbes(scale) }

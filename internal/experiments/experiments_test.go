@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,10 @@ import (
 // benchmarks.
 
 func TestFig8ShapeSmall(t *testing.T) {
-	r := figScheme(6, 6, 1) // small source count, full duration
+	r, err := figScheme(context.Background(), 6, 6, 1) // small source count, full duration
+	if err != nil {
+		t.Fatal(err)
+	}
 	hw := r.Runs[SchemeHWatch]
 	dt := r.Runs[SchemeDropTail]
 
@@ -90,7 +94,10 @@ func TestFig2ShapeSmall(t *testing.T) {
 	p.Duration = 600 * sim.Millisecond
 	p.Epochs = 4
 	dctcp := RunDumbbell(SchemeDCTCP, p)
-	mix := runMix(p, false)
+	mix, err := runMix(context.Background(), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Coexistence destroys queue regulation (Fig. 2b)...
 	if mix.QueuePkts.Mean() <= 1.5*dctcp.QueuePkts.Mean() {
@@ -115,7 +122,10 @@ func TestFig2ShapeSmall(t *testing.T) {
 	// Extension: HWatch shims over the same MIX restore queue regulation
 	// (the transport-agnostic claim): the deaf tenant is disciplined via
 	// its receive window.
-	mixHW := runMix(p, true)
+	mixHW, err := runMix(context.Background(), p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if mixHW.QueuePkts.Mean() >= mix.QueuePkts.Mean()/2 {
 		t.Errorf("HWatch over MIX left queue at %.0f (MIX alone %.0f)",
 			mixHW.QueuePkts.Mean(), mix.QueuePkts.Mean())

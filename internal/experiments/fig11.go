@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"hwatch/internal/harness"
+	"hwatch/internal/scenario"
 )
 
 // Fig11Result compares plain TCP with TCP+HWatch on the testbed.
@@ -15,6 +16,15 @@ type Fig11Result struct {
 // Fig11 reproduces the testbed experiment (Fig. 11a-b). scale in (0,1]
 // shrinks the web workload for quick runs.
 func Fig11(scale float64) *Fig11Result {
+	res, err := Fig11Context(context.Background(), scale)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return res
+}
+
+// Fig11Context is Fig11 under a context; see Fig1Context.
+func Fig11Context(ctx context.Context, scale float64) (*Fig11Result, error) {
 	p := PaperTestbed()
 	if scale > 0 && scale < 1 {
 		shrink := func(n int) int {
@@ -32,17 +42,27 @@ func Fig11(scale float64) *Fig11Result {
 		p.Duration = p.FirstEpoch + int64(p.Epochs)*p.EpochInterval
 	}
 	res := &Fig11Result{}
-	pool := harness.NewPool(context.Background(), ParallelN())
-	pool.Go("fig11/tcp", func(context.Context) error {
-		res.TCP = RunTestbed(false, p)
-		res.TCP.Label = "TCP"
+	pool := harness.NewPool(ctx, ParallelN())
+	pool.Go("fig11/tcp", func(ctx context.Context) error {
+		r, err := scenario.RunTestbedContext(ctx, false, p)
+		if err != nil {
+			return err
+		}
+		r.Label = "TCP"
+		res.TCP = r
 		return nil
 	})
-	pool.Go("fig11/hwatch", func(context.Context) error {
-		res.HWatch = RunTestbed(true, p)
-		res.HWatch.Label = "TCP-HWatch"
+	pool.Go("fig11/hwatch", func(ctx context.Context) error {
+		r, err := scenario.RunTestbedContext(ctx, true, p)
+		if err != nil {
+			return err
+		}
+		r.Label = "TCP-HWatch"
+		res.HWatch = r
 		return nil
 	})
-	pool.Wait()
-	return res
+	if err := pool.Wait(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }

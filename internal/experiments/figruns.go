@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+)
+
+// FigNames lists the figures FigRuns can execute, in paper order.
+func FigNames() []string { return []string{"fig1", "fig2", "fig8", "fig9", "fig11"} }
+
+// FigRuns executes one named figure under ctx and returns its runs in the
+// figure's canonical order, each carrying its display label ("DCTCP",
+// "MIX+HWatch", "ICWND=5", ...). It is the service-facing entry point:
+// the parameters, seeds — and therefore digests — are exactly those of
+// the Fig* functions the CLI calls, so a server-path result is
+// byte-comparable against the committed goldens.
+func FigRuns(ctx context.Context, name string, scale float64) ([]*Run, error) {
+	switch name {
+	case "fig1":
+		res, err := Fig1Context(ctx, scale)
+		if err != nil {
+			return nil, err
+		}
+		runs := make([]*Run, 0, len(res.ICWs))
+		for _, icw := range res.ICWs {
+			runs = append(runs, res.Runs[icw])
+		}
+		return runs, nil
+	case "fig2":
+		res, err := Fig2Context(ctx, scale)
+		if err != nil {
+			return nil, err
+		}
+		return []*Run{res.DCTCP, res.Mix, res.MixHWatch}, nil
+	case "fig8", "fig9":
+		var res *Fig8Result
+		var err error
+		if name == "fig8" {
+			res, err = Fig8Context(ctx, scale)
+		} else {
+			res, err = Fig9Context(ctx, scale)
+		}
+		if err != nil {
+			return nil, err
+		}
+		runs := make([]*Run, 0, len(res.Order))
+		for _, s := range res.Order {
+			runs = append(runs, res.Runs[s])
+		}
+		return runs, nil
+	case "fig11":
+		res, err := Fig11Context(ctx, scale)
+		if err != nil {
+			return nil, err
+		}
+		return []*Run{res.TCP, res.HWatch}, nil
+	}
+	return nil, fmt.Errorf("unknown figure %q: known figures are %v", name, FigNames())
+}

@@ -18,21 +18,37 @@ type Fig1Result struct {
 // background flows plus incast surges, sweeping ICW over the paper's
 // values. scale in (0,1] shrinks source counts and duration for quick runs.
 func Fig1(scale float64) *Fig1Result {
+	res, err := Fig1Context(context.Background(), scale)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return res
+}
+
+// Fig1Context is Fig1 under a context: cancellation interrupts in-flight
+// runs and returns ctx.Err() instead of panicking.
+func Fig1Context(ctx context.Context, scale float64) (*Fig1Result, error) {
 	icws := []int{1, 5, 10, 15, 20}
 	out := &Fig1Result{ICWs: icws, Runs: make(map[int]*Run)}
-	runs, _ := harness.Map(context.Background(), ParallelN(), icws,
-		func(_ context.Context, icw int) (*Run, error) {
+	runs, err := harness.Map(ctx, ParallelN(), icws,
+		func(ctx context.Context, icw int) (*Run, error) {
 			p := scaled(PaperDumbbell(25, 25), scale)
 			p.ICW = icw
 			p.Seed = 42 // identical traffic across ICW values
-			r := RunDumbbell(SchemeDCTCP, p)
+			r, err := scenario.RunDumbbellContext(ctx, SchemeDCTCP, p)
+			if err != nil {
+				return nil, err
+			}
 			r.Label = schemeICWLabel(icw)
 			return r, nil
 		})
+	if err != nil {
+		return nil, err
+	}
 	for i, icw := range icws {
 		out.Runs[icw] = runs[i]
 	}
-	return out
+	return out, nil
 }
 
 func schemeICWLabel(icw int) string {
@@ -55,26 +71,49 @@ type Fig2Result struct {
 // DCTCP, ECN-responsive NewReno, and ECN-non-responsive NewReno — and,
 // as an extension, the MIX again with HWatch shims on every host.
 func Fig2(scale float64) *Fig2Result {
+	res, err := Fig2Context(context.Background(), scale)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return res
+}
+
+// Fig2Context is Fig2 under a context; see Fig1Context.
+func Fig2Context(ctx context.Context, scale float64) (*Fig2Result, error) {
 	p := scaled(PaperDumbbell(25, 25), scale)
 	res := &Fig2Result{}
-	pool := harness.NewPool(context.Background(), ParallelN())
-	pool.Go("fig2/dctcp", func(context.Context) error {
-		res.DCTCP = RunDumbbell(SchemeDCTCP, p)
-		res.DCTCP.Label = "DCTCP"
+	pool := harness.NewPool(ctx, ParallelN())
+	pool.Go("fig2/dctcp", func(ctx context.Context) error {
+		r, err := scenario.RunDumbbellContext(ctx, SchemeDCTCP, p)
+		if err != nil {
+			return err
+		}
+		r.Label = "DCTCP"
+		res.DCTCP = r
 		return nil
 	})
-	pool.Go("fig2/mix", func(context.Context) error {
-		res.Mix = runMix(p, false)
-		res.Mix.Label = "MIX"
+	pool.Go("fig2/mix", func(ctx context.Context) error {
+		r, err := runMix(ctx, p, false)
+		if err != nil {
+			return err
+		}
+		r.Label = "MIX"
+		res.Mix = r
 		return nil
 	})
-	pool.Go("fig2/mix+hwatch", func(context.Context) error {
-		res.MixHWatch = runMix(p, true)
-		res.MixHWatch.Label = "MIX+HWatch"
+	pool.Go("fig2/mix+hwatch", func(ctx context.Context) error {
+		r, err := runMix(ctx, p, true)
+		if err != nil {
+			return err
+		}
+		r.Label = "MIX+HWatch"
+		res.MixHWatch = r
 		return nil
 	})
-	pool.Wait()
-	return res
+	if err := pool.Wait(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // runMix executes the dumbbell with per-host controller flavours over the
@@ -82,7 +121,7 @@ func Fig2(scale float64) *Fig2Result {
 // the same experiment): sender hosts cycle through DCTCP, ECN-responsive
 // NewReno and ECN-deaf NewReno. withShims additionally installs HWatch on
 // every host (the extension run).
-func runMix(p DumbbellParams, withShims bool) *Run {
+func runMix(ctx context.Context, p DumbbellParams, withShims bool) (*Run, error) {
 	spec := &scenario.Spec{
 		Kind: scenario.KindDumbbell,
 		Schemes: []scenario.Share{
@@ -94,11 +133,7 @@ func runMix(p DumbbellParams, withShims bool) *Run {
 		ShimOverlay: withShims,
 		Dumbbell:    p,
 	}
-	run, err := spec.Run()
-	if err != nil {
-		panic("experiments: " + err.Error())
-	}
-	return run
+	return spec.RunContext(ctx)
 }
 
 // Fig8Result maps each compared scheme to its run.
@@ -111,28 +146,49 @@ type Fig8Result struct {
 // 25 short-lived sources, schemes TCP-DropTail / TCP-RED / TCP-HWatch /
 // DCTCP.
 func Fig8(scale float64) *Fig8Result {
-	return figScheme(25, 25, scale)
+	res, err := figScheme(context.Background(), 25, 25, scale)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return res
 }
 
 // Fig9 reproduces the 100-source scalability rerun (Fig. 9a-d).
 func Fig9(scale float64) *Fig8Result {
-	return figScheme(50, 50, scale)
+	res, err := figScheme(context.Background(), 50, 50, scale)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return res
+}
+
+// Fig8Context is Fig8 under a context; see Fig1Context.
+func Fig8Context(ctx context.Context, scale float64) (*Fig8Result, error) {
+	return figScheme(ctx, 25, 25, scale)
+}
+
+// Fig9Context is Fig9 under a context; see Fig1Context.
+func Fig9Context(ctx context.Context, scale float64) (*Fig8Result, error) {
+	return figScheme(ctx, 50, 50, scale)
 }
 
 // figScheme runs the four schemes through the harness pool; every run owns
 // its engine and seeded RNG, so parallelism does not affect determinism.
-func figScheme(longN, shortN int, scale float64) *Fig8Result {
+func figScheme(ctx context.Context, longN, shortN int, scale float64) (*Fig8Result, error) {
 	out := &Fig8Result{Order: AllSchemes(), Runs: make(map[Scheme]*Run)}
-	runs, _ := harness.Map(context.Background(), ParallelN(), out.Order,
-		func(_ context.Context, s Scheme) (*Run, error) {
+	runs, err := harness.Map(ctx, ParallelN(), out.Order,
+		func(ctx context.Context, s Scheme) (*Run, error) {
 			p := scaled(PaperDumbbell(longN, shortN), scale)
 			p.ByteBuffers = true // Fig. 8c/9c report queue occupancy in bytes
-			return RunDumbbell(s, p), nil
+			return scenario.RunDumbbellContext(ctx, s, p)
 		})
+	if err != nil {
+		return nil, err
+	}
 	for i, s := range out.Order {
 		out.Runs[s] = runs[i]
 	}
-	return out
+	return out, nil
 }
 
 // scaled shrinks a scenario for fast runs: source counts scale linearly,

@@ -1,0 +1,142 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// CanonicalJSON renders the spec in its canonical form: the fully
+// materialized scenario — defaults applied, operator units converted to
+// engine units, the effective seed resolved (explicit or derived), the
+// fault timeline rendered — marshaled with sorted keys. Two specs share a
+// canonical form exactly when they run the same simulation, which is what
+// makes the form a safe content address for cached results:
+//
+//   - cosmetic JSON differences (key order, whitespace, field spelling of
+//     the same values) vanish;
+//   - execution details that never move a run's digest (check, shards)
+//     are excluded, so a sharded or checked resubmission of a cached
+//     spec still hits;
+//   - fields that feed seed derivation stay significant: a spec spelling
+//     out a default ("long_sources": 25) derives a different seed than
+//     one omitting it, and the canonical forms differ in the seed they
+//     carry — the cache can never alias two runs with different outcomes.
+func (s *FileSpec) CanonicalJSON() ([]byte, error) {
+	// Round-trip through ParseSpec so hand-built FileSpecs face exactly
+	// the file-loader's validation (kind, scheme names, parameter ranges,
+	// fault timeline) before anything is digested.
+	raw, err := json.Marshal(s)
+	if err != nil {
+		return nil, fmt.Errorf("canonicalizing spec: %w", err)
+	}
+	c, err := ParseSpec(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	m := map[string]any{
+		"kind":       c.Kind,
+		"with_shims": c.WithShims,
+	}
+
+	var schemes []map[string]any
+	if len(c.Mix) > 0 {
+		for _, e := range c.Mix {
+			n := e.Share
+			if n <= 0 {
+				n = 1
+			}
+			schemes = append(schemes, map[string]any{"scheme": e.Scheme, "share": n})
+		}
+	} else {
+		schemes = append(schemes, map[string]any{
+			"scheme": string(schemeOrDefault(c.Scheme)), "share": 1,
+		})
+	}
+	m["schemes"] = schemes
+
+	switch c.Kind {
+	case "dumbbell":
+		p := c.dumbbellParams()
+		m["params"] = map[string]any{
+			"long_sources":      p.LongSources,
+			"short_sources":     p.ShortSources,
+			"bottleneck_bps":    p.BottleneckBps,
+			"edge_bps":          p.EdgeBps,
+			"link_delay_ns":     p.LinkDelay,
+			"buffer_pkts":       p.BufferPkts,
+			"mark_frac":         p.MarkFrac,
+			"icw":               p.ICW,
+			"min_rto_ns":        p.MinRTO,
+			"duration_ns":       p.Duration,
+			"drain_after_ns":    p.DrainAfter,
+			"byte_buffers":      p.ByteBuffers,
+			"short_size":        p.ShortSize,
+			"epochs":            p.Epochs,
+			"first_epoch_ns":    p.FirstEpoch,
+			"epoch_interval_ns": p.EpochInterval,
+			"sample_every_ns":   p.SampleEvery,
+			"seed":              p.Seed,
+		}
+	case "testbed":
+		p := c.testbedParams()
+		m["params"] = map[string]any{
+			"racks":             p.Racks,
+			"hosts_per_rack":    p.HostsPerRack,
+			"rate_bps":          p.RateBps,
+			"link_delay_ns":     p.LinkDelay,
+			"buffer_pkts":       p.BufferPkts,
+			"mark_frac":         p.MarkFrac,
+			"long_per_rack":     p.LongPerRack,
+			"web_servers":       p.WebServers,
+			"web_clients":       p.WebClients,
+			"parallel":          p.Parallel,
+			"object_size":       p.ObjectSize,
+			"epochs":            p.Epochs,
+			"first_epoch_ns":    p.FirstEpoch,
+			"epoch_interval_ns": p.EpochInterval,
+			"duration_ns":       p.Duration,
+			"min_rto_ns":        p.MinRTO,
+			"hwatch_min_rto_ns": p.HWatchMinRTO,
+			"sample_every_ns":   p.SampleEvery,
+			"seed":              p.Seed,
+		}
+	}
+
+	if len(c.Faults) > 0 {
+		sched, err := RenderFaults(c.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("canonicalizing faults: %w", err)
+		}
+		// Re-marshal the rendered timeline through a generic value so the
+		// canonical form gets sorted keys, not struct declaration order.
+		// Every number in a schedule (ns times, probabilities, byte counts)
+		// survives the float64 round trip exactly.
+		blob, err := json.Marshal(sched)
+		if err != nil {
+			return nil, fmt.Errorf("canonicalizing faults: %w", err)
+		}
+		var generic any
+		if err := json.Unmarshal(blob, &generic); err != nil {
+			return nil, fmt.Errorf("canonicalizing faults: %w", err)
+		}
+		m["faults"] = generic
+	}
+
+	return json.Marshal(m)
+}
+
+// CanonicalDigest returns the spec's content address: the SHA-256 of its
+// canonical JSON, as 64 hex characters. The CLI exposes it as
+// `hwatchsim -spec-digest`; the hwatchd result cache and single-flight
+// deduplication key on it.
+func (s *FileSpec) CanonicalDigest() (string, error) {
+	b, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

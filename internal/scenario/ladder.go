@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -86,11 +87,16 @@ func LookupRung(name string) (Rung, bool) {
 
 // RunRung executes a registered rung at the given scale.
 func RunRung(name string, scale float64) (*Run, error) {
+	return RunRungContext(context.Background(), name, scale)
+}
+
+// RunRungContext is RunRung under a context; see Spec.RunContext.
+func RunRungContext(ctx context.Context, name string, scale float64) (*Run, error) {
 	r, ok := LookupRung(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown rung %q: registered rungs are %v", name, RungNames())
 	}
-	return r.Spec(scale).Run()
+	return r.Spec(scale).RunContext(ctx)
 }
 
 // ladderParams is the paper dumbbell multiplied by factor: factor times

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -75,6 +76,14 @@ type Spec struct {
 	// schedule ⇒ identical digest.
 	Faults faults.Schedule
 
+	// Progress, when non-nil, is invoked periodically during the run (every
+	// few thousand fired events) with the simulated clock and the events
+	// processed so far. It is an out-of-band observation hook: it cannot
+	// schedule work, consumes no event-order state, and therefore never
+	// perturbs a digest. Sharded runs call it concurrently from every
+	// shard's worker goroutine, so it must be safe for concurrent use.
+	Progress func(simNow int64, processed uint64)
+
 	// Workload overrides the kind's default traffic (nil = dumbbell
 	// long-lived + incast, testbed iperf + web).
 	Workload Workload
@@ -116,11 +125,22 @@ func singleShardOnly(shards int, names ...string) error {
 
 // Run executes the spec and returns the measured outcome.
 func (s *Spec) Run() (*Run, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the spec under ctx: cancellation interrupts the
+// event loop within a few thousand events and returns ctx.Err() with a nil
+// Run. An uninterrupted run is byte-identical to Run — the cancellation
+// check rides the engine's out-of-band poll hook, never the event queue.
+func (s *Spec) RunContext(ctx context.Context) (*Run, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	switch s.Kind {
 	case KindDumbbell:
-		return s.runDumbbell()
+		return s.runDumbbell(ctx)
 	case KindTestbed:
-		return s.runTestbed()
+		return s.runTestbed(ctx)
 	}
 	return nil, fmt.Errorf("unrunnable scenario kind %q", string(s.Kind))
 }
@@ -128,34 +148,46 @@ func (s *Spec) Run() (*Run, error) {
 // RunDumbbell executes one scheme under the given parameters (the
 // classic entry point; panics on an unregistered scheme).
 func RunDumbbell(scheme Scheme, p DumbbellParams) *Run {
-	run, err := (&Spec{
-		Kind:     KindDumbbell,
-		Schemes:  []Share{{Scheme: scheme}},
-		Dumbbell: p,
-	}).Run()
+	run, err := RunDumbbellContext(context.Background(), scheme, p)
 	if err != nil {
 		panic("scenario: " + err.Error())
 	}
 	return run
 }
 
+// RunDumbbellContext is RunDumbbell under a context: cancellation
+// interrupts the run and returns ctx.Err() instead of panicking.
+func RunDumbbellContext(ctx context.Context, scheme Scheme, p DumbbellParams) (*Run, error) {
+	return (&Spec{
+		Kind:     KindDumbbell,
+		Schemes:  []Share{{Scheme: scheme}},
+		Dumbbell: p,
+	}).RunContext(ctx)
+}
+
 // RunTestbed executes the leaf-spine scenario with or without HWatch
 // (the classic boolean entry point; any registered scheme can run on the
 // testbed through a Spec).
 func RunTestbed(hwatch bool, p TestbedParams) *Run {
-	scheme := DropTail
-	if hwatch {
-		scheme = HWatch
-	}
-	run, err := (&Spec{
-		Kind:    KindTestbed,
-		Schemes: []Share{{Scheme: scheme}},
-		Testbed: p,
-	}).Run()
+	run, err := RunTestbedContext(context.Background(), hwatch, p)
 	if err != nil {
 		panic("scenario: " + err.Error())
 	}
 	return run
+}
+
+// RunTestbedContext is RunTestbed under a context: cancellation
+// interrupts the run and returns ctx.Err() instead of panicking.
+func RunTestbedContext(ctx context.Context, hwatch bool, p TestbedParams) (*Run, error) {
+	scheme := DropTail
+	if hwatch {
+		scheme = HWatch
+	}
+	return (&Spec{
+		Kind:    KindTestbed,
+		Schemes: []Share{{Scheme: scheme}},
+		Testbed: p,
+	}).RunContext(ctx)
 }
 
 // DumbbellFabric builds the dumbbell topology for a materialized
@@ -226,7 +258,7 @@ func overlayDeployment(env Env) Deployment {
 	}
 }
 
-func (s *Spec) runDumbbell() (*Run, error) {
+func (s *Spec) runDumbbell(ctx context.Context) (*Run, error) {
 	p := s.Dumbbell
 	p.Shards = s.shards(p.Shards)
 	rng := sim.NewRNG(p.Seed)
@@ -327,7 +359,7 @@ func (s *Spec) runDumbbell() (*Run, error) {
 			Hosts:         hosts,
 		},
 	}
-	return s.execute(rc, run, p.Duration+p.DrainAfter)
+	return s.execute(ctx, rc, run, p.Duration+p.DrainAfter)
 }
 
 // hardenShims arms the shim degradation fallbacks whenever a fault
@@ -349,7 +381,7 @@ func (s *Spec) hardenShims(base func(*core.Config)) func(*core.Config) {
 	}
 }
 
-func (s *Spec) runTestbed() (*Run, error) {
+func (s *Spec) runTestbed(ctx context.Context) (*Run, error) {
 	if len(s.Schemes) != 1 {
 		return nil, fmt.Errorf("testbed scenarios take exactly one scheme, got %d", len(s.Schemes))
 	}
@@ -466,12 +498,15 @@ func (s *Spec) runTestbed() (*Run, error) {
 			Hosts:         ls.AllHosts(),
 		},
 	}
-	return s.execute(rc, run, p.Duration)
+	return s.execute(ctx, rc, run, p.Duration)
 }
 
 // execute wires the workload, starts the observers, runs the engine and
-// harvests everything — the one run path every scenario shares.
-func (s *Spec) execute(rc *RunContext, run *Run, runUntil int64) (*Run, error) {
+// harvests everything — the one run path every scenario shares. ctx
+// cancellation and Progress reporting both ride the engines' out-of-band
+// poll hook, so an uninterrupted run is byte-identical to one executed
+// with neither.
+func (s *Spec) execute(ctx context.Context, rc *RunContext, run *Run, runUntil int64) (*Run, error) {
 	w := s.Workload
 	if w == nil {
 		if rc.Dumbbell != nil {
@@ -499,6 +534,22 @@ func (s *Spec) execute(rc *RunContext, run *Run, runUntil int64) (*Run, error) {
 		o.Start(rc, run)
 	}
 
+	cancellable := ctx.Done() != nil
+	if cancellable || s.Progress != nil {
+		progress := s.Progress
+		poll := func(now int64, processed uint64) bool {
+			if progress != nil {
+				progress(now, processed)
+			}
+			return cancellable && ctx.Err() != nil
+		}
+		if rc.Group != nil {
+			rc.Group.SetPoll(poll)
+		} else {
+			rc.Eng.SetPoll(poll)
+		}
+	}
+
 	start := time.Now() //hwatchvet:allow detrand WallNs is an operator-facing speed metric, excluded from digests
 	if rc.Group != nil {
 		rc.Group.RunUntil(runUntil)
@@ -508,6 +559,15 @@ func (s *Spec) execute(rc *RunContext, run *Run, runUntil int64) (*Run, error) {
 		run.Events = rc.Eng.Processed
 	}
 	run.WallNs = time.Since(start).Nanoseconds() //hwatchvet:allow detrand WallNs is an operator-facing speed metric, excluded from digests
+
+	if cancellable {
+		if err := ctx.Err(); err != nil {
+			// The run was interrupted mid-flight: its partial measurements
+			// are meaningless and the workload/observer Finish paths assume
+			// a drained fabric, so drop the run entirely.
+			return nil, err
+		}
+	}
 
 	w.Finish(rc, run)
 	for _, o := range obs {

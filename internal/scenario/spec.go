@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -198,9 +199,14 @@ func (s *FileSpec) Scenario() *Spec {
 
 // Run executes the spec and returns the resulting run.
 func (s *FileSpec) Run() (*Run, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the spec under ctx; see Spec.RunContext.
+func (s *FileSpec) RunContext(ctx context.Context) (*Run, error) {
 	switch s.Kind {
 	case "dumbbell", "testbed":
-		return s.Scenario().Run()
+		return s.Scenario().RunContext(ctx)
 	}
 	return nil, fmt.Errorf("unrunnable spec kind %q", s.Kind)
 }

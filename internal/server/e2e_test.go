@@ -1,0 +1,401 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"hwatch/internal/scenario"
+	"hwatch/internal/server"
+	"hwatch/internal/server/client"
+)
+
+// goldenPath is the digest file the experiments suite locks figure
+// outcomes to. The e2e suite reuses it so the server path is proven
+// byte-identical to the CLI path against the same committed truth.
+const goldenPath = "../experiments/testdata/golden_digests.json"
+
+func loadGoldens(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden digests: %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return want
+}
+
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *client.Client) {
+	t.Helper()
+	if cfg.Version == "" {
+		cfg.Version = "e2e-test"
+	}
+	if cfg.EventInterval == 0 {
+		cfg.EventInterval = 5 * time.Millisecond
+	}
+	srv := server.New(cfg)
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, hs, client.New(hs.URL, hs.Client())
+}
+
+// quickSpec is a dumbbell small enough for tests yet real enough to
+// exercise the full scenario pipeline.
+const quickSpec = `{
+	"kind": "dumbbell", "scheme": "hwatch",
+	"long_sources": 5, "short_sources": 5,
+	"seed": 42, "duration_ms": 300, "drain_after_ms": 200, "epochs": 2
+}`
+
+// endlessSpec runs ten simulated minutes — far longer than any test
+// waits — so cancellation paths have a live job to kill.
+const endlessSpec = `{
+	"kind": "dumbbell", "scheme": "hwatch",
+	"long_sources": 5, "short_sources": 5,
+	"seed": 43, "duration_ms": 600000, "epochs": 2
+}`
+
+// TestE2EFig2GoldenParityAndCacheHit is the tentpole proof: a fig2 job
+// submitted over HTTP produces exactly the committed golden digests (the
+// CLI path's truth), and resubmitting it is a cache hit that runs zero
+// simulations.
+func TestE2EFig2GoldenParityAndCacheHit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full fig2 at scale 0.1")
+	}
+	srv, _, cl := newTestServer(t, server.Config{Parallel: 2})
+	ctx := context.Background()
+
+	res, err := cl.Submit(ctx, &server.JobRequest{Kind: "fig", Name: "fig2", Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached {
+		t.Error("first submission claims to be cached")
+	}
+	if res.Version != "e2e-test" {
+		t.Errorf("result version %q, want e2e-test", res.Version)
+	}
+
+	want := loadGoldens(t)
+	wantByLabel := map[string]string{
+		"DCTCP":      want["fig2/dctcp"],
+		"MIX":        want["fig2/mix"],
+		"MIX+HWatch": want["fig2/mix+hwatch"],
+	}
+	if len(res.Runs) != len(wantByLabel) {
+		t.Fatalf("fig2 returned %d runs, want %d", len(res.Runs), len(wantByLabel))
+	}
+	for _, r := range res.Runs {
+		golden, ok := wantByLabel[r.Label]
+		if !ok {
+			t.Errorf("unexpected run label %q", r.Label)
+			continue
+		}
+		if r.Digest != golden {
+			t.Errorf("%s: server-path digest %s, golden %s", r.Label, r.Digest, golden)
+		}
+	}
+	// Reconstructing the runs re-verifies every digest from the raw
+	// series, so the wire format provably carried the full result.
+	if _, err := client.Runs(res); err != nil {
+		t.Fatalf("reconstructing runs: %v", err)
+	}
+
+	executed := srv.Stats().Executed
+	again, err := cl.Submit(ctx, &server.JobRequest{Kind: "fig", Name: "fig2", Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("second identical submission was not served from cache")
+	}
+	if again.Digest != res.Digest {
+		t.Errorf("cache returned digest %s, first run had %s", again.Digest, res.Digest)
+	}
+	if got := srv.Stats().Executed; got != executed {
+		t.Errorf("cache hit executed %d new jobs, want 0", got-executed)
+	}
+	if hits := srv.Stats().CacheHits; hits == 0 {
+		t.Error("cache hit counter not incremented")
+	}
+}
+
+// TestE2ESpecJobMatchesCLIPath submits a raw spec and checks both halves
+// of the content address: the job id is the spec's canonical digest (the
+// value hwatchsim -spec-digest prints) and the run digest equals a local
+// CLI-style execution of the same bytes.
+func TestE2ESpecJobMatchesCLIPath(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{Parallel: 2})
+	ctx := context.Background()
+
+	fs, err := scenario.ParseSpec([]byte(quickSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantID, err := fs.CanonicalDigest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, err := cl.Digest(ctx, &server.JobRequest{Kind: "spec", Spec: []byte(quickSpec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotID != wantID {
+		t.Errorf("server digest %s, local canonical digest %s", gotID, wantID)
+	}
+
+	res, err := cl.SubmitSpec(ctx, []byte(quickSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Digest != wantID {
+		t.Errorf("job id %s, want canonical digest %s", res.Digest, wantID)
+	}
+	if len(res.Runs) != 1 {
+		t.Fatalf("spec job returned %d runs, want 1", len(res.Runs))
+	}
+
+	local, err := fs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs[0].Digest != local.DigestHex() {
+		t.Errorf("server-path run digest %s, CLI-path %s", res.Runs[0].Digest, local.DigestHex())
+	}
+
+	// The bare-FileSpec shorthand (the spec body posted with no envelope)
+	// must land on the same content address.
+	shorthandID := postDigest(t, hs, quickSpec)
+	if shorthandID != wantID {
+		t.Errorf("bare-spec shorthand digest %s, want %s", shorthandID, wantID)
+	}
+
+	// And the result stays addressable by digest.
+	cached, ok, err := cl.Result(ctx, wantID)
+	if err != nil || !ok {
+		t.Fatalf("result lookup by digest: ok=%v err=%v", ok, err)
+	}
+	if !cached.Cached {
+		t.Error("result endpoint did not mark the response cached")
+	}
+}
+
+// postDigest posts a raw body to the digest endpoint and returns the
+// content address the server assigns it.
+func postDigest(t *testing.T, hs *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := hs.Client().Post(hs.URL+"/api/v1/digest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("digest endpoint status %d", resp.StatusCode)
+	}
+	var out struct {
+		Digest string `json:"digest"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out.Digest
+}
+
+// TestE2EEventStream watches a job's NDJSON progress feed: every line
+// must parse, states must be coherent, and the final line must be
+// terminal.
+func TestE2EEventStream(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{Parallel: 1})
+	ctx := context.Background()
+
+	id, err := cl.Digest(ctx, &server.JobRequest{Kind: "spec", Spec: []byte(quickSpec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fire-and-forget submit, then stream.
+	resp, err := hs.Client().Post(hs.URL+"/api/v1/jobs", "application/json", strings.NewReader(quickSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+
+	stream, err := hs.Client().Get(hs.URL + "/api/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("event stream content type %q", ct)
+	}
+	var last server.JobStatus
+	lines := 0
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if last.ID != id {
+			t.Errorf("event for job %q, want %q", last.ID, id)
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("event stream produced no lines")
+	}
+	if last.State != "done" {
+		t.Errorf("final event state %q, want done (error %q)", last.State, last.Error)
+	}
+	if last.Events == 0 {
+		t.Error("final event reports zero processed events; progress gauge never fired")
+	}
+}
+
+// TestE2ECancelViaDelete kills a long job with DELETE and confirms the
+// stream reports the cancellation.
+func TestE2ECancelViaDelete(t *testing.T) {
+	_, hs, cl := newTestServer(t, server.Config{Parallel: 1})
+	ctx := context.Background()
+
+	id, err := cl.Digest(ctx, &server.JobRequest{Kind: "spec", Spec: []byte(endlessSpec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := hs.Client().Post(hs.URL+"/api/v1/jobs", "application/json", strings.NewReader(endlessSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+
+	// Open the event stream while the job is still alive, then cancel;
+	// the stream must close itself with a terminal "cancelled" line.
+	stream, err := hs.Client().Get(hs.URL + "/api/v1/jobs/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("event stream status %d, want 200", stream.StatusCode)
+	}
+
+	del, err := http.NewRequest(http.MethodDelete, hs.URL+"/api/v1/jobs/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := hs.Client().Do(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d, want 200", dresp.StatusCode)
+	}
+
+	var last server.JobStatus
+	sc := bufio.NewScanner(stream.Body)
+	saw := false
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatal(err)
+		}
+		saw = true
+	}
+	if !saw {
+		t.Fatal("no events after cancel")
+	}
+	if last.State != "cancelled" {
+		t.Errorf("final state %q, want cancelled", last.State)
+	}
+
+	// A cancelled job leaves no cache entry: the digest must 404.
+	if _, ok, err := cl.Result(ctx, id); err != nil {
+		t.Fatal(err)
+	} else if ok {
+		t.Error("cancelled job left a cached result")
+	}
+}
+
+// TestE2EErrorPaths covers the non-happy status codes.
+func TestE2EErrorPaths(t *testing.T) {
+	_, hs, _ := newTestServer(t, server.Config{Parallel: 1})
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := hs.Client().Post(hs.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"kind":"fig","name":"fig99"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown figure: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"kind":"dumbbell","scheme":"warp-drive"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown scheme: status %d, want 400", resp.StatusCode)
+	}
+	if resp := post(`{"kind":"study","name":"empirical","schemes":["warp-drive"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad study scheme: status %d, want 400", resp.StatusCode)
+	}
+	for _, path := range []string{
+		"/api/v1/jobs/deadbeef", "/api/v1/results/deadbeef", "/api/v1/jobs/deadbeef/events",
+	} {
+		resp, err := hs.Client().Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/api/v1/healthz", "/api/v1/version", "/api/v1/stats"} {
+		resp, err := hs.Client().Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestE2ERungJob runs a ladder rung through the service, pinning the
+// rung job kind end to end.
+func TestE2ERungJob(t *testing.T) {
+	_, _, cl := newTestServer(t, server.Config{Parallel: 1})
+	res, err := cl.Submit(context.Background(), &server.JobRequest{Kind: "rung", Name: "ladder/1x", Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 1 || res.Runs[0].Digest == "" {
+		t.Fatalf("rung job returned %d runs", len(res.Runs))
+	}
+	if _, err := client.Runs(res); err != nil {
+		t.Fatal(err)
+	}
+}

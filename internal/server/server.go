@@ -1,0 +1,526 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hwatch/internal/harness"
+	"hwatch/internal/scenario"
+)
+
+// Config sizes a Server. Zero values pick sane defaults.
+type Config struct {
+	// Parallel bounds concurrently running simulations (<= 0 means
+	// harness.DefaultParallel, i.e. GOMAXPROCS).
+	Parallel int
+	// QueueDepth bounds jobs admitted beyond the running set. A submission
+	// arriving with Parallel+QueueDepth jobs unfinished is rejected with
+	// 429 and a Retry-After estimate (<= 0 means 2*Parallel).
+	QueueDepth int
+	// CacheSize bounds the result cache entry count (<= 0 means 64).
+	CacheSize int
+	// Version overrides the code-version half of the cache key. Empty
+	// means the VCS revision baked into the binary, or "dev".
+	Version string
+	// EventInterval is the progress-stream cadence (<= 0 means 250ms).
+	EventInterval time.Duration
+}
+
+// Server queues scenario jobs through a harness pool and serves results
+// from a content-addressed cache. Create with New, mount Handler, Close
+// when done.
+type Server struct {
+	cfg     Config
+	version string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	pool   *harness.Pool
+	cache  *resultCache
+
+	mu         sync.Mutex
+	jobs       map[string]*job // queued or running, keyed by digest
+	unfinished int
+
+	executed atomic.Int64
+	hits     atomic.Int64
+	deduped  atomic.Int64
+	rejected atomic.Int64
+}
+
+// JobStatus is the wire form of a job's current position; it is also the
+// NDJSON event the progress stream emits. SimNowNs and Events are gauges
+// fed out-of-band by the engine poll hook — under sharded execution they
+// report the furthest shard, not a global total.
+type JobStatus struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name,omitempty"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	SimNowNs int64  `json:"sim_now_ns"`
+	Events   uint64 `json:"events"`
+}
+
+// Stats is the wire form of GET /api/v1/stats.
+type Stats struct {
+	Version      string `json:"version"`
+	Active       int    `json:"active"`
+	Executed     int64  `json:"executed"`
+	CacheHits    int64  `json:"cache_hits"`
+	Deduped      int64  `json:"deduped"`
+	Rejected     int64  `json:"rejected"`
+	CacheEntries int    `json:"cache_entries"`
+	Parallel     int    `json:"parallel"`
+	QueueDepth   int    `json:"queue_depth"`
+}
+
+// New builds a Server. Close releases it.
+func New(cfg Config) *Server {
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = harness.DefaultParallel()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Parallel
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	if cfg.EventInterval <= 0 {
+		cfg.EventInterval = 250 * time.Millisecond
+	}
+	version := cfg.Version
+	if version == "" {
+		version = buildVersion()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		version: version,
+		ctx:     ctx,
+		cancel:  cancel,
+		pool:    harness.NewPool(ctx, cfg.Parallel),
+		cache:   newResultCache(cfg.CacheSize),
+		jobs:    make(map[string]*job),
+	}
+}
+
+// Version reports the code-version half of the cache key.
+func (s *Server) Version() string { return s.version }
+
+// Close cancels every outstanding job and waits for the pool to drain.
+func (s *Server) Close() {
+	s.cancel()
+	s.pool.Wait()
+}
+
+// buildVersion derives the code version from the binary's embedded VCS
+// metadata; test binaries and plain `go run` fall back to "dev".
+func buildVersion() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range info.Settings {
+			if kv.Key == "vcs.revision" && kv.Value != "" {
+				return kv.Value
+			}
+		}
+	}
+	return "dev"
+}
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("GET /api/v1/results/{digest}", s.handleResult)
+	mux.HandleFunc("POST /api/v1/digest", s.handleDigest)
+	mux.HandleFunc("GET /api/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /api/v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"version": s.version})
+	})
+	mux.HandleFunc("GET /api/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := len(s.jobs)
+	s.mu.Unlock()
+	return Stats{
+		Version:      s.version,
+		Active:       active,
+		Executed:     s.executed.Load(),
+		CacheHits:    s.hits.Load(),
+		Deduped:      s.deduped.Load(),
+		Rejected:     s.rejected.Load(),
+		CacheEntries: s.cache.len(),
+		Parallel:     s.cfg.Parallel,
+		QueueDepth:   s.cfg.QueueDepth,
+	}
+}
+
+func (s *Server) cacheKey(digest string) string { return digest + "@" + s.version }
+
+// decodeRequest reads a submission body. A bare scenario.FileSpec (its
+// "kind" is a topology, not a job kind) is accepted as shorthand for
+// {"kind":"spec","spec":<body>}.
+func decodeRequest(r io.Reader) (*JobRequest, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %w", err)
+	}
+	var req JobRequest
+	if err := json.Unmarshal(raw, &req); err != nil {
+		return nil, fmt.Errorf("parsing request body: %w", err)
+	}
+	if req.Kind == "dumbbell" || req.Kind == "testbed" {
+		return &JobRequest{Kind: "spec", Spec: raw}, nil
+	}
+	return &req, nil
+}
+
+func (s *Server) handleDigest(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, digest, err := parseJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"digest":  digest,
+		"kind":    p.kind,
+		"name":    p.name,
+		"version": s.version,
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeRequest(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	p, digest, err := parseJob(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wait := false
+	if v := r.URL.Query().Get("wait"); v != "" {
+		wait, _ = strconv.ParseBool(v)
+	}
+
+	j, created, cached, err := s.admit(p, digest)
+	if cached != nil {
+		s.hits.Add(1)
+		writeJSON(w, http.StatusOK, cachedCopy(cached))
+		return
+	}
+	if err != nil {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	release := j.pin(!wait)
+	defer release()
+	if created {
+		s.start(j)
+	} else {
+		s.deduped.Add(1)
+	}
+
+	if !wait {
+		writeJSON(w, http.StatusAccepted, s.statusOf(j))
+		return
+	}
+	select {
+	case <-j.done:
+		s.writeOutcome(w, j)
+	case <-r.Context().Done():
+		// The waiter is gone; release (deferred) drops its pin, and the
+		// job dies with it unless another party still needs the result.
+	}
+}
+
+// admit resolves a submission to a cached result, the active job for its
+// digest, or a freshly registered job. The single-flight guarantee lives
+// here: under s.mu a digest maps to at most one live job, and a finished
+// job enters the cache before it leaves the map, so concurrent identical
+// submissions can never execute twice.
+func (s *Server) admit(p *parsedJob, digest string) (j *job, created bool, cached *Result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.jobs[digest]; ok {
+		return existing, false, nil, nil
+	}
+	if res, ok := s.cache.get(s.cacheKey(digest)); ok {
+		return nil, false, res, nil
+	}
+	if s.unfinished >= s.cfg.Parallel+s.cfg.QueueDepth {
+		s.rejected.Add(1)
+		return nil, false, nil, fmt.Errorf("queue full: %d jobs unfinished (capacity %d)",
+			s.unfinished, s.cfg.Parallel+s.cfg.QueueDepth)
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	j = &job{
+		id:     digest,
+		req:    p,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  stateQueued,
+	}
+	s.jobs[digest] = j
+	s.unfinished++
+	return j, true, nil, nil
+}
+
+// retryAfter estimates seconds until a queue slot frees: one pool drain
+// of the backlog, clamped to [1, 60].
+func (s *Server) retryAfter() int {
+	s.mu.Lock()
+	backlog := s.unfinished
+	s.mu.Unlock()
+	est := (backlog + s.cfg.Parallel - 1) / s.cfg.Parallel
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
+}
+
+// start hands the job to the pool. The task runs under the job's own
+// context (a child of the server's), so DELETE and abandoned waiters can
+// cancel one job without touching its queue neighbours.
+func (s *Server) start(j *job) {
+	s.pool.Go("job/"+j.id[:12], func(context.Context) error {
+		defer s.finalize(j)
+		if err := j.ctx.Err(); err != nil {
+			j.finish(stateCancelled, err.Error(), nil)
+			return nil
+		}
+		j.setState(stateRunning)
+		s.executed.Add(1)
+		runs, rows, err := runParsed(j)
+		switch {
+		case err == nil:
+			res := &Result{
+				Kind:    j.req.kind,
+				Name:    j.req.name,
+				Digest:  j.id,
+				Version: s.version,
+			}
+			for _, r := range runs {
+				res.Runs = append(res.Runs, WireRun(r))
+			}
+			res.Rows = rows
+			s.cache.put(s.cacheKey(j.id), res)
+			j.finish(stateDone, "", res)
+		case j.ctx.Err() != nil:
+			j.finish(stateCancelled, err.Error(), nil)
+		default:
+			j.finish(stateFailed, err.Error(), nil)
+		}
+		return nil
+	})
+}
+
+// runParsed executes the job body. The recover fence exists because the
+// legacy ablation/study entry points panic on internal errors; a tenant's
+// bad job must become a failed job, not a dead server.
+func runParsed(j *job) (runs []*scenario.Run, rows []string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	progress := func(simNow int64, processed uint64) {
+		storeMaxInt64(&j.simNow, simNow)
+		storeMaxUint64(&j.events, processed)
+	}
+	return j.req.run(j.ctx, progress)
+}
+
+// finalize retires the job: drops it from the active map (later identical
+// submissions hit the cache, or re-run if it failed) and frees its slot.
+func (s *Server) finalize(j *job) {
+	j.cancel()
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	s.unfinished--
+	s.mu.Unlock()
+}
+
+func (s *Server) statusOf(j *job) JobStatus {
+	state, errMsg, _ := j.snapshot()
+	return JobStatus{
+		ID:       j.id,
+		Kind:     j.req.kind,
+		Name:     j.req.name,
+		State:    string(state),
+		Error:    errMsg,
+		SimNowNs: j.simNow.Load(),
+		Events:   j.events.Load(),
+	}
+}
+
+// writeOutcome renders a finished job: the result on success, the error
+// mapped to 409 (cancelled) or 500 (failed) otherwise.
+func (s *Server) writeOutcome(w http.ResponseWriter, j *job) {
+	state, errMsg, res := j.snapshot()
+	switch state {
+	case stateDone:
+		writeJSON(w, http.StatusOK, res)
+	case stateCancelled:
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "job cancelled: " + errMsg})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": errMsg})
+	}
+}
+
+// lookupJob resolves a job id to its live job, or — once retired — to a
+// synthesized done status from the result cache.
+func (s *Server) lookupJob(id string) (*job, *Result, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if ok {
+		return j, nil, true
+	}
+	if res, ok := s.cache.get(s.cacheKey(id)); ok {
+		return nil, res, true
+	}
+	return nil, nil, false
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, res, ok := s.lookupJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	if j != nil {
+		writeJSON(w, http.StatusOK, s.statusOf(j))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobStatus{ID: id, Kind: res.Kind, Name: res.Name, State: string(stateDone)})
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no active job %q", id))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, s.statusOf(j))
+}
+
+// handleJobEvents streams the job's status as NDJSON until it reaches a
+// terminal state (the final line carries it) or the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, res, ok := s.lookupJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(st JobStatus) {
+		enc.Encode(st)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if j == nil {
+		emit(JobStatus{ID: id, Kind: res.Kind, Name: res.Name, State: string(stateDone)})
+		return
+	}
+	ticker := time.NewTicker(s.cfg.EventInterval)
+	defer ticker.Stop()
+	for {
+		emit(s.statusOf(j))
+		select {
+		case <-j.done:
+			emit(s.statusOf(j))
+			return
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	digest := r.PathValue("digest")
+	res, ok := s.cache.get(s.cacheKey(digest))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached result for digest %q at version %s", digest, s.version))
+		return
+	}
+	s.hits.Add(1)
+	writeJSON(w, http.StatusOK, cachedCopy(res))
+}
+
+// cachedCopy marks a response as cache-served without mutating the
+// stored (shared) Result.
+func cachedCopy(res *Result) *Result {
+	cp := *res
+	cp.Cached = true
+	return &cp
+}
+
+func storeMaxInt64(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func storeMaxUint64(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,165 @@
+// Package server implements hwatchd: a multi-tenant HTTP/JSON service
+// that runs scenario jobs through the harness pool with bounded
+// concurrency and backpressure, streams per-job progress, and serves
+// results from a content-addressed cache keyed by (canonical spec digest,
+// code version) with single-flight deduplication.
+//
+// The package sits outside the determinism scope on purpose: it may read
+// wall clocks and run tickers, but every simulation it launches goes
+// through the scenario layer's context-aware entry points, whose results
+// are byte-identical to the same specs run via the CLI (the e2e suite
+// checks server-path digests against the committed goldens).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hwatch/internal/scenario"
+)
+
+// JobRequest describes one job submission. Exactly one of the kinds:
+//
+//   - "spec": Spec carries a scenario.FileSpec (the hwatchsim -spec JSON
+//     form). A bare FileSpec object (kind "dumbbell"/"testbed") posted to
+//     the jobs endpoint is accepted as shorthand for this envelope.
+//   - "rung": Name is a registered ladder rung ("ladder/10x",
+//     "storm/websearch"); Scale as in hwatchsim -scale.
+//   - "fig": Name is a figure ("fig1", "fig2", "fig8", "fig9", "fig11").
+//   - "ablation": Name is a sweep ablation (probes|k|icw|batch|pacing|guests).
+//   - "study": Name is an extension study (empirical|coflow|incast);
+//     Schemes optionally overrides the compared scheme set.
+//
+// Scale outside (0,1] normalizes to 1 (full scale), mirroring the CLIs.
+type JobRequest struct {
+	Kind    string          `json:"kind,omitempty"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Name    string          `json:"name,omitempty"`
+	Scale   float64         `json:"scale,omitempty"`
+	Schemes []string        `json:"schemes,omitempty"`
+}
+
+// Result is a completed job's payload. Digest is the job's content
+// address (for "spec" jobs, exactly the spec's canonical digest, the same
+// value hwatchsim -spec-digest prints); Version is the code version that
+// produced it; Cached reports whether this response was served from the
+// result cache instead of running simulations.
+type Result struct {
+	Kind    string     `json:"kind"`
+	Name    string     `json:"name,omitempty"`
+	Digest  string     `json:"digest"`
+	Version string     `json:"version"`
+	Cached  bool       `json:"cached"`
+	Runs    []*RunWire `json:"runs,omitempty"`
+	Rows    []string   `json:"rows,omitempty"`
+}
+
+// RunWire is a scenario.Run in wire form: every digest-relevant series and
+// total, plus the execution metadata the CLIs print. Run() reconstructs
+// the scenario.Run and recomputes its digest, so a wire round trip that
+// lost a single sample is detected mechanically — byte-identical parity
+// between the server path and the CLI path is enforced, not assumed.
+type RunWire struct {
+	Label  string `json:"label"`
+	Digest string `json:"digest"`
+
+	ShortFCTms     []float64 `json:"short_fct_ms,omitempty"`
+	PerSourceAvgMs []float64 `json:"per_source_avg_ms,omitempty"`
+	PerSourceVarMs []float64 `json:"per_source_var_ms,omitempty"`
+	ShortRetrans   []float64 `json:"short_retrans,omitempty"`
+	LongGoodputBps []float64 `json:"long_goodput_bps,omitempty"`
+	LongFairness   float64   `json:"long_fairness,omitempty"`
+
+	QueuePktsT   []int64   `json:"queue_pkts_t,omitempty"`
+	QueuePktsV   []float64 `json:"queue_pkts_v,omitempty"`
+	QueueBytesT  []int64   `json:"queue_bytes_t,omitempty"`
+	QueueBytesV  []float64 `json:"queue_bytes_v,omitempty"`
+	UtilizationT []int64   `json:"utilization_t,omitempty"`
+	UtilizationV []float64 `json:"utilization_v,omitempty"`
+
+	Drops     int64 `json:"drops"`
+	Marks     int64 `json:"marks"`
+	Timeouts  int64 `json:"timeouts"`
+	ShortDone int   `json:"short_done"`
+	ShortAll  int   `json:"short_all"`
+
+	WallNs              int64    `json:"wall_ns,omitempty"`
+	Events              uint64   `json:"events,omitempty"`
+	InvariantViolations []string `json:"invariant_violations,omitempty"`
+}
+
+// WireRun converts a completed run to wire form.
+func WireRun(r *scenario.Run) *RunWire {
+	return &RunWire{
+		Label:          r.Label,
+		Digest:         r.DigestHex(),
+		ShortFCTms:     r.ShortFCTms.Values(),
+		PerSourceAvgMs: r.PerSourceAvgMs.Values(),
+		PerSourceVarMs: r.PerSourceVarMs.Values(),
+		ShortRetrans:   r.ShortRetrans.Values(),
+		LongGoodputBps: r.LongGoodputBps.Values(),
+		LongFairness:   r.LongFairness,
+		QueuePktsT:     r.QueuePkts.T,
+		QueuePktsV:     r.QueuePkts.V,
+		QueueBytesT:    r.QueueBytes.T,
+		QueueBytesV:    r.QueueBytes.V,
+		UtilizationT:   r.Utilization.T,
+		UtilizationV:   r.Utilization.V,
+		Drops:          r.Drops,
+		Marks:          r.Marks,
+		Timeouts:       r.Timeouts,
+		ShortDone:      r.ShortDone,
+		ShortAll:       r.ShortAll,
+
+		WallNs:              r.WallNs,
+		Events:              r.Events,
+		InvariantViolations: r.InvariantViolations,
+	}
+}
+
+// Run reconstructs the scenario.Run and verifies that its recomputed
+// digest matches the recorded one — the wire format cannot silently drop
+// or reorder a sample without failing here.
+func (w *RunWire) Run() (*scenario.Run, error) {
+	r := &scenario.Run{
+		Label:        w.Label,
+		LongFairness: w.LongFairness,
+		Drops:        w.Drops,
+		Marks:        w.Marks,
+		Timeouts:     w.Timeouts,
+		ShortDone:    w.ShortDone,
+		ShortAll:     w.ShortAll,
+
+		WallNs:              w.WallNs,
+		Events:              w.Events,
+		InvariantViolations: w.InvariantViolations,
+	}
+	for _, v := range w.ShortFCTms {
+		r.ShortFCTms.Add(v)
+	}
+	for _, v := range w.PerSourceAvgMs {
+		r.PerSourceAvgMs.Add(v)
+	}
+	for _, v := range w.PerSourceVarMs {
+		r.PerSourceVarMs.Add(v)
+	}
+	for _, v := range w.ShortRetrans {
+		r.ShortRetrans.Add(v)
+	}
+	for _, v := range w.LongGoodputBps {
+		r.LongGoodputBps.Add(v)
+	}
+	if len(w.QueuePktsT) != len(w.QueuePktsV) ||
+		len(w.QueueBytesT) != len(w.QueueBytesV) ||
+		len(w.UtilizationT) != len(w.UtilizationV) {
+		return nil, fmt.Errorf("run %q: mismatched series lengths", w.Label)
+	}
+	r.QueuePkts.T, r.QueuePkts.V = w.QueuePktsT, w.QueuePktsV
+	r.QueueBytes.T, r.QueueBytes.V = w.QueueBytesT, w.QueueBytesV
+	r.Utilization.T, r.Utilization.V = w.UtilizationT, w.UtilizationV
+
+	if got := r.DigestHex(); got != w.Digest {
+		return nil, fmt.Errorf("run %q: reconstructed digest %s does not match recorded %s", w.Label, got, w.Digest)
+	}
+	return r, nil
+}

@@ -44,6 +44,12 @@ const (
 	slabSize = 256
 )
 
+// pollEvery is the fired-event cadence between poll-hook invocations:
+// frequent enough that a cancellation lands within microseconds of wall
+// time on any realistic event rate, rare enough that the per-event nil
+// check is the hook's only cost in the engine benchmarks.
+const pollEvery = 4096
+
 // Event index states. idx >= 0 means the event lives in the overflow heap
 // at that position (removal on Cancel is eager, so far-future timers never
 // leak queue slots). idxLazy marks wheel/agenda residency, where Cancel is
@@ -193,6 +199,12 @@ type Engine struct {
 	group  *Group
 	shard  int
 	outbox []remoteMsg
+
+	// poll, when set, is invoked every pollEvery fired events with the
+	// current clock and the fired-event count; returning true stops the run
+	// like Stop. pollGap counts events since the last invocation.
+	poll    func(now int64, processed uint64) bool
+	pollGap int
 
 	// Processed counts events executed; useful for progress reporting
 	// and as a runaway guard in tests.
@@ -576,6 +588,35 @@ func (e *Engine) Pending() int { return e.live }
 // Stop makes Run and RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Stopped reports whether the last Run or RunUntil returned early — via
+// Stop or a poll hook — rather than by draining to its horizon.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// SetPoll installs an out-of-band observation hook: fn is called every
+// pollEvery fired events with the engine's clock and lifetime event count,
+// and a true return stops the run exactly like Stop. The hook exists for
+// progress reporting and cancellation from outside the model — it never
+// touches the event queue, consumes no sequence numbers or ranks, and
+// therefore cannot perturb the event order or any digest. In a sharded
+// Group every engine runs the hook from its own worker goroutine, so fn
+// must be safe for concurrent use. A nil fn removes the hook.
+func (e *Engine) SetPoll(fn func(now int64, processed uint64) bool) {
+	e.poll = fn
+	e.pollGap = 0
+}
+
+// pollTick invokes the poll hook if it is due. Callers check e.poll != nil
+// first so the fast path stays a single predictable branch.
+func (e *Engine) pollTick() {
+	if e.pollGap++; e.pollGap < pollEvery {
+		return
+	}
+	e.pollGap = 0
+	if e.poll(e.now, e.Processed) {
+		e.stopped = true
+	}
+}
+
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
 	e.RunUntil(maxTime)
@@ -612,6 +653,9 @@ func (e *Engine) runWheel(horizon int64) {
 			continue // cancelled while staged
 		}
 		e.fire(ev)
+		if e.poll != nil {
+			e.pollTick()
+		}
 	}
 }
 
@@ -626,6 +670,9 @@ func (e *Engine) runHeap(horizon int64) {
 			continue // cancelled
 		}
 		e.fire(ev)
+		if e.poll != nil {
+			e.pollTick()
+		}
 	}
 }
 

@@ -97,6 +97,27 @@ func (g *Group) OnBarrier(fn func(now int64)) {
 	g.barriers = append(g.barriers, fn)
 }
 
+// SetPoll installs fn as the poll hook on every shard (see Engine.SetPoll).
+// During a window each shard invokes fn from its own worker goroutine, so
+// fn must be safe for concurrent use. When any shard's hook requests a
+// stop, RunUntil returns at the next barrier without advancing the clocks.
+func (g *Group) SetPoll(fn func(now int64, processed uint64) bool) {
+	for _, e := range g.engines {
+		e.SetPoll(fn)
+	}
+}
+
+// Stopped reports whether the last RunUntil returned early because a shard
+// was stopped (via Stop or a poll hook).
+func (g *Group) Stopped() bool {
+	for _, e := range g.engines {
+		if e.stopped {
+			return true
+		}
+	}
+	return false
+}
+
 // Processed sums the events executed across all shards.
 func (g *Group) Processed() uint64 {
 	var n uint64
@@ -173,6 +194,12 @@ func (g *Group) RunUntil(horizon int64) {
 		g.merge()
 		for _, fn := range g.barriers {
 			fn(end)
+		}
+		// A stopped shard (poll-hook cancellation mid-window) must end the
+		// whole run here: the final advance loop below calls RunUntil, which
+		// clears the stop flag and would resume processing.
+		if g.Stopped() {
+			return
 		}
 	}
 	// No events remain at or before the horizon; let each engine advance
