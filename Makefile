@@ -7,7 +7,7 @@ BASELINE ?= $(lastword $(sort $(filter-out %_seed.json BENCH_LADDER_%,$(wildcard
 # Newest committed scale-ladder record, the bench-ladder baseline.
 LADDER_BASELINE ?= $(lastword $(sort $(wildcard BENCH_LADDER_*.json)))
 
-.PHONY: all build test race lint vet bench bench-baseline bench-check \
+.PHONY: all build test race lint lint-json vet bench bench-baseline bench-check \
 	bench-ladder bench-ladder-check fuzz-smoke poison chaos server-e2e
 
 all: build test
@@ -19,12 +19,20 @@ test:
 	$(GO) test ./...
 
 # Static-analysis gate: formatting, the stock vet suite, and the repo's
-# own hwatchvet analyzers (detrand, pktown, schedclosure, directive plus
-# the curated vendored passes). CI's static-analysis job runs exactly this.
+# own hwatchvet analyzers (detrand, pktown, schedclosure, lockscope,
+# hookpure, ctxflow, directive plus the curated vendored passes, including
+# the SSA-backed nilness and unusedwrite). A stale //hwatchvet:allow is a
+# diagnostic, so a clean run also proves zero stale allows. CI's
+# static-analysis job runs exactly this.
 lint:
 	@test -z "$$(gofmt -l . | grep -v '^vendor/')" || { gofmt -l . | grep -v '^vendor/'; echo "gofmt: files need formatting"; exit 1; }
 	$(GO) vet ./...
 	$(GO) run ./cmd/hwatchvet ./...
+
+# Same suite, one merged JSON document on stdout (exit 1 on any finding)
+# for editor integrations and CI annotations.
+lint-json:
+	$(GO) run ./cmd/hwatchvet -json ./...
 
 vet:
 	$(GO) run ./cmd/hwatchvet ./...

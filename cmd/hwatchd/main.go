@@ -39,7 +39,10 @@ func main() {
 	flag.Parse()
 	hwatch.SetShards(*shards)
 
-	srv := server.New(server.Config{
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(ctx, server.Config{
 		Parallel:   *parallel,
 		QueueDepth: *queue,
 		CacheSize:  *cache,
@@ -47,8 +50,6 @@ func main() {
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	go func() {
 		<-ctx.Done()
 		log.Print("shutting down")

@@ -1,0 +1,194 @@
+// Package ctxflow defines an analyzer that enforces end-to-end context
+// threading: library code must not mint fresh contexts with
+// context.Background() or context.TODO(). A function that wants
+// cancellation must receive a context from its caller; the only way to
+// drop the chain is to mint a fresh root, so the ban enforces the
+// threading contract at its root cause. Without it, a Run*/pool entry
+// point reached through a fresh root keeps running after the caller —
+// an hwatchd job, a CLI SIGINT, a test deadline — has cancelled.
+//
+// Exemptions:
+//   - package main (the process root legitimately creates the root
+//     context) and _test.go files;
+//   - compatibility wrappers: a function with no context.Context
+//     parameter whose Background()/TODO() value is passed directly to a
+//     callee whose name ends in "Context" (the `Run` → `RunContext`
+//     pattern keeps old call sites compiling while new code threads);
+//   - justified //hwatchvet:allow ctxflow sites (e.g. a documented
+//     nil-context default at an API boundary).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"hwatch/internal/analysis/allowdir"
+)
+
+// DefaultScope matches every first-party package; package main is
+// exempted by name, not by path.
+const DefaultScope = `^hwatch/`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background()/TODO() outside package main, tests, " +
+		"compat wrappers delegating to a *Context variant, and justified " +
+		"//hwatchvet:allow sites — cancellation must thread end to end",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: usedType,
+	Run:        run,
+}
+
+var scope = DefaultScope
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", DefaultScope,
+		"regexp of package paths under the context-threading contract")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	used := allowdir.Used{}
+	re, err := regexp.Compile(scope)
+	if err != nil {
+		return nil, err
+	}
+	if !re.MatchString(pass.Pkg.Path()) || pass.Pkg.Name() == "main" {
+		return used, nil
+	}
+	set := allowdir.Collect(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{(*ast.CallExpr)(nil)}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+			return false
+		}
+		call := n.(*ast.CallExpr)
+		name := freshContextCall(pass.TypesInfo, call)
+		if name == "" {
+			return true
+		}
+		if isCompatWrapper(pass.TypesInfo, call, stack) {
+			return true
+		}
+		allowdir.Report(pass, set, used, "ctxflow", call.Pos(),
+			"context.%s mints a fresh root: cancellation stops here — thread the caller's context instead (add a ctx parameter, or delegate through a *Context variant)", name)
+		return true
+	})
+	return used, nil
+}
+
+// freshContextCall returns "Background" or "TODO" when the call is
+// context.Background() / context.TODO(), else "".
+func freshContextCall(info *types.Info, call *ast.CallExpr) string {
+	fn, ok := typeutil.Callee(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name()
+	}
+	return ""
+}
+
+// isCompatWrapper reports whether this Background()/TODO() is the
+// sanctioned compatibility-wrapper shape: the enclosing function has no
+// context.Context parameter (so there is nothing to thread) and the
+// fresh context flows directly into a call whose callee name ends in
+// "Context".
+func isCompatWrapper(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	enclosing := enclosingFunc(stack)
+	if enclosing == nil || hasContextParam(info, enclosing) {
+		return false
+	}
+	// Walk outward: the parent node must be (an argument of) a call to a
+	// *Context-named callee, possibly through parens.
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if ast.Unparen(arg) == ast.Node(call) {
+					return calleeNameEndsInContext(info, parent)
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+func calleeNameEndsInContext(info *types.Info, call *ast.CallExpr) bool {
+	if fn, ok := typeutil.Callee(info, call).(*types.Func); ok {
+		return strings.HasSuffix(fn.Name(), "Context")
+	}
+	// Dynamic callee: fall back to the syntactic name.
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return strings.HasSuffix(fun.Name, "Context")
+	case *ast.SelectorExpr:
+		return strings.HasSuffix(fun.Sel.Name, "Context")
+	}
+	return false
+}
+
+// enclosingFunc returns the innermost FuncDecl or FuncLit on the stack.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// hasContextParam reports whether the function (or, for a literal, any
+// enclosing declared function would be checked by its own visit) takes
+// a context.Context parameter.
+func hasContextParam(info *types.Info, fn ast.Node) bool {
+	var ft *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+var usedType = reflect.TypeOf(allowdir.Used{})

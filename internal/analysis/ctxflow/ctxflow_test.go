@@ -1,0 +1,23 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"hwatch/internal/analysis/atest"
+	"hwatch/internal/analysis/ctxflow"
+	"hwatch/internal/analysis/directive"
+)
+
+// TestCtxflow exercises the context-threading contract against the
+// fixture: fresh roots flag, compat wrappers delegating to a *Context
+// callee, properly threaded code, and allow-suppressed sites stay silent.
+func TestCtxflow(t *testing.T) {
+	atest.Run(t, "testdata/src/a", "hwatch/internal/server/a", ctxflow.Analyzer)
+}
+
+// TestCtxflowStaleAllow runs the directive analyzer (which requires
+// ctxflow) over a fixture whose allow suppresses nothing: the stale
+// directive must be reported.
+func TestCtxflowStaleAllow(t *testing.T) {
+	atest.Run(t, "testdata/src/stale", "hwatch/internal/server/stale", directive.Analyzer)
+}

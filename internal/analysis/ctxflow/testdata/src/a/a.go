@@ -1,0 +1,59 @@
+// Fixture for the ctxflow analyzer: loaded by atest under the package
+// path hwatch/internal/server/a, which is inside the context-threading
+// contract (and is not package main).
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// RunContext is the threaded entry point the compat wrappers delegate to.
+func RunContext(ctx context.Context) error { return ctx.Err() }
+
+// Run is the sanctioned compat-wrapper shape: no context parameter, and
+// the fresh root flows directly into a *Context-named callee.
+func Run() error {
+	return RunContext(context.Background())
+}
+
+// RunParen still matches through parentheses.
+func RunParen() error {
+	return RunContext((context.Background()))
+}
+
+func mintsRoot() {
+	ctx := context.Background() // want `context\.Background mints a fresh root`
+	_ = ctx
+}
+
+func mintsTODO() {
+	ctx := context.TODO() // want `context\.TODO mints a fresh root`
+	_ = ctx
+}
+
+// hasCtxButMints has a caller context to thread, so delegating to a
+// *Context callee does not excuse the fresh root.
+func hasCtxButMints(ctx context.Context) error {
+	return RunContext(context.Background()) // want `context\.Background mints a fresh root`
+}
+
+// withTimeout derives from a fresh root instead of the caller's context;
+// WithTimeout is not a *Context-named delegate, so the wrapper exemption
+// does not apply.
+func withTimeout() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want `context\.Background mints a fresh root`
+	defer cancel()
+	_ = ctx
+}
+
+// threaded is the contract being enforced: accept and pass through.
+func threaded(ctx context.Context) error {
+	return RunContext(ctx)
+}
+
+func suppressed() {
+	//hwatchvet:allow ctxflow background worker outlives every request by design; lifecycle is owned by Close
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,13 @@
+// Fixture for the stale-allow path: no fresh root is minted, so the
+// directive analyzer must flag the allow as stale. Loaded under the
+// package path hwatch/internal/server/stale.
+package stale
+
+import "context"
+
+func runThreaded(ctx context.Context) error { return ctx.Err() }
+
+func use(ctx context.Context) error {
+	//hwatchvet:allow ctxflow no fresh root minted on this path // want `stale //hwatchvet:allow ctxflow directive`
+	return runThreaded(ctx)
+}

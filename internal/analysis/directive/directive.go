@@ -10,7 +10,10 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	"hwatch/internal/analysis/allowdir"
+	"hwatch/internal/analysis/ctxflow"
 	"hwatch/internal/analysis/detrand"
+	"hwatch/internal/analysis/hookpure"
+	"hwatch/internal/analysis/lockscope"
 	"hwatch/internal/analysis/pktown"
 	"hwatch/internal/analysis/schedclosure"
 )
@@ -21,6 +24,9 @@ var requires = []*analysis.Analyzer{
 	detrand.Analyzer,
 	pktown.Analyzer,
 	schedclosure.Analyzer,
+	lockscope.Analyzer,
+	hookpure.Analyzer,
+	ctxflow.Analyzer,
 }
 
 var Analyzer = &analysis.Analyzer{
@@ -33,7 +39,10 @@ var Analyzer = &analysis.Analyzer{
 
 // knownAnalyzers are the names an allow directive may target.
 var knownAnalyzers = map[string]bool{
+	"ctxflow":      true,
 	"detrand":      true,
+	"hookpure":     true,
+	"lockscope":    true,
 	"pktown":       true,
 	"schedclosure": true,
 }
@@ -59,7 +68,7 @@ func run(pass *analysis.Pass) (any, error) {
 		case d.Err != "":
 			pass.Reportf(d.Pos, "malformed hwatchvet directive: %s", d.Err)
 		case !knownAnalyzers[d.Analyzer]:
-			pass.Reportf(d.Pos, "hwatchvet directive names unknown analyzer %q (known: detrand, pktown, schedclosure)", d.Analyzer)
+			pass.Reportf(d.Pos, "hwatchvet directive names unknown analyzer %q (known: ctxflow, detrand, hookpure, lockscope, pktown, schedclosure)", d.Analyzer)
 		case !used[d.Pos]:
 			pass.Reportf(d.Pos, "stale //hwatchvet:allow %s directive: it suppresses no finding; delete it", d.Analyzer)
 		}

@@ -1,0 +1,25 @@
+package hookpure_test
+
+import (
+	"testing"
+
+	"hwatch/internal/analysis/atest"
+	"hwatch/internal/analysis/directive"
+	"hwatch/internal/analysis/hookpure"
+)
+
+// TestHookpure exercises the digest-neutrality contract against the
+// fixture: scheduling and model-state writes reachable from poll hooks,
+// barrier callbacks, Spec.Progress, and Observer.Finish flag; read-only
+// hooks, Observer.Start wiring, local aggregation, and allow-suppressed
+// sites stay silent.
+func TestHookpure(t *testing.T) {
+	atest.Run(t, "testdata/src/a", "hwatch/internal/sim/a", hookpure.Analyzer)
+}
+
+// TestHookpureStaleAllow runs the directive analyzer (which requires
+// hookpure) over a fixture whose allow suppresses nothing: the stale
+// directive must be reported.
+func TestHookpureStaleAllow(t *testing.T) {
+	atest.Run(t, "testdata/src/stale", "hwatch/internal/sim/stale", directive.Analyzer)
+}

@@ -1,0 +1,102 @@
+// Fixture for the hookpure analyzer: loaded by atest under the package
+// path hwatch/internal/sim/a, which is inside both the hook scope and the
+// model-package scope (so the fixture's own types count as model state).
+package a
+
+type Event struct{}
+
+type Engine struct{ now int64 }
+
+func (e *Engine) Schedule(d int64, fn func()) *Event              { return &Event{} }
+func (e *Engine) ScheduleArg(d int64, fn func(any), a any) *Event { return &Event{} }
+func (e *Engine) SetPoll(fn func())                               {}
+func (e *Engine) Now() int64                                      { return e.now }
+
+type Group struct{}
+
+func (g *Group) SetPoll(fn func())                                   {}
+func (g *Group) OnBarrier(fn func(end int64))                        {}
+func (g *Group) ScheduleArg(shard int, d int64, fn func(any), a any) {}
+
+type Queue struct{ depth int }
+
+type Stats struct{ Sent int }
+
+type Spec struct {
+	Progress func(now int64)
+}
+
+type Run struct{ Events uint64 }
+
+// Observer is the fixture's stand-in for the scenario observer contract.
+type Observer interface {
+	Start(e *Engine)
+	Finish(r *Run)
+}
+
+func wirePollSchedules(e *Engine) {
+	e.SetPoll(func() { // want `poll hook is not digest-neutral: it can reach Engine\.Schedule`
+		e.Schedule(1, func() {})
+	})
+}
+
+// wirePollReads only reads engine state into an out-of-band gauge: the
+// sanctioned hook shape.
+func wirePollReads(e *Engine, gauge *int64) {
+	e.SetPoll(func() { *gauge = e.Now() })
+}
+
+func wireBarrier(g *Group, q *Queue) {
+	g.OnBarrier(func(end int64) { // want `barrier callback is not digest-neutral: it can reach a model-state write \(Queue\.depth\)`
+		q.depth = 0
+	})
+}
+
+// armTick schedules one static call away; the interprocedural reacher
+// must see through it.
+func armTick(e *Engine) { e.Schedule(1, func() {}) }
+
+func wirePollViaHelper(e *Engine) {
+	e.SetPoll(func() { armTick(e) }) // want `poll hook is not digest-neutral: it can reach Engine\.Schedule \(via armTick\)`
+}
+
+func buildSpec(q *Queue) *Spec {
+	return &Spec{
+		Progress: func(now int64) { q.depth++ }, // want `Spec\.Progress hook is not digest-neutral: it can reach a model-state write \(Queue\.depth\)`
+	}
+}
+
+func retarget(s *Spec, e *Engine) {
+	s.Progress = func(now int64) { // want `Spec\.Progress hook is not digest-neutral: it can reach Engine\.ScheduleArg`
+		e.ScheduleArg(1, func(any) {}, nil)
+	}
+}
+
+type pollObs struct{ q *Queue }
+
+// Start is pre-run wiring: observers legitimately arm recurring events
+// before the run begins, so scheduling here is sanctioned.
+func (o *pollObs) Start(e *Engine) {
+	e.Schedule(1, func() {})
+}
+
+func (o *pollObs) Finish(r *Run) { // want `Observer\.Finish is not digest-neutral: it can reach a model-state write \(Queue\.depth\)`
+	o.q.depth = 0
+}
+
+type aggObs struct{}
+
+func (o *aggObs) Start(e *Engine) {}
+
+// Finish aggregating into a locally declared value is the sanctioned
+// read-and-summarize shape, even though Stats is a model type here.
+func (o *aggObs) Finish(r *Run) {
+	agg := Stats{}
+	agg.Sent += int(r.Events)
+	_ = agg
+}
+
+func wireSuppressed(e *Engine) {
+	//hwatchvet:allow hookpure the scheduled event is a no-op marker outside the digest window
+	e.SetPoll(func() { e.Schedule(1, func() {}) })
+}

@@ -1,0 +1,13 @@
+// Fixture for the stale-allow path: the hook is pure, so the directive
+// analyzer must flag the allow as stale. Loaded under the package path
+// hwatch/internal/sim/stale.
+package stale
+
+type Engine struct{}
+
+func (e *Engine) SetPoll(fn func()) {}
+
+func wire(e *Engine) {
+	//hwatchvet:allow hookpure the hook only reads engine gauges // want `stale //hwatchvet:allow hookpure directive`
+	e.SetPoll(func() {})
+}

@@ -1,0 +1,412 @@
+// Package lockscope defines an analyzer that forbids holding a
+// sync.Mutex or sync.RWMutex across a blocking operation: a channel
+// send or receive (ctx.Done() waits included), time.Sleep,
+// sync.WaitGroup/Cond waits, net / net/http calls, and harness.Pool
+// submission (Pool.Go blocks on the worker semaphore).
+//
+// A goroutine that blocks while holding a lock stalls every other
+// goroutine contending for it; in hwatchd that turns one slow tenant
+// into whole-service head-of-line blocking on the active-map, cache,
+// and admission locks. The analyzer runs a forward must-hold dataflow
+// over the naive-form SSA of each function (lock identity is the
+// receiver's root+field path, so s.mu and c.mu never alias) and follows
+// same-package static calls to find blocking operations one level
+// removed. A deferred Unlock keeps the lock held to function end, so
+// everything after `mu.Lock(); defer mu.Unlock()` is in scope.
+//
+// Receives inside a select that has a default clause are non-blocking
+// polls and are not flagged.
+package lockscope
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/buildssa"
+	"golang.org/x/tools/go/ssa"
+
+	"hwatch/internal/analysis/allowdir"
+)
+
+// DefaultScope matches every first-party package; the lock contract is
+// global, not simulator-specific.
+const DefaultScope = `^hwatch/`
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockscope",
+	Doc: "forbid holding a sync.Mutex/RWMutex across blocking operations " +
+		"(channel ops, ctx.Done waits, sleeps, network calls, pool submission)",
+	Requires:   []*analysis.Analyzer{buildssa.Analyzer},
+	ResultType: usedType,
+	Run:        run,
+}
+
+var scope = DefaultScope
+
+func init() {
+	Analyzer.Flags.StringVar(&scope, "scope", DefaultScope,
+		"regexp of package paths under the lock-scope contract")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	used := allowdir.Used{}
+	re, err := regexp.Compile(scope)
+	if err != nil {
+		return nil, err
+	}
+	if !re.MatchString(pass.Pkg.Path()) {
+		return used, nil
+	}
+	set := allowdir.Collect(pass)
+	prog := pass.ResultOf[buildssa.Analyzer].(*buildssa.SSA)
+
+	c := &checker{
+		pass:  pass,
+		set:   set,
+		used:  used,
+		funcs: make(map[*types.Func]*ssa.Function),
+		memo:  make(map[*types.Func]string),
+	}
+	for _, fn := range prog.SrcFuncs {
+		if fn.Object != nil {
+			c.funcs[fn.Object] = fn
+		}
+	}
+	for _, fn := range prog.SrcFuncs {
+		if fn.Blocks == nil {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(fn.Syntax.Pos()).Filename, "_test.go") {
+			continue
+		}
+		c.checkFunc(fn)
+	}
+	return used, nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	set   *allowdir.Set
+	used  allowdir.Used
+	funcs map[*types.Func]*ssa.Function
+	memo  map[*types.Func]string // interprocedural blocking cache; "" = does not block
+}
+
+// heldSet maps a lock's root+field path to the position it was acquired.
+type heldSet map[string]token.Pos
+
+func (h heldSet) clone() heldSet {
+	out := make(heldSet, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps only locks held on every path (must-hold join).
+func intersect(a, b heldSet) heldSet {
+	out := make(heldSet)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+func equalHeld(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *checker) checkFunc(fn *ssa.Function) {
+	polls := defaultSelectComms(fn.Syntax)
+
+	in := make([]heldSet, len(fn.Blocks))
+	in[0] = heldSet{}
+	work := []*ssa.BasicBlock{fn.Blocks[0]}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := c.flow(b, in[b.Index].clone(), polls, false)
+		for _, succ := range b.Succs {
+			if in[succ.Index] == nil {
+				in[succ.Index] = out.clone()
+				work = append(work, succ)
+			} else if joined := intersect(in[succ.Index], out); !equalHeld(joined, in[succ.Index]) {
+				in[succ.Index] = joined
+				work = append(work, succ)
+			}
+		}
+	}
+	for _, b := range fn.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		c.flow(b, in[b.Index].clone(), polls, true)
+	}
+}
+
+// flow advances the held-lock set through one block, reporting blocking
+// operations encountered while any lock is held when report is set.
+func (c *checker) flow(b *ssa.BasicBlock, held heldSet, polls posRanges, report bool) heldSet {
+	blockingOp := func(pos token.Pos, why string) {
+		if !report || len(held) == 0 {
+			return
+		}
+		for name := range held {
+			allowdir.Report(c.pass, c.set, c.used, "lockscope", pos,
+				"%s is held across %s: a blocked holder stalls every contender — release the lock first or move the blocking work out", name, why)
+		}
+	}
+	for _, instr := range b.Instrs {
+		switch instr := instr.(type) {
+		case *ssa.Send:
+			if !polls.contains(instr.Pos()) {
+				blockingOp(instr.Pos(), "a channel send")
+			}
+		case *ssa.UnOp:
+			if instr.Op == token.ARROW && !polls.contains(instr.Pos()) {
+				blockingOp(instr.Pos(), "a channel receive")
+			}
+		case *ssa.Call:
+			if name, op, ok := lockOp(instr.Common); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[name] = instr.Pos()
+				case "Unlock", "RUnlock":
+					delete(held, name)
+				}
+				continue
+			}
+			if why := c.blockingCall(instr.Common); why != "" {
+				blockingOp(instr.Pos(), why)
+			}
+		case *ssa.Defer:
+			// Deferred Unlock runs at return: the lock stays held for the
+			// rest of the function, which the flow models by simply not
+			// removing it here.
+		}
+	}
+	return held
+}
+
+// lockOp classifies a call as a lock acquire/release on a sync mutex and
+// returns the lock's path key. TryLock is ignored: it may fail, so
+// treating it as an acquire would be unsound must-hold state.
+func lockOp(common ssa.CallCommon) (name, op string, ok bool) {
+	fn := common.Callee
+	if fn == nil || common.Recv == nil {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recv := recvTypeName(fn)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return "", "", false
+	}
+	return describe(common.Recv), fn.Name(), true
+}
+
+// blockingCall classifies a call as a blocking operation, following
+// same-package static callees interprocedurally.
+func (c *checker) blockingCall(common ssa.CallCommon) string {
+	fn := common.Callee
+	if fn == nil {
+		return "" // dynamic call: unknown, stay silent
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		pkg := pkgPath(fn)
+		switch {
+		case pkg == "sync" && recv == "WaitGroup" && fn.Name() == "Wait":
+			return "sync.WaitGroup.Wait"
+		case pkg == "sync" && recv == "Cond" && fn.Name() == "Wait":
+			return "sync.Cond.Wait"
+		case recv == "Pool" && pkg != "sync" &&
+			(fn.Name() == "Go" || fn.Name() == "Wait"):
+			// harness.Pool (or a lookalike): Go blocks on the semaphore,
+			// Wait on outstanding work.
+			return "Pool." + fn.Name() + " (pool submission blocks on the worker semaphore)"
+		case strings.HasPrefix(pkg, "net"):
+			return pkg + " " + recv + "." + fn.Name() + " (network I/O)"
+		}
+		if fn.Pkg() == nil {
+			return ""
+		}
+		if samePkg(c.pass, fn) {
+			return c.funcBlocks(fn)
+		}
+		return ""
+	}
+	pkg := pkgPath(fn)
+	switch {
+	case pkg == "time" && fn.Name() == "Sleep":
+		return "time.Sleep"
+	case strings.HasPrefix(pkg, "net"):
+		return pkg + "." + fn.Name() + " (network I/O)"
+	case strings.HasSuffix(pkg, "/harness") && fn.Name() == "Map":
+		return "harness.Map (pool submission blocks on the worker semaphore)"
+	}
+	if samePkg(c.pass, fn) {
+		return c.funcBlocks(fn)
+	}
+	return ""
+}
+
+func samePkg(pass *analysis.Pass, fn *types.Func) bool {
+	return fn.Pkg() == pass.Pkg
+}
+
+// funcBlocks reports whether a same-package function contains a blocking
+// operation, memoized; in-progress entries read as "" to break cycles.
+func (c *checker) funcBlocks(fn *types.Func) string {
+	if why, ok := c.memo[fn]; ok {
+		return why
+	}
+	c.memo[fn] = ""
+	sfn := c.funcs[fn]
+	if sfn == nil || sfn.Blocks == nil {
+		return ""
+	}
+	polls := defaultSelectComms(sfn.Syntax)
+	var why string
+	for _, b := range sfn.Blocks {
+		for _, instr := range b.Instrs {
+			switch instr := instr.(type) {
+			case *ssa.Send:
+				if !polls.contains(instr.Pos()) {
+					why = "a channel send"
+				}
+			case *ssa.UnOp:
+				if instr.Op == token.ARROW && !polls.contains(instr.Pos()) {
+					why = "a channel receive"
+				}
+			case *ssa.Call:
+				if _, _, isLock := lockOp(instr.Common); isLock {
+					continue
+				}
+				if w := c.blockingCall(instr.Common); w != "" {
+					why = w
+				}
+			}
+			if why != "" {
+				c.memo[fn] = fmt.Sprintf("%s (which blocks on %s)", fn.Name(), why)
+				return c.memo[fn]
+			}
+		}
+	}
+	return ""
+}
+
+// describe renders a lock receiver as its root+field path (s.mu, c.mu,
+// pkg-level mu). Unrecognized shapes get a unique key so distinct
+// unknown receivers never alias each other.
+func describe(v ssa.Value) string {
+	switch v := v.(type) {
+	case *ssa.Load:
+		return describe(v.X)
+	case *ssa.FieldAddr:
+		name := "?"
+		if v.Var != nil {
+			name = v.Var.Name()
+		}
+		return describe(v.X) + "." + name
+	case *ssa.Alloc:
+		if v.Obj != nil {
+			return v.Obj.Name()
+		}
+	case *ssa.Global:
+		return v.Obj.Name()
+	case *ssa.FreeVar:
+		return v.Obj.Name()
+	case *ssa.Parameter:
+		return v.Obj.Name()
+	}
+	return fmt.Sprintf("lock@%p", v)
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return ""
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func pkgPath(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// posRanges are the source ranges of comm statements belonging to
+// selects that have a default clause: receives there are polls.
+type posRanges [][2]token.Pos
+
+func (r posRanges) contains(p token.Pos) bool {
+	for _, pr := range r {
+		if pr[0] <= p && p <= pr[1] {
+			return true
+		}
+	}
+	return false
+}
+
+func defaultSelectComms(syntax ast.Node) posRanges {
+	var out posRanges
+	if syntax == nil {
+		return out
+	}
+	ast.Inspect(syntax, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+				out = append(out, [2]token.Pos{comm.Comm.Pos(), comm.Comm.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+var usedType = reflect.TypeOf(allowdir.Used{})

@@ -1,0 +1,24 @@
+package lockscope_test
+
+import (
+	"testing"
+
+	"hwatch/internal/analysis/atest"
+	"hwatch/internal/analysis/directive"
+	"hwatch/internal/analysis/lockscope"
+)
+
+// TestLockscope exercises the must-hold dataflow against the fixture:
+// blocking ops under a held mutex flag (including one static call away),
+// released locks, default-select polls and allow-suppressed sites stay
+// silent.
+func TestLockscope(t *testing.T) {
+	atest.Run(t, "testdata/src/a", "hwatch/internal/server/a", lockscope.Analyzer)
+}
+
+// TestLockscopeStaleAllow runs the directive analyzer (which requires
+// lockscope) over a fixture whose allow suppresses nothing: the stale
+// directive must be reported.
+func TestLockscopeStaleAllow(t *testing.T) {
+	atest.Run(t, "testdata/src/stale", "hwatch/internal/server/stale", directive.Analyzer)
+}

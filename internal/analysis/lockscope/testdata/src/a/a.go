@@ -1,0 +1,97 @@
+// Fixture for the lockscope analyzer: loaded by atest under the package
+// path hwatch/internal/server/a, which is inside the lock-scope contract.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu sync.Mutex
+	n  int
+	ch chan int
+}
+
+func (s *S) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want `s\.mu is held across a channel send`
+	s.mu.Unlock()
+}
+
+func (s *S) recvHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	<-s.ch // want `s\.mu is held across a channel receive`
+}
+
+func (s *S) sleepHeld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `s\.mu is held across time\.Sleep`
+}
+
+func (s *S) wgHeld(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `s\.mu is held across sync\.WaitGroup\.Wait`
+}
+
+// releasedFirst is the sanctioned shape: snapshot under the lock, block
+// after releasing it.
+func (s *S) releasedFirst() {
+	s.mu.Lock()
+	v := s.n
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// pollUnderLock: a select with a default clause is a non-blocking poll.
+func (s *S) pollUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+// notify blocks on a channel send; the interprocedural reacher must see
+// through the same-package call.
+func (s *S) notify() { s.ch <- 1 }
+
+func (s *S) viaHelper() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notify() // want `s\.mu is held across notify \(which blocks on a channel send\)`
+}
+
+type T struct {
+	mu  sync.RWMutex
+	out chan int
+}
+
+func (t *T) rlockHeld() {
+	t.mu.RLock()
+	t.out <- 1 // want `t\.mu is held across a channel send`
+	t.mu.RUnlock()
+}
+
+// distinctLocks: s.mu and t.mu never alias — releasing t.mu means the
+// blocking send runs lock-free even though s.mu was touched earlier.
+func distinctLocks(s *S, t *T) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	t.mu.Lock()
+	t.mu.Unlock()
+	t.out <- 1
+}
+
+func (s *S) suppressed() {
+	s.mu.Lock()
+	//hwatchvet:allow lockscope buffered single-writer channel: capacity is sized to the worker count, the send never blocks
+	s.ch <- 1
+	s.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+// Fixture for the stale-allow path: nothing here blocks under a lock, so
+// the directive analyzer must flag the allow as stale. Loaded under the
+// package path hwatch/internal/server/stale.
+package stale
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) bump() {
+	//hwatchvet:allow lockscope nothing blocks under this lock // want `stale //hwatchvet:allow lockscope directive`
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}

@@ -3,6 +3,7 @@
 package analysis_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -22,6 +23,29 @@ func TestHwatchvetCleanAtHead(t *testing.T) {
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("hwatchvet is not clean at HEAD:\n%s\n(%v)", out, err)
+	}
+}
+
+// TestHwatchvetJSONClean runs -json mode over a clean package and asserts
+// the contract make lint-json relies on: stdout is exactly one valid JSON
+// document, empty when there are no findings, with exit code 0.
+func TestHwatchvetJSONClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and vets a package; skipped in -short")
+	}
+	root := moduleRoot(t)
+	cmd := exec.Command("go", "run", "./cmd/hwatchvet", "-json", "./internal/harness/")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("hwatchvet -json failed: %v\noutput:\n%s", err, out)
+	}
+	var doc map[string]map[string]json.RawMessage
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("hwatchvet -json stdout is not one JSON document: %v\noutput:\n%s", err, out)
+	}
+	if len(doc) != 0 {
+		t.Fatalf("expected an empty document for a clean package, got:\n%s", out)
 	}
 }
 

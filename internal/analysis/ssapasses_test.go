@@ -1,0 +1,24 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"golang.org/x/tools/go/analysis/passes/nilness"
+	"golang.org/x/tools/go/analysis/passes/unusedwrite"
+
+	"hwatch/internal/analysis/atest"
+)
+
+// The vendored SSA layer has no tests of its own (vendor trees are not
+// built by go test), so the two SSA-backed standard passes get fixture
+// coverage here: each proves the naive-form SSA built over the go/cfg
+// graphs is faithful enough to catch the seeded violation and precise
+// enough to stay silent on the sound variants.
+
+func TestNilness(t *testing.T) {
+	atest.Run(t, "testdata/src/nilness", "hwatch/internal/sim/na", nilness.Analyzer)
+}
+
+func TestUnusedwrite(t *testing.T) {
+	atest.Run(t, "testdata/src/unusedwrite", "hwatch/internal/sim/uw", unusedwrite.Analyzer)
+}

@@ -1,13 +1,17 @@
-// Package suite assembles the hwatchvet analyzer set: the four custom
+// Package suite assembles the hwatchvet analyzer set: the seven custom
 // contract analyzers plus a curated slice of the vendored standard
 // go/analysis passes.
 //
-// The standard set is limited to passes that work from syntax + types
-// alone. The SSA-based passes the issue tracker wishlists (nilness,
-// unusedwrite, shadow) need go/ssa, which the offline vendored x/tools
-// subset does not carry; they are gated out here and documented in
-// DESIGN.md §6f so they can be enabled the day the dependency is
-// available.
+// Since PR 10 the vendored x/tools subset carries an offline go/ssa
+// layer (naive-form IR built over the go/cfg graphs, see
+// vendor/golang.org/x/tools/go/ssa), so the standard set includes the
+// SSA-backed passes nilness and unusedwrite alongside the syntax+types
+// passes, and the custom set includes the SSA-backed concurrency and
+// purity contracts lockscope, hookpure, and ctxflow. DESIGN.md §6k
+// documents the SSA layer and the three contract analyzers.
+//
+// Standard() must stay sorted by analyzer name with no duplicates;
+// suite_test.go enforces both.
 package suite
 
 import (
@@ -21,6 +25,7 @@ import (
 	"golang.org/x/tools/go/analysis/passes/loopclosure"
 	"golang.org/x/tools/go/analysis/passes/lostcancel"
 	"golang.org/x/tools/go/analysis/passes/nilfunc"
+	"golang.org/x/tools/go/analysis/passes/nilness"
 	"golang.org/x/tools/go/analysis/passes/sigchanyzer"
 	"golang.org/x/tools/go/analysis/passes/stdmethods"
 	"golang.org/x/tools/go/analysis/passes/stringintconv"
@@ -28,25 +33,34 @@ import (
 	"golang.org/x/tools/go/analysis/passes/unreachable"
 	"golang.org/x/tools/go/analysis/passes/unsafeptr"
 	"golang.org/x/tools/go/analysis/passes/unusedresult"
+	"golang.org/x/tools/go/analysis/passes/unusedwrite"
 
+	"hwatch/internal/analysis/ctxflow"
 	"hwatch/internal/analysis/detrand"
 	"hwatch/internal/analysis/directive"
+	"hwatch/internal/analysis/hookpure"
+	"hwatch/internal/analysis/lockscope"
 	"hwatch/internal/analysis/pktown"
 	"hwatch/internal/analysis/schedclosure"
 )
 
-// Custom returns the four hwatchvet contract analyzers.
+// Custom returns the hwatchvet contract analyzers. directive must run
+// last-registered so its stale-allow report sees every other analyzer's
+// Used map.
 func Custom() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		detrand.Analyzer,
 		pktown.Analyzer,
 		schedclosure.Analyzer,
+		lockscope.Analyzer,
+		hookpure.Analyzer,
+		ctxflow.Analyzer,
 		directive.Analyzer,
 	}
 }
 
 // Standard returns the curated vendored x/tools passes hwatchvet runs
-// alongside the custom set.
+// alongside the custom set, sorted by name.
 func Standard() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		assign.Analyzer,
@@ -58,6 +72,7 @@ func Standard() []*analysis.Analyzer {
 		loopclosure.Analyzer,
 		lostcancel.Analyzer,
 		nilfunc.Analyzer,
+		nilness.Analyzer,
 		sigchanyzer.Analyzer,
 		stdmethods.Analyzer,
 		stringintconv.Analyzer,
@@ -65,6 +80,7 @@ func Standard() []*analysis.Analyzer {
 		unreachable.Analyzer,
 		unsafeptr.Analyzer,
 		unusedresult.Analyzer,
+		unusedwrite.Analyzer,
 	}
 }
 

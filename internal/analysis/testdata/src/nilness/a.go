@@ -1,0 +1,30 @@
+// Fixture for the vendored SSA-backed nilness pass: definite-nil
+// dereferences flag, nil-checked paths stay silent.
+package a
+
+type T struct{ n int }
+
+func definiteNil() int {
+	var p *T
+	return p.n // want `nil dereference in field selection`
+}
+
+func refinedNil(p *T) int {
+	if p == nil {
+		return p.n // want `nil dereference in field selection`
+	}
+	return p.n
+}
+
+func checkedFirst(p *T) int {
+	if p != nil {
+		return p.n
+	}
+	return 0
+}
+
+func assignedBeforeUse() int {
+	var p *T
+	p = &T{n: 3}
+	return p.n
+}

@@ -1,0 +1,26 @@
+// Fixture for the vendored SSA-backed unusedwrite pass: a field write to
+// a non-escaping struct local with no reachable read flags; read fields,
+// escaping structs, and whole-struct reads stay silent.
+package a
+
+type point struct{ x, y int }
+
+func deadFieldWrite() int {
+	var p point
+	p.x = 1 // want `unused write to field x`
+	p.y = 2
+	return p.y
+}
+
+func wholeStructRead() point {
+	var p point
+	p.x = 1
+	p.y = 2
+	return p
+}
+
+func escapes() *point {
+	var p point
+	p.x = 1
+	return &p
+}

@@ -63,29 +63,49 @@ type ablationCase struct {
 	guest *tcp.Config
 }
 
-// runAblation executes the cases through the harness pool, preserving case
-// order in the output.
+// runAblation executes the cases through the harness pool, preserving
+// case order in the output (the classic entry point).
 func runAblation(scale float64, cases []ablationCase) []AblationPoint {
-	out, _ := harness.Map(context.Background(), ParallelN(), cases,
-		func(_ context.Context, c ablationCase) (AblationPoint, error) {
+	out, _ := runAblationContext(context.Background(), scale, cases)
+	return out
+}
+
+// runAblationContext executes the cases under ctx: cancellation skips
+// queued cases, interrupts running ones through the engine poll hook,
+// and returns ctx.Err with the rows completed so far.
+func runAblationContext(ctx context.Context, scale float64, cases []ablationCase) ([]AblationPoint, error) {
+	return harness.Map(ctx, ParallelN(), cases,
+		func(cctx context.Context, c ablationCase) (AblationPoint, error) {
 			p := ablationBase(scale)
 			if c.prep != nil {
 				c.prep(&p)
 			}
 			var r *Run
+			var err error
 			if c.guest != nil {
-				r = runHWatchWithGuest(p, *c.guest)
+				r, err = runHWatchWithGuest(cctx, p, *c.guest)
 			} else {
-				r = RunDumbbell(SchemeHWatch, p)
+				r, err = RunDumbbellContext(cctx, SchemeHWatch, p)
+			}
+			if err != nil {
+				return AblationPoint{}, err
 			}
 			return point(c.label, r, 0), nil
 		})
-	return out
 }
 
 // AblationProbes sweeps the probe count and compares uniform vs.
 // non-uniform spacing (the paper argues for 10 probes, jittered).
 func AblationProbes(scale float64) []AblationPoint {
+	return runAblation(scale, probesCases())
+}
+
+// AblationProbesContext is AblationProbes under a context.
+func AblationProbesContext(ctx context.Context, scale float64) ([]AblationPoint, error) {
+	return runAblationContext(ctx, scale, probesCases())
+}
+
+func probesCases() []ablationCase {
 	var cases []ablationCase
 	for _, n := range []int{0, 2, 5, 10, 20} {
 		n := n
@@ -103,12 +123,21 @@ func AblationProbes(scale float64) []AblationPoint {
 			p.ShimTweak = func(c *core.Config) { c.UniformProbeSpacing = true }
 		},
 	})
-	return runAblation(scale, cases)
+	return cases
 }
 
 // AblationThreshold sweeps the ECN marking threshold as a fraction of the
 // buffer (the paper fixes 20%).
 func AblationThreshold(scale float64) []AblationPoint {
+	return runAblation(scale, thresholdCases())
+}
+
+// AblationThresholdContext is AblationThreshold under a context.
+func AblationThresholdContext(ctx context.Context, scale float64) ([]AblationPoint, error) {
+	return runAblationContext(ctx, scale, thresholdCases())
+}
+
+func thresholdCases() []ablationCase {
 	var cases []ablationCase
 	for _, frac := range []float64{0.05, 0.10, 0.20, 0.35, 0.50} {
 		frac := frac
@@ -117,7 +146,7 @@ func AblationThreshold(scale float64) []AblationPoint {
 			prep:  func(p *DumbbellParams) { p.MarkFrac = frac },
 		})
 	}
-	return runAblation(scale, cases)
+	return cases
 }
 
 // AblationStartWindow compares initial-window policies: the cautious
@@ -125,6 +154,15 @@ func AblationThreshold(scale float64) []AblationPoint {
 // (marked probes earn half), full credit (probing only confirms
 // reachability), and probing disabled (stock ICW always).
 func AblationStartWindow(scale float64) []AblationPoint {
+	return runAblation(scale, startWindowCases())
+}
+
+// AblationStartWindowContext is AblationStartWindow under a context.
+func AblationStartWindowContext(ctx context.Context, scale float64) ([]AblationPoint, error) {
+	return runAblationContext(ctx, scale, startWindowCases())
+}
+
+func startWindowCases() []ablationCase {
 	cases := []struct {
 		label  string
 		credit float64
@@ -148,13 +186,22 @@ func AblationStartWindow(scale float64) []AblationPoint {
 			},
 		})
 	}
-	return runAblation(scale, rows)
+	return rows
 }
 
 // AblationBatches compares Rule 1 batch policies: merged first+second
 // batches (Cor IV.2.2) vs. the strict three-batch split, and the growth
 // cadence.
 func AblationBatches(scale float64) []AblationPoint {
+	return runAblation(scale, batchesCases())
+}
+
+// AblationBatchesContext is AblationBatches under a context.
+func AblationBatchesContext(ctx context.Context, scale float64) ([]AblationPoint, error) {
+	return runAblationContext(ctx, scale, batchesCases())
+}
+
+func batchesCases() []ablationCase {
 	cases := []struct {
 		label string
 		merge bool
@@ -178,11 +225,20 @@ func AblationBatches(scale float64) []AblationPoint {
 			},
 		})
 	}
-	return runAblation(scale, rows)
+	return rows
 }
 
 // AblationPacing toggles the SYN-ACK token bucket.
 func AblationPacing(scale float64) []AblationPoint {
+	return runAblation(scale, pacingCases())
+}
+
+// AblationPacingContext is AblationPacing under a context.
+func AblationPacingContext(ctx context.Context, scale float64) ([]AblationPoint, error) {
+	return runAblationContext(ctx, scale, pacingCases())
+}
+
+func pacingCases() []ablationCase {
 	cases := []struct {
 		label string
 		burst int
@@ -207,7 +263,7 @@ func AblationPacing(scale float64) []AblationPoint {
 			},
 		})
 	}
-	return runAblation(scale, rows)
+	return rows
 }
 
 // AblationGuestStacks quantifies requirement R3 (VM autonomy): HWatch must
@@ -215,6 +271,15 @@ func AblationPacing(scale float64) []AblationPoint {
 // happens to be. Each variant runs the 100-source scenario with a
 // different guest flavour under the same shims.
 func AblationGuestStacks(scale float64) []AblationPoint {
+	return runAblation(scale, guestStackCases())
+}
+
+// AblationGuestStacksContext is AblationGuestStacks under a context.
+func AblationGuestStacksContext(ctx context.Context, scale float64) ([]AblationPoint, error) {
+	return runAblationContext(ctx, scale, guestStackCases())
+}
+
+func guestStackCases() []ablationCase {
 	newReno := tcp.DefaultConfig()
 	sack := tcp.DefaultConfig()
 	sack.SACK = true
@@ -235,14 +300,14 @@ func AblationGuestStacks(scale float64) []AblationPoint {
 		cfg := c.cfg
 		rows = append(rows, ablationCase{label: c.label, guest: &cfg})
 	}
-	return runAblation(scale, rows)
+	return rows
 }
 
-// runHWatchWithGuest is RunDumbbell(SchemeHWatch, ...) with an explicit
-// guest stack configuration instead of the scheme's default. The shims
-// keep the scheme's default guest view, as a hypervisor module would: it
-// cannot know what stack the tenant boots.
-func runHWatchWithGuest(p DumbbellParams, guest tcp.Config) *Run {
+// runHWatchWithGuest is RunDumbbellContext(SchemeHWatch, ...) with an
+// explicit guest stack configuration instead of the scheme's default.
+// The shims keep the scheme's default guest view, as a hypervisor module
+// would: it cannot know what stack the tenant boots.
+func runHWatchWithGuest(ctx context.Context, p DumbbellParams, guest tcp.Config) (*Run, error) {
 	p.ByteBuffers = true
 	spec := &scenario.Spec{
 		Kind:     scenario.KindDumbbell,
@@ -251,9 +316,5 @@ func runHWatchWithGuest(p DumbbellParams, guest tcp.Config) *Run {
 		Guest:    &guest,
 		Dumbbell: p,
 	}
-	run, err := spec.Run()
-	if err != nil {
-		panic("experiments: " + err.Error())
-	}
-	return run
+	return spec.RunContext(ctx)
 }

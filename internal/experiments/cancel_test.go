@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestContextVariantsPropagateCancellation is the regression test for the
+// ctxflow sweep: every extension-study and ablation entry point now has a
+// *Context variant, and a cancelled context must surface as ctx.Err()
+// instead of silently running to completion the way the pre-context entry
+// points did.
+func TestContextVariantsPropagateCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	schemes := []Scheme{SchemeHWatch}
+	checks := map[string]func() error{
+		"RunIncastSweepContext": func() error {
+			_, err := RunIncastSweepContext(ctx, schemes, DefaultIncastSweep())
+			return err
+		},
+		"RunEmpiricalContext": func() error {
+			_, err := RunEmpiricalContext(ctx, schemes, DefaultEmpirical())
+			return err
+		},
+		"RunCoflowContext": func() error {
+			_, err := RunCoflowContext(ctx, schemes, DefaultCoflow())
+			return err
+		},
+		"AblationProbesContext": func() error {
+			_, err := AblationProbesContext(ctx, 0.1)
+			return err
+		},
+		"AblationThresholdContext": func() error {
+			_, err := AblationThresholdContext(ctx, 0.1)
+			return err
+		},
+		"AblationStartWindowContext": func() error {
+			_, err := AblationStartWindowContext(ctx, 0.1)
+			return err
+		},
+		"AblationBatchesContext": func() error {
+			_, err := AblationBatchesContext(ctx, 0.1)
+			return err
+		},
+		"AblationPacingContext": func() error {
+			_, err := AblationPacingContext(ctx, 0.1)
+			return err
+		},
+		"AblationGuestStacksContext": func() error {
+			_, err := AblationGuestStacksContext(ctx, 0.1)
+			return err
+		},
+		"Fig8Context": func() error {
+			_, err := Fig8Context(ctx, 0.1)
+			return err
+		},
+	}
+	for name, run := range checks {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s under a cancelled context: got err=%v, want context.Canceled", name, err)
+		}
+	}
+}

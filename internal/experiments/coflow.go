@@ -59,13 +59,21 @@ func DefaultCoflow() CoflowParams {
 }
 
 // RunCoflow executes the study for the given schemes through the harness
-// pool; every scheme sees the same seed and hence the same job arrivals.
+// pool (the classic entry point; see RunCoflowContext for the
+// cancellable form).
 func RunCoflow(schemes []Scheme, p CoflowParams) []CoflowResult {
-	out, _ := harness.Map(context.Background(), ParallelN(), schemes,
+	out, _ := RunCoflowContext(context.Background(), schemes, p)
+	return out
+}
+
+// RunCoflowContext executes the study under ctx: cancellation skips
+// queued cells and returns ctx.Err with the rows completed so far; every
+// scheme sees the same seed and hence the same job arrivals.
+func RunCoflowContext(ctx context.Context, schemes []Scheme, p CoflowParams) ([]CoflowResult, error) {
+	return harness.Map(ctx, ParallelN(), schemes,
 		func(_ context.Context, sc Scheme) (CoflowResult, error) {
 			return runCoflowCell(sc, p), nil
 		})
-	return out
 }
 
 func runCoflowCell(sc Scheme, p CoflowParams) CoflowResult {

@@ -65,9 +65,18 @@ func DefaultEmpirical() EmpiricalParams {
 }
 
 // RunEmpirical executes the study for the given schemes through the
-// harness pool. Cells at one load level share a load-derived seed, so the
-// schemes compare against identical arrival processes.
+// harness pool (the classic entry point; see RunEmpiricalContext for the
+// cancellable form).
 func RunEmpirical(schemes []Scheme, p EmpiricalParams) []EmpiricalResult {
+	out, _ := RunEmpiricalContext(context.Background(), schemes, p)
+	return out
+}
+
+// RunEmpiricalContext executes the study under ctx: cancellation skips
+// queued cells and returns ctx.Err with the rows completed so far. Cells
+// at one load level share a load-derived seed, so the schemes compare
+// against identical arrival processes.
+func RunEmpiricalContext(ctx context.Context, schemes []Scheme, p EmpiricalParams) ([]EmpiricalResult, error) {
 	type cell struct {
 		sc   Scheme
 		load float64
@@ -78,12 +87,11 @@ func RunEmpirical(schemes []Scheme, p EmpiricalParams) []EmpiricalResult {
 			cells = append(cells, cell{sc, load})
 		}
 	}
-	out, _ := harness.Map(context.Background(), ParallelN(), cells,
+	return harness.Map(ctx, ParallelN(), cells,
 		func(_ context.Context, c cell) (EmpiricalResult, error) {
 			seed := harness.SeedFor(fmt.Sprintf("empirical/load=%g", c.load), p.Seed)
 			return runEmpiricalCell(c.sc, c.load, p, seed), nil
 		})
-	return out
 }
 
 func runEmpiricalCell(sc Scheme, load float64, p EmpiricalParams, seed int64) EmpiricalResult {

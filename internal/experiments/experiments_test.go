@@ -341,7 +341,10 @@ func TestGuestAgnosticismSmall(t *testing.T) {
 	sack := tcp.DefaultConfig()
 	sack.SACK = true
 	for _, guest := range []tcp.Config{cubic, sack} {
-		r := runHWatchWithGuest(base, guest)
+		r, err := runHWatchWithGuest(context.Background(), base, guest)
+		if err != nil {
+			t.Fatalf("guest %v run failed: %v", guest.Variant, err)
+		}
 		if r.Drops != 0 || r.Timeouts != 0 || r.ShortDone != r.ShortAll {
 			t.Fatalf("guest %v broke the guarantee: %+v", guest.Variant, Summarize(r))
 		}

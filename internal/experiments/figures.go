@@ -146,7 +146,7 @@ type Fig8Result struct {
 // 25 short-lived sources, schemes TCP-DropTail / TCP-RED / TCP-HWatch /
 // DCTCP.
 func Fig8(scale float64) *Fig8Result {
-	res, err := figScheme(context.Background(), 25, 25, scale)
+	res, err := Fig8Context(context.Background(), scale)
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
@@ -155,7 +155,7 @@ func Fig8(scale float64) *Fig8Result {
 
 // Fig9 reproduces the 100-source scalability rerun (Fig. 9a-d).
 func Fig9(scale float64) *Fig8Result {
-	res, err := figScheme(context.Background(), 50, 50, scale)
+	res, err := Fig9Context(context.Background(), scale)
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}

@@ -53,10 +53,20 @@ func DefaultIncastSweep() IncastSweepParams {
 }
 
 // RunIncastSweep executes the sweep for the given schemes through the
-// harness pool. Every (scheme, degree) cell derives its seed from the
-// degree alone, so the schemes at one degree see identical traffic while
-// distinct degrees draw independent randomness.
+// harness pool (the classic entry point; see RunIncastSweepContext for
+// the cancellable form).
 func RunIncastSweep(schemes []Scheme, p IncastSweepParams) []IncastPoint {
+	out, _ := RunIncastSweepContext(context.Background(), schemes, p)
+	return out
+}
+
+// RunIncastSweepContext executes the sweep under ctx: cancellation skips
+// queued cells, interrupts running ones through the engine poll hook,
+// and returns ctx.Err with the rows completed so far. Every (scheme,
+// degree) cell derives its seed from the degree alone, so the schemes at
+// one degree see identical traffic while distinct degrees draw
+// independent randomness.
+func RunIncastSweepContext(ctx context.Context, schemes []Scheme, p IncastSweepParams) ([]IncastPoint, error) {
 	type cell struct {
 		sc  Scheme
 		deg int
@@ -67,15 +77,18 @@ func RunIncastSweep(schemes []Scheme, p IncastSweepParams) []IncastPoint {
 			cells = append(cells, cell{sc, deg})
 		}
 	}
-	out, _ := harness.Map(context.Background(), ParallelN(), cells,
-		func(_ context.Context, c cell) (IncastPoint, error) {
+	return harness.Map(ctx, ParallelN(), cells,
+		func(cctx context.Context, c cell) (IncastPoint, error) {
 			dp := PaperDumbbell(p.LongSources, c.deg)
 			dp.ByteBuffers = true
 			dp.ShortSize = p.FlowSize
 			dp.Epochs = p.Epochs
 			dp.Duration = p.Duration
 			dp.Seed = harness.SeedFor(fmt.Sprintf("incast/deg=%d", c.deg), p.Seed)
-			r := RunDumbbell(c.sc, dp)
+			r, err := RunDumbbellContext(cctx, c.sc, dp)
+			if err != nil {
+				return IncastPoint{}, err
+			}
 			return IncastPoint{
 				Scheme:   c.sc,
 				Degree:   c.deg,
@@ -86,5 +99,4 @@ func RunIncastSweep(schemes []Scheme, p IncastSweepParams) []IncastPoint {
 				All:      r.ShortAll,
 			}, nil
 		})
-	return out
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hwatch/internal/scenario"
 )
 
@@ -27,6 +29,12 @@ func PaperTestbed() TestbedParams { return scenario.PaperTestbed() }
 
 // RunDumbbell executes one scheme under the given parameters.
 func RunDumbbell(scheme Scheme, p DumbbellParams) *Run { return scenario.RunDumbbell(scheme, p) }
+
+// RunDumbbellContext is RunDumbbell under a context: cancellation
+// interrupts the run and returns ctx.Err() instead of panicking.
+func RunDumbbellContext(ctx context.Context, scheme Scheme, p DumbbellParams) (*Run, error) {
+	return scenario.RunDumbbellContext(ctx, scheme, p)
+}
 
 // RunTestbed executes the leaf-spine scenario with or without HWatch.
 func RunTestbed(hwatch bool, p TestbedParams) *Run { return scenario.RunTestbed(hwatch, p) }

@@ -59,7 +59,7 @@ func NewPool(ctx context.Context, parallel int) *Pool {
 		parallel = DefaultParallel()
 	}
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //hwatchvet:allow ctxflow nil-ctx compat default: callers without a context get the documented never-cancelled pool
 	}
 	return &Pool{ctx: ctx, sem: make(chan struct{}, parallel)}
 }

@@ -134,7 +134,7 @@ func (s *Spec) Run() (*Run, error) {
 // check rides the engine's out-of-band poll hook, never the event queue.
 func (s *Spec) RunContext(ctx context.Context) (*Run, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //hwatchvet:allow ctxflow nil-ctx compat default: a nil context means the documented never-cancelled run
 	}
 	switch s.Kind {
 	case KindDumbbell:

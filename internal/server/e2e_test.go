@@ -42,7 +42,7 @@ func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.S
 	if cfg.EventInterval == 0 {
 		cfg.EventInterval = 5 * time.Millisecond
 	}
-	srv := server.New(cfg)
+	srv := server.New(context.Background(), cfg)
 	hs := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		hs.Close()

@@ -203,12 +203,15 @@ func parseJob(req *JobRequest) (*parsedJob, string, error) {
 		scale := normScale(req.Scale)
 		p := &parsedJob{kind: "ablation", name: req.Name, scale: scale}
 		p.run = func(ctx context.Context, _ func(int64, uint64)) ([]*scenario.Run, []string, error) {
-			pts := fn(scale)
+			pts, err := fn(ctx, scale)
+			if err != nil {
+				return nil, nil, err
+			}
 			rows := make([]string, 0, len(pts))
 			for _, pt := range pts {
 				rows = append(rows, fmt.Sprint(pt))
 			}
-			return nil, rows, ctx.Err()
+			return nil, rows, nil
 		}
 		return p, tupleDigest("ablation", req.Name, scale, nil), nil
 
@@ -223,8 +226,11 @@ func parseJob(req *JobRequest) (*parsedJob, string, error) {
 		}
 		p := &parsedJob{kind: "study", name: req.Name, scale: 1}
 		p.run = func(ctx context.Context, _ func(int64, uint64)) ([]*scenario.Run, []string, error) {
-			rows := runStudy(set)
-			return nil, rows, ctx.Err()
+			rows, err := runStudy(ctx, set)
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, rows, nil
 		}
 		return p, tupleDigest("study", req.Name, 1, req.Schemes), nil
 	}
@@ -245,13 +251,13 @@ func tupleDigest(kind, name string, scale float64, schemes []string) string {
 	return hex.EncodeToString(sum[:])
 }
 
-var ablations = map[string]func(float64) []experiments.AblationPoint{
-	"probes": experiments.AblationProbes,
-	"k":      experiments.AblationThreshold,
-	"icw":    experiments.AblationStartWindow,
-	"batch":  experiments.AblationBatches,
-	"pacing": experiments.AblationPacing,
-	"guests": experiments.AblationGuestStacks,
+var ablations = map[string]func(context.Context, float64) ([]experiments.AblationPoint, error){
+	"probes": experiments.AblationProbesContext,
+	"k":      experiments.AblationThresholdContext,
+	"icw":    experiments.AblationStartWindowContext,
+	"batch":  experiments.AblationBatchesContext,
+	"pacing": experiments.AblationPacingContext,
+	"guests": experiments.AblationGuestStacksContext,
 }
 
 func ablationNames() []string {
@@ -263,18 +269,21 @@ func ablationNames() []string {
 	return names
 }
 
-// The extension studies run without mid-run cancellation (their entry
-// points predate contexts); a cancelled study job still stops between
-// queued cells via the harness pool and discards its rows.
-var studies = map[string]func(set []experiments.Scheme) []string{
-	"empirical": func(set []experiments.Scheme) []string {
-		return sprintRows(experiments.RunEmpirical(set, experiments.DefaultEmpirical()))
+// The extension studies run under the job context: cancellation skips
+// queued cells, interrupts running ones through the engine poll hook,
+// and the job discards its partial rows.
+var studies = map[string]func(ctx context.Context, set []experiments.Scheme) ([]string, error){
+	"empirical": func(ctx context.Context, set []experiments.Scheme) ([]string, error) {
+		res, err := experiments.RunEmpiricalContext(ctx, set, experiments.DefaultEmpirical())
+		return sprintRows(res), err
 	},
-	"coflow": func(set []experiments.Scheme) []string {
-		return sprintRows(experiments.RunCoflow(set, experiments.DefaultCoflow()))
+	"coflow": func(ctx context.Context, set []experiments.Scheme) ([]string, error) {
+		res, err := experiments.RunCoflowContext(ctx, set, experiments.DefaultCoflow())
+		return sprintRows(res), err
 	},
-	"incast": func(set []experiments.Scheme) []string {
-		return sprintRows(experiments.RunIncastSweep(set, experiments.DefaultIncastSweep()))
+	"incast": func(ctx context.Context, set []experiments.Scheme) ([]string, error) {
+		res, err := experiments.RunIncastSweepContext(ctx, set, experiments.DefaultIncastSweep())
+		return sprintRows(res), err
 	},
 }
 

@@ -83,8 +83,9 @@ type Stats struct {
 	QueueDepth   int    `json:"queue_depth"`
 }
 
-// New builds a Server. Close releases it.
-func New(cfg Config) *Server {
+// New builds a Server whose jobs run under parent: cancelling parent (or
+// calling Close) cancels every outstanding job. Close releases it.
+func New(parent context.Context, cfg Config) *Server {
 	if cfg.Parallel <= 0 {
 		cfg.Parallel = harness.DefaultParallel()
 	}
@@ -101,7 +102,7 @@ func New(cfg Config) *Server {
 	if version == "" {
 		version = buildVersion()
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	return &Server{
 		cfg:     cfg,
 		version: version,

@@ -172,6 +172,107 @@ func TestStressWaiterAbandonmentCancelsJob(t *testing.T) {
 	})
 }
 
+// TestStressSubmitCancelStatsUnderEviction hammers the three mutating
+// paths at once — waited submissions, mid-flight cancellations via
+// abandoned requests, and stats reads — against a result cache small
+// enough that almost every completion evicts an entry. The invariants:
+// no submission errors besides the deliberate cancellations, the active
+// set drains, and the cache never exceeds its configured capacity. Under
+// `make server-e2e` (-race) this is the concurrency gate for the
+// job-map/cache/stats lock interplay.
+func TestStressSubmitCancelStatsUnderEviction(t *testing.T) {
+	const (
+		submitters = 4
+		iters      = 3
+		cacheSize  = 2
+	)
+	// Shorter than stressSpec: this test measures lock interplay, not the
+	// simulation, and the race detector makes every simulated millisecond
+	// expensive.
+	shortSpec := func(seed int) string {
+		return fmt.Sprintf(`{
+			"kind": "dumbbell", "scheme": "hwatch",
+			"long_sources": 2, "short_sources": 2,
+			"seed": %d, "duration_ms": 40, "drain_after_ms": 20, "epochs": 1
+		}`, 2000+seed)
+	}
+	srv, hs, cl := newTestServer(t, server.Config{Parallel: 2, QueueDepth: submitters * iters, CacheSize: cacheSize})
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = srv.Stats()
+					// Throttle: a hot spin would starve the simulation
+					// workers of scheduler time, not find more races.
+					time.Sleep(200 * time.Microsecond)
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, submitters)
+	for i := 0; i < submitters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				// Distinct seeds: every iteration is a fresh digest, so
+				// completions churn the 2-entry cache continuously.
+				spec := shortSpec(i*iters + j)
+				if (i+j)%3 == 0 {
+					// Deliberate mid-flight abandonment: wait briefly, then
+					// walk away. The server must cancel the orphaned job.
+					reqCtx, cancel := context.WithTimeout(ctx, 2*time.Millisecond)
+					req, err := http.NewRequestWithContext(reqCtx, http.MethodPost,
+						hs.URL+"/api/v1/jobs?wait=1", strings.NewReader(spec))
+					if err != nil {
+						errs[i] = err
+						cancel()
+						return
+					}
+					if resp, err := hs.Client().Do(req); err == nil {
+						resp.Body.Close()
+					}
+					cancel()
+					continue
+				}
+				if _, err := cl.SubmitSpec(ctx, []byte(spec)); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submitter %d: %v", i, err)
+		}
+	}
+	waitFor(t, "active set drained", func() bool { return srv.Stats().Active == 0 })
+	st := srv.Stats()
+	if st.CacheEntries > cacheSize {
+		t.Errorf("cache holds %d entries, configured capacity is %d", st.CacheEntries, cacheSize)
+	}
+	if st.Executed == 0 {
+		t.Error("stress run executed no jobs")
+	}
+}
+
 // waitFor polls cond for up to 30s; the generous ceiling only matters on
 // failure — success paths clear in milliseconds.
 func waitFor(t *testing.T, what string, cond func() bool) {

@@ -1,0 +1,78 @@
+// Package buildssa defines an Analyzer that constructs the SSA
+// representation of an error-free package and returns the set of all
+// functions within it.
+//
+// This vendored copy drives the repo's offline go/ssa subset (see that
+// package's documentation): function bodies are lowered over the
+// control-flow graphs produced by the ctrlflow pass, in naive
+// (unlifted) form. Functions whose bodies fall outside the subset are
+// still present in SrcFuncs but carry nil Blocks and a BuildError;
+// analyses must skip them.
+package buildssa
+
+import (
+	"go/ast"
+	"reflect"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/ssa"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "buildssa",
+	Doc:        "build SSA-form IR for later passes",
+	URL:        "https://pkg.go.dev/golang.org/x/tools/go/analysis/passes/buildssa",
+	Run:        run,
+	ResultType: reflect.TypeOf(new(SSA)),
+	Requires:   []*analysis.Analyzer{ctrlflow.Analyzer},
+}
+
+// SSA provides SSA-form intermediate representation for all the
+// source functions in the current package.
+type SSA struct {
+	Pkg      *ssa.Package
+	SrcFuncs []*ssa.Function
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	// ctrlflow panics on a FuncLit it has not indexed (none should
+	// exist, but a missing entry must not take the whole run down).
+	litCFG := func(lit *ast.FuncLit) (g *cfg.CFG) {
+		defer func() {
+			if recover() != nil {
+				g = nil
+			}
+		}()
+		return cfgs.FuncLit(lit)
+	}
+
+	prog := &SSA{Pkg: &ssa.Package{Pkg: pass.Pkg}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := ssa.BuildFunction(pass.Pkg, pass.TypesInfo, fd, cfgs.FuncDecl(fd), litCFG)
+			prog.Pkg.Funcs = append(prog.Pkg.Funcs, fn)
+		}
+	}
+
+	// SrcFuncs lists every function including anonymous ones, parents
+	// before their children, matching the upstream contract.
+	var addAll func(fn *ssa.Function)
+	addAll = func(fn *ssa.Function) {
+		prog.SrcFuncs = append(prog.SrcFuncs, fn)
+		for _, anon := range fn.AnonFuncs {
+			addAll(anon)
+		}
+	}
+	for _, fn := range prog.Pkg.Funcs {
+		addAll(fn)
+	}
+	return prog, nil
+}

@@ -1,0 +1,327 @@
+// Package nilness inspects the control-flow graph of an SSA function
+// and reports errors such as nil pointer dereferences.
+//
+// This vendored copy targets the repo's naive-form SSA subset: local
+// pointer-like variables live in Alloc cells, so nilness is a forward
+// dataflow over cell contents with branch refinement on `x == nil` /
+// `x != nil` conditions. Only *definite* nil dereferences are
+// reported; a variable whose cell address escapes (passed to a call,
+// captured by a closure, aliased) becomes untrackable and is never
+// reported. This keeps the pass sound but deliberately modest.
+package nilness
+
+import (
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/buildssa"
+	"golang.org/x/tools/go/ssa"
+)
+
+const Doc = `check for redundant or impossible nil comparisons and nil dereferences`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "nilness",
+	Doc:      Doc,
+	URL:      "https://pkg.go.dev/golang.org/x/tools/go/analysis/passes/nilness",
+	Run:      run,
+	Requires: []*analysis.Analyzer{buildssa.Analyzer},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	prog := pass.ResultOf[buildssa.Analyzer].(*buildssa.SSA)
+	for _, fn := range prog.SrcFuncs {
+		if fn.Blocks == nil {
+			continue
+		}
+		runFunc(pass, fn)
+	}
+	return nil, nil
+}
+
+// nilFact is the abstract nil-ness of one tracked variable.
+type nilFact int8
+
+const (
+	unknown nilFact = iota
+	isNil
+	isNonnil
+)
+
+func merge(a, b nilFact) nilFact {
+	if a == b {
+		return a
+	}
+	return unknown
+}
+
+// facts maps tracked variables to their nil-ness at a program point.
+type facts map[*types.Var]nilFact
+
+func (f facts) clone() facts {
+	g := make(facts, len(f))
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+func (f facts) equal(g facts) bool {
+	if len(f) != len(g) {
+		return false
+	}
+	for k, v := range f {
+		if g[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func runFunc(pass *analysis.Pass, fn *ssa.Function) {
+	tracked := trackableVars(fn)
+	if len(tracked) == 0 {
+		return
+	}
+
+	// Forward fixpoint: entry facts per block.
+	in := make([]facts, len(fn.Blocks))
+	in[0] = facts{}
+	work := []*ssa.BasicBlock{fn.Blocks[0]}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		state := in[b.Index].clone()
+		state = flowBlock(b, state, tracked, nil)
+		for i, succ := range b.Succs {
+			out := state.clone()
+			refineBranch(b, i, out, tracked)
+			if in[succ.Index] == nil {
+				in[succ.Index] = out
+				work = append(work, succ)
+			} else {
+				joined := join(in[succ.Index], out)
+				if !joined.equal(in[succ.Index]) {
+					in[succ.Index] = joined
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+
+	// Report pass: replay each reachable block with its final entry
+	// facts and flag definite-nil dereferences.
+	for _, b := range fn.Blocks {
+		if in[b.Index] == nil {
+			continue // unreachable
+		}
+		flowBlock(b, in[b.Index].clone(), tracked, func(pos token.Pos, what string) {
+			if pos.IsValid() {
+				pass.Reportf(pos, "nil dereference in %s", what)
+			}
+		})
+	}
+}
+
+func join(a, b facts) facts {
+	out := make(facts, len(a))
+	for k, v := range a {
+		out[k] = merge(v, b[k])
+	}
+	for k, v := range b {
+		if _, ok := a[k]; !ok {
+			out[k] = merge(v, unknown)
+		}
+	}
+	return out
+}
+
+// trackableVars returns locals whose Alloc cell never escapes: every
+// use of the cell is a direct Load or the address slot of a Store.
+func trackableVars(fn *ssa.Function) map[*types.Var]*ssa.Alloc {
+	cells := make(map[*ssa.Alloc]*types.Var)
+	var walk func(fn *ssa.Function)
+	escape := func(v ssa.Value) {
+		if a, ok := v.(*ssa.Alloc); ok {
+			delete(cells, a)
+		}
+	}
+	walk = func(fn *ssa.Function) {
+		for _, b := range fn.Blocks {
+			for _, instr := range b.Instrs {
+				if a, ok := instr.(*ssa.Alloc); ok && a.Obj != nil && !a.Heap {
+					if isPointerLike(a.Obj.Type()) {
+						cells[a] = a.Obj
+					}
+				}
+			}
+		}
+		for _, b := range fn.Blocks {
+			for _, instr := range b.Instrs {
+				switch instr := instr.(type) {
+				case *ssa.Load:
+					// reading the cell: fine
+				case *ssa.Store:
+					escape(instr.Val) // storing the address aliases it
+				default:
+					for _, op := range instr.Operands() {
+						escape(op)
+					}
+				}
+			}
+		}
+	}
+	walk(fn)
+	out := make(map[*types.Var]*ssa.Alloc, len(cells))
+	for a, v := range cells {
+		out[v] = a
+	}
+	return out
+}
+
+func isPointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Slice, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// varOfLoad maps a Load of a tracked cell back to its variable.
+func varOfLoad(v ssa.Value, tracked map[*types.Var]*ssa.Alloc) *types.Var {
+	load, ok := v.(*ssa.Load)
+	if !ok {
+		return nil
+	}
+	a, ok := load.X.(*ssa.Alloc)
+	if !ok || a.Obj == nil {
+		return nil
+	}
+	if tracked[a.Obj] == a {
+		return a.Obj
+	}
+	return nil
+}
+
+// valueFact classifies the nil-ness of a value being stored.
+func valueFact(v ssa.Value, state facts, tracked map[*types.Var]*ssa.Alloc) nilFact {
+	switch v := v.(type) {
+	case *ssa.Const:
+		if v.IsNil() {
+			return isNil
+		}
+		return isNonnil
+	case *ssa.Alloc, *ssa.Make, *ssa.MakeClosure, *ssa.FuncValue:
+		return isNonnil
+	case *ssa.Convert:
+		return valueFact(v.X, state, tracked)
+	case *ssa.Load:
+		if tv := varOfLoad(v, tracked); tv != nil {
+			return state[tv]
+		}
+	}
+	return unknown
+}
+
+// nilValue reports whether v is definitely nil in the current state.
+func nilValue(v ssa.Value, state facts, tracked map[*types.Var]*ssa.Alloc) bool {
+	return valueFact(v, state, tracked) == isNil
+}
+
+// flowBlock advances state through one block. When report is non-nil,
+// definite-nil dereferences are emitted.
+func flowBlock(b *ssa.BasicBlock, state facts, tracked map[*types.Var]*ssa.Alloc, report func(token.Pos, string)) facts {
+	deref := func(v ssa.Value, pos token.Pos, what string) {
+		if report != nil && nilValue(v, state, tracked) {
+			report(pos, what)
+		}
+		// After a successful dereference the value is non-nil.
+		if tv := varOfLoad(v, tracked); tv != nil && state[tv] == unknown {
+			state[tv] = isNonnil
+		}
+	}
+	for _, instr := range b.Instrs {
+		switch instr := instr.(type) {
+		case *ssa.FieldAddr:
+			if _, isAlloc := instr.X.(*ssa.Alloc); !isAlloc {
+				deref(instr.X, instr.Pos(), "field selection")
+			}
+		case *ssa.IndexAddr:
+			deref(instr.X, instr.Pos(), "index operation")
+		case *ssa.Load:
+			if _, isAlloc := instr.X.(*ssa.Alloc); !isAlloc {
+				if _, isGlobal := instr.X.(*ssa.Global); !isGlobal {
+					if _, isFree := instr.X.(*ssa.FreeVar); !isFree {
+						deref(instr.X, instr.Pos(), "load")
+					}
+				}
+			}
+		case *ssa.Store:
+			if a, ok := instr.Addr.(*ssa.Alloc); ok && a.Obj != nil && tracked[a.Obj] == a {
+				state[a.Obj] = valueFact(instr.Val, state, tracked)
+			} else if _, isGlobal := instr.Addr.(*ssa.Global); !isGlobal {
+				if _, isAlloc := instr.Addr.(*ssa.Alloc); !isAlloc {
+					deref(instr.Addr, instr.Pos(), "store")
+				}
+			}
+		case *ssa.Call:
+			// A call may mutate anything reachable; tracked cells do not
+			// escape, so their facts survive. But a method call on a
+			// tracked nil receiver is itself a likely fault only for
+			// value receivers; stay silent (pointer receivers may
+			// legitimately handle nil).
+			_ = instr
+		}
+	}
+	return state
+}
+
+// refineBranch sharpens facts on the taken edge of an If terminator
+// comparing a tracked variable against nil. go/cfg orders successors
+// (then, else), which the SSA subset preserves.
+func refineBranch(b *ssa.BasicBlock, succIdx int, state facts, tracked map[*types.Var]*ssa.Alloc) {
+	if len(b.Succs) != 2 {
+		return
+	}
+	n := len(b.Instrs)
+	if n == 0 {
+		return
+	}
+	ifInstr, ok := b.Instrs[n-1].(*ssa.If)
+	if !ok {
+		return
+	}
+	binop, ok := ifInstr.Cond.(*ssa.BinOp)
+	if !ok {
+		return
+	}
+	if binop.Op != token.EQL && binop.Op != token.NEQ {
+		return
+	}
+	var tv *types.Var
+	var other ssa.Value
+	if v := varOfLoad(binop.X, tracked); v != nil {
+		tv, other = v, binop.Y
+	} else if v := varOfLoad(binop.Y, tracked); v != nil {
+		tv, other = v, binop.X
+	} else {
+		return
+	}
+	c, ok := other.(*ssa.Const)
+	if !ok || !c.IsNil() {
+		return
+	}
+	eqTaken := succIdx == 0 // then-branch
+	if binop.Op == token.NEQ {
+		eqTaken = !eqTaken
+	}
+	if eqTaken {
+		state[tv] = isNil
+	} else {
+		state[tv] = isNonnil
+	}
+}

@@ -1,0 +1,206 @@
+// Package unusedwrite checks for unused writes to the elements of a
+// struct or array object.
+//
+// This vendored copy targets the repo's naive-form SSA subset: a field
+// write to a non-escaping struct-typed local is flagged when no read of
+// that field (or of the whole struct) is reachable from the write. The
+// escape rule is strict — any use of the cell address beyond direct
+// Load/Store/FieldAddr disqualifies the variable — so the pass reports
+// only certainly-dead stores.
+package unusedwrite
+
+import (
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/buildssa"
+	"golang.org/x/tools/go/ssa"
+)
+
+const Doc = `checks for unused writes to struct fields
+
+The analyzer reports instances of writes to struct fields that are
+never read, on objects that are certain not to be aliased.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "unusedwrite",
+	Doc:      Doc,
+	URL:      "https://pkg.go.dev/golang.org/x/tools/go/analysis/passes/unusedwrite",
+	Run:      run,
+	Requires: []*analysis.Analyzer{buildssa.Analyzer},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	prog := pass.ResultOf[buildssa.Analyzer].(*buildssa.SSA)
+	for _, fn := range prog.SrcFuncs {
+		if fn.Blocks == nil {
+			continue
+		}
+		runFunc(pass, fn)
+	}
+	return nil, nil
+}
+
+func runFunc(pass *analysis.Pass, fn *ssa.Function) {
+	// Defers can read state after every textual write; be silent in
+	// functions that use them.
+	for _, b := range fn.Blocks {
+		for _, instr := range b.Instrs {
+			if _, ok := instr.(*ssa.Defer); ok {
+				return
+			}
+		}
+	}
+
+	cells := structCells(fn)
+	if len(cells) == 0 {
+		return
+	}
+
+	// Collect field writes per cell and the positions of reads.
+	type write struct {
+		store *ssa.Store
+		field *types.Var
+		block *ssa.BasicBlock
+		index int // instruction index within block
+	}
+	var writes []write
+	for _, b := range fn.Blocks {
+		for i, instr := range b.Instrs {
+			st, ok := instr.(*ssa.Store)
+			if !ok {
+				continue
+			}
+			fa, ok := st.Addr.(*ssa.FieldAddr)
+			if !ok {
+				continue
+			}
+			a, ok := fa.X.(*ssa.Alloc)
+			if !ok || !cells[a] || fa.Var == nil {
+				continue
+			}
+			writes = append(writes, write{store: st, field: fa.Var, block: b, index: i})
+		}
+	}
+	if len(writes) == 0 {
+		return
+	}
+
+	// isRead reports whether instr reads cell a (field f or whole).
+	isRead := func(instr ssa.Instruction, a *ssa.Alloc, f *types.Var) bool {
+		load, ok := instr.(*ssa.Load)
+		if !ok {
+			return false
+		}
+		switch x := load.X.(type) {
+		case *ssa.Alloc:
+			return x == a // whole-struct read
+		case *ssa.FieldAddr:
+			inner, ok := x.X.(*ssa.Alloc)
+			return ok && inner == a && (x.Var == nil || x.Var == f)
+		}
+		return false
+	}
+
+	for _, w := range writes {
+		fa := w.store.Addr.(*ssa.FieldAddr)
+		a := fa.X.(*ssa.Alloc)
+
+		// Forward reachability from just after the store.
+		used := false
+		for _, instr := range w.block.Instrs[w.index+1:] {
+			if isRead(instr, a, w.field) {
+				used = true
+				break
+			}
+		}
+		if !used {
+			seen := map[*ssa.BasicBlock]bool{}
+			stack := append([]*ssa.BasicBlock(nil), w.block.Succs...)
+			for len(stack) > 0 && !used {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[b] {
+					continue
+				}
+				seen[b] = true
+				for _, instr := range b.Instrs {
+					if isRead(instr, a, w.field) {
+						used = true
+						break
+					}
+				}
+				if !used {
+					stack = append(stack, b.Succs...)
+				}
+			}
+		}
+		if !used {
+			pass.Reportf(w.store.Pos(), "unused write to field %s", w.field.Name())
+		}
+	}
+}
+
+// structCells returns the Alloc cells of non-escaping struct-typed
+// locals. A cell escapes if its address is used by anything other than
+// Load, Store (as the address), or FieldAddr.
+func structCells(fn *ssa.Function) map[*ssa.Alloc]bool {
+	cells := make(map[*ssa.Alloc]bool)
+	for _, b := range fn.Blocks {
+		for _, instr := range b.Instrs {
+			if a, ok := instr.(*ssa.Alloc); ok && a.Obj != nil && !a.Heap {
+				if _, isStruct := a.Obj.Type().Underlying().(*types.Struct); isStruct {
+					cells[a] = true
+				}
+			}
+		}
+	}
+	if len(cells) == 0 {
+		return cells
+	}
+	escape := func(v ssa.Value) {
+		if a, ok := v.(*ssa.Alloc); ok {
+			delete(cells, a)
+		}
+	}
+	for _, b := range fn.Blocks {
+		for _, instr := range b.Instrs {
+			switch instr := instr.(type) {
+			case *ssa.Load:
+				// reading is fine
+			case *ssa.FieldAddr:
+				// taking a field address is fine; uses of the FieldAddr
+				// value itself are checked below
+			case *ssa.Store:
+				escape(instr.Val)
+			default:
+				for _, op := range instr.Operands() {
+					escape(op)
+				}
+			}
+		}
+	}
+	// A FieldAddr of a tracked cell whose value leaks (beyond Load/Store
+	// address) aliases the cell too.
+	for _, b := range fn.Blocks {
+		for _, instr := range b.Instrs {
+			leak := func(v ssa.Value) {
+				if fa, ok := v.(*ssa.FieldAddr); ok {
+					escape(fa.X)
+				}
+			}
+			switch instr := instr.(type) {
+			case *ssa.Load:
+			case *ssa.Store:
+				leak(instr.Val)
+			case *ssa.FieldAddr:
+				leak(instr.X) // nested field-of-field: treat as alias
+			default:
+				for _, op := range instr.Operands() {
+					leak(op)
+				}
+			}
+		}
+	}
+	return cells
+}

@@ -1,0 +1,880 @@
+package ssa
+
+// This file lowers the statement and expression nodes of a go/cfg
+// control-flow graph into the instruction set of ssa.go. The CFG has
+// already linearized all control flow (if/for/range/switch/select,
+// goto, labeled break/continue), so lowering is a per-node transfer:
+// every cfg.Block becomes one BasicBlock whose terminator is derived
+// from the block's successor count.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/cfg"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// BuildFunction lowers one declared function or function literal.
+// cfgOf resolves the CFG of nested function literals (return nil to
+// leave them unbuilt). The returned Function has Blocks == nil and a
+// non-empty BuildError if the body could not be lowered.
+func BuildFunction(pkg *types.Package, info *types.Info, syntax ast.Node, g *cfg.CFG, cfgOf func(*ast.FuncLit) *cfg.CFG) *Function {
+	return buildFunction(pkg, info, syntax, g, cfgOf, nil, "")
+}
+
+func buildFunction(pkg *types.Package, info *types.Info, syntax ast.Node, g *cfg.CFG,
+	cfgOf func(*ast.FuncLit) *cfg.CFG, parent *Function, anonName string) *Function {
+
+	fn := &Function{Syntax: syntax, Parent: parent, pos: syntax.Pos()}
+	switch s := syntax.(type) {
+	case *ast.FuncDecl:
+		if obj, ok := info.Defs[s.Name].(*types.Func); ok {
+			fn.Object = obj
+			fn.Signature, _ = obj.Type().(*types.Signature)
+		}
+		fn.Name = s.Name.Name
+	case *ast.FuncLit:
+		fn.Name = anonName
+		if tv, ok := info.Types[s]; ok {
+			fn.Signature, _ = tv.Type.(*types.Signature)
+		}
+	}
+	if g == nil || len(g.Blocks) == 0 {
+		fn.BuildError = "no control-flow graph"
+		return fn
+	}
+
+	b := &builder{
+		pkg:    pkg,
+		info:   info,
+		fn:     fn,
+		cfgOf:  cfgOf,
+		allocs: make(map[*types.Var]*Alloc),
+		free:   make(map[*types.Var]*FreeVar),
+		ranged: make(map[ast.Expr]bool),
+	}
+
+	// The builder must never take hwatchvet down with it: a construct
+	// outside the subset leaves this one function unbuilt instead.
+	defer func() {
+		if r := recover(); r != nil {
+			fn.Blocks = nil
+			fn.BuildError = fmt.Sprint(r)
+		}
+	}()
+
+	b.markRangeVars(bodyOf(syntax))
+	b.build(g)
+	return fn
+}
+
+func bodyOf(syntax ast.Node) *ast.BlockStmt {
+	switch s := syntax.(type) {
+	case *ast.FuncDecl:
+		return s.Body
+	case *ast.FuncLit:
+		return s.Body
+	}
+	return nil
+}
+
+type builder struct {
+	pkg    *types.Package
+	info   *types.Info
+	fn     *Function
+	cfgOf  func(*ast.FuncLit) *cfg.CFG
+	allocs map[*types.Var]*Alloc
+	free   map[*types.Var]*FreeVar
+	// ranged marks the Key/Value expressions of range statements: go/cfg
+	// emits them as bare expression nodes, but they are *assignments* by
+	// the range protocol, not reads.
+	ranged map[ast.Expr]bool
+
+	cur  *BasicBlock
+	nreg int
+}
+
+// markRangeVars records range Key/Value exprs (assignment targets) so
+// the node walk can tell them apart from ordinary value reads.
+func (b *builder) markRangeVars(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			if r.Key != nil {
+				b.ranged[r.Key] = true
+			}
+			if r.Value != nil {
+				b.ranged[r.Value] = true
+			}
+		}
+		return true
+	})
+}
+
+func (b *builder) build(g *cfg.CFG) {
+	blocks := make(map[*cfg.Block]*BasicBlock, len(g.Blocks))
+	for i, cb := range g.Blocks {
+		bb := &BasicBlock{Index: i, Comment: cb.Kind.String(), parent: b.fn}
+		blocks[cb] = bb
+		b.fn.Blocks = append(b.fn.Blocks, bb)
+	}
+	for _, cb := range g.Blocks {
+		bb := blocks[cb]
+		for _, s := range cb.Succs {
+			succ := blocks[s]
+			bb.Succs = append(bb.Succs, succ)
+			succ.Preds = append(succ.Preds, bb)
+		}
+	}
+
+	// Spill parameters (and the receiver) into their storage cells in
+	// the entry block, naive-form style.
+	b.cur = b.fn.Blocks[0]
+	b.spillParams()
+
+	for i, cb := range g.Blocks {
+		b.cur = b.fn.Blocks[i]
+		var lastVal Value
+		for _, n := range cb.Nodes {
+			lastVal = b.node(n)
+		}
+		b.terminate(b.cur, lastVal)
+	}
+}
+
+func (b *builder) spillParams() {
+	var fields []*ast.Field
+	if fd, ok := b.fn.Syntax.(*ast.FuncDecl); ok {
+		if fd.Recv != nil {
+			fields = append(fields, fd.Recv.List...)
+		}
+		if fd.Type.Params != nil {
+			fields = append(fields, fd.Type.Params.List...)
+		}
+	} else if fl, ok := b.fn.Syntax.(*ast.FuncLit); ok {
+		if fl.Type.Params != nil {
+			fields = append(fields, fl.Type.Params.List...)
+		}
+	}
+	for _, f := range fields {
+		for _, name := range f.Names {
+			v, ok := b.info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			p := &Parameter{Obj: v, parent: b.fn}
+			b.fn.Params = append(b.fn.Params, p)
+			cell := b.cellFor(v)
+			b.emit(&Store{register: b.reg(name.Pos(), nil), Addr: cell, Val: p})
+		}
+	}
+}
+
+// terminate appends the block terminator implied by the successor count.
+func (b *builder) terminate(bb *BasicBlock, lastVal Value) {
+	switch len(bb.Succs) {
+	case 0:
+		if n := len(bb.Instrs); n > 0 {
+			switch bb.Instrs[n-1].(type) {
+			case *Return, *Panic:
+				return
+			}
+		}
+		b.emit(&Return{register: b.reg(token.NoPos, nil)})
+	case 1:
+		b.emit(&Jump{register: b.reg(token.NoPos, nil)})
+	default:
+		cond := lastVal
+		if cond == nil {
+			cond = b.opaque(token.NoPos, "cond", nil, nil)
+		}
+		b.emit(&If{register: b.reg(token.NoPos, nil), Cond: cond})
+	}
+}
+
+func (b *builder) reg(pos token.Pos, t types.Type) register {
+	b.nreg++
+	return register{pos: pos, typ: t, block: b.cur, num: b.nreg}
+}
+
+func (b *builder) emit(instr Instruction) Instruction {
+	b.cur.Instrs = append(b.cur.Instrs, instr)
+	return instr
+}
+
+func (b *builder) opaque(pos token.Pos, op string, t types.Type, ops []Value) *Opaque {
+	o := &Opaque{register: b.reg(pos, t), Op: op, Ops: ops}
+	b.emit(o)
+	return o
+}
+
+// cellFor returns the storage cell (Alloc, FreeVar, or Global) of a
+// variable referenced from the current function.
+func (b *builder) cellFor(v *types.Var) Value {
+	if a, ok := b.allocs[v]; ok {
+		return a
+	}
+	if fv, ok := b.free[v]; ok {
+		return fv
+	}
+	if v.Parent() == b.pkg.Scope() {
+		return &Global{Obj: v}
+	}
+	if b.fn.Syntax.Pos() <= v.Pos() && v.Pos() <= b.fn.Syntax.End() {
+		a := &Alloc{register: b.reg(v.Pos(), types.NewPointer(v.Type())), Obj: v}
+		b.allocs[v] = a
+		b.emit(a)
+		return a
+	}
+	fv := &FreeVar{Obj: v, parent: b.fn}
+	b.free[v] = fv
+	return fv
+}
+
+// ---- statement-level nodes ----
+
+// node lowers one cfg node and returns its value when the node is a
+// bare expression (the potential branch condition of the block).
+func (b *builder) node(n ast.Node) Value {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		b.assign(n)
+	case *ast.ValueSpec:
+		b.valueSpec(n)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					b.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		b.expr(n.X)
+	case *ast.SendStmt:
+		ch := b.expr(n.Chan)
+		x := b.expr(n.Value)
+		b.emit(&Send{register: b.reg(n.Arrow, nil), Chan: ch, X: x})
+	case *ast.IncDecStmt:
+		addr := b.addr(n.X)
+		old := b.load(n.X.Pos(), addr)
+		op := token.ADD
+		if n.Tok == token.DEC {
+			op = token.SUB
+		}
+		one := &Const{typ: types.Typ[types.UntypedInt]}
+		v := &BinOp{register: b.reg(n.Pos(), typeOf(b.info, n.X)), Op: op, X: old, Y: one}
+		b.emit(v)
+		b.emit(&Store{register: b.reg(n.Pos(), nil), Addr: addr, Val: v})
+	case *ast.ReturnStmt:
+		r := &Return{register: b.reg(n.Pos(), nil)}
+		for _, res := range n.Results {
+			r.Results = append(r.Results, b.expr(res))
+		}
+		b.emit(r)
+	case *ast.DeferStmt:
+		common := b.callCommon(n.Call)
+		b.emit(&Defer{register: b.reg(n.Pos(), nil), Common: common})
+	case *ast.GoStmt:
+		common := b.callCommon(n.Call)
+		b.emit(&Go{register: b.reg(n.Pos(), nil), Common: common})
+	case *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt,
+		*ast.RangeStmt, *ast.SelectStmt, *ast.IfStmt, *ast.ForStmt,
+		*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.BlockStmt, *ast.CaseClause, *ast.CommClause:
+		// Control flow is already in the CFG shape; nothing to lower.
+	case ast.Expr:
+		if b.ranged[n] {
+			// A range Key/Value: the range protocol assigns it a fresh
+			// element each iteration — an unknown-value store.
+			b.rangeAssign(n)
+			return nil
+		}
+		return b.expr(n)
+	}
+	return nil
+}
+
+// rangeAssign models `for k, v := range ...`: an opaque store to the
+// bound variable (defining or reusing it).
+func (b *builder) rangeAssign(e ast.Expr) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		// `for m.f = range ...`: store through the general address path.
+		addr := b.addr(e)
+		b.emit(&Store{register: b.reg(e.Pos(), nil), Addr: addr,
+			Val: b.opaque(e.Pos(), "range", typeOf(b.info, e), nil)})
+		return
+	}
+	if id.Name == "_" {
+		return
+	}
+	v := defOrUseVar(b.info, id)
+	if v == nil {
+		return
+	}
+	cell := b.cellFor(v)
+	b.emit(&Store{register: b.reg(e.Pos(), nil), Addr: cell,
+		Val: b.opaque(e.Pos(), "range", v.Type(), nil)})
+}
+
+func (b *builder) valueSpec(n *ast.ValueSpec) {
+	// Evaluate initializers first (source order), then store.
+	var vals []Value
+	for _, rhs := range n.Values {
+		vals = append(vals, b.expr(rhs))
+	}
+	tuple := len(n.Names) > 1 && len(n.Values) == 1
+	for i, name := range n.Names {
+		if name.Name == "_" {
+			continue
+		}
+		v, ok := b.info.Defs[name].(*types.Var)
+		if !ok {
+			continue
+		}
+		cell := b.cellFor(v)
+		var val Value
+		switch {
+		case tuple:
+			ex := &Extract{register: b.reg(name.Pos(), v.Type()), Tuple: vals[0], Index: i}
+			b.emit(ex)
+			val = ex
+		case i < len(vals):
+			val = vals[i]
+		default:
+			val = b.zeroValue(v.Type())
+		}
+		b.emit(&Store{register: b.reg(name.Pos(), nil), Addr: cell, Val: val})
+	}
+}
+
+// zeroValue is the implicit initial value of a declared variable: nil
+// for pointer-like types (the fact nilness runs on), an opaque zero
+// otherwise.
+func (b *builder) zeroValue(t types.Type) Value {
+	if isPointerLike(t) {
+		return NilConst(t)
+	}
+	return &Const{typ: t}
+}
+
+func isPointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature, *types.Slice, *types.Interface:
+		return true
+	}
+	return false
+}
+
+func (b *builder) assign(n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+		// Compound assignment: x op= y.
+		addr := b.addr(n.Lhs[0])
+		old := b.load(n.Lhs[0].Pos(), addr)
+		rhs := b.expr(n.Rhs[0])
+		op := assignOp(n.Tok)
+		v := &BinOp{register: b.reg(n.Pos(), typeOf(b.info, n.Lhs[0])), Op: op, X: old, Y: rhs}
+		b.emit(v)
+		b.store(n.Lhs[0], v, addr)
+		return
+	}
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		// Tuple assignment: a, b = f() / <-ch / m[k] / x.(T).
+		tuple := b.expr(n.Rhs[0])
+		for i, lhs := range n.Lhs {
+			if isBlankExpr(lhs) {
+				continue
+			}
+			ex := &Extract{register: b.reg(lhs.Pos(), typeOf(b.info, lhs)), Tuple: tuple, Index: i}
+			b.emit(ex)
+			b.store(lhs, ex, nil)
+		}
+		return
+	}
+	// Parallel assignment: all RHS evaluate before any store.
+	var vals []Value
+	for _, rhs := range n.Rhs {
+		vals = append(vals, b.expr(rhs))
+	}
+	for i, lhs := range n.Lhs {
+		if isBlankExpr(lhs) || i >= len(vals) {
+			continue
+		}
+		b.store(lhs, vals[i], nil)
+	}
+}
+
+// store writes val to the location named by lhs. A precomputed address
+// may be passed to avoid double evaluation.
+func (b *builder) store(lhs ast.Expr, val Value, addr Value) {
+	lhs = ast.Unparen(lhs)
+	if idx, ok := lhs.(*ast.IndexExpr); ok {
+		if _, isMap := typeOf(b.info, idx.X).Underlying().(*types.Map); isMap {
+			m := b.expr(idx.X)
+			k := b.expr(idx.Index)
+			b.opaque(lhs.Pos(), "mapupdate", nil, []Value{m, k, val})
+			return
+		}
+	}
+	if addr == nil {
+		addr = b.addr(lhs)
+	}
+	b.emit(&Store{register: b.reg(lhs.Pos(), nil), Addr: addr, Val: val})
+}
+
+// ---- addresses ----
+
+// addr lowers an addressable expression to its address value.
+func (b *builder) addr(e ast.Expr) Value {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v := defOrUseVar(b.info, e); v != nil {
+			return b.cellFor(v)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := b.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return b.fieldAddr(e, sel)
+		}
+	case *ast.StarExpr:
+		return b.expr(e.X) // the pointer value is the address
+	case *ast.IndexExpr:
+		xt := typeOf(b.info, e.X)
+		x := b.expr(e.X)
+		idx := b.expr(e.Index)
+		switch xt.Underlying().(type) {
+		case *types.Slice, *types.Pointer:
+			ia := &IndexAddr{register: b.reg(e.Pos(), nil), X: x, Index: idx}
+			b.emit(ia)
+			return ia
+		}
+		return b.opaque(e.Pos(), "indexaddr", nil, []Value{x, idx})
+	}
+	return b.opaque(e.Pos(), "addr", nil, nil)
+}
+
+// fieldAddr computes the address of the field e selects. The base is
+// the pointer value for pointer bases and the base's own address for
+// addressable struct values; embedded hops collapse into one FieldAddr
+// (field identity is carried by Var, which analyses key on).
+func (b *builder) fieldAddr(e *ast.SelectorExpr, sel *types.Selection) Value {
+	var base Value
+	if _, ok := typeOf(b.info, e.X).Underlying().(*types.Pointer); ok {
+		base = b.expr(e.X)
+	} else if isAddressable(b.info, e.X) {
+		base = b.addr(e.X)
+	} else {
+		base = b.expr(e.X)
+	}
+	idx := sel.Index()
+	fa := &FieldAddr{
+		register: b.reg(e.Sel.Pos(), nil),
+		X:        base,
+		Field:    idx[len(idx)-1],
+		Var:      fieldVar(sel),
+	}
+	b.emit(fa)
+	return fa
+}
+
+func fieldVar(sel *types.Selection) *types.Var {
+	if v, ok := sel.Obj().(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isAddressable(info *types.Info, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return defOrUseVar(info, e) != nil
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if _, ptr := typeOf(info, e.X).Underlying().(*types.Pointer); ptr {
+				return true
+			}
+			return isAddressable(info, e.X)
+		}
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		switch typeOf(info, e.X).Underlying().(type) {
+		case *types.Slice:
+			return true
+		case *types.Pointer:
+			return true
+		}
+		return isAddressable(info, e.X)
+	}
+	return false
+}
+
+// ---- expressions ----
+
+func (b *builder) load(pos token.Pos, addr Value) Value {
+	var t types.Type
+	if pt, ok := addr.Type().(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	l := &Load{register: b.reg(pos, t), X: addr}
+	b.emit(l)
+	return l
+}
+
+func (b *builder) expr(e ast.Expr) Value {
+	if e == nil {
+		return b.opaque(token.NoPos, "nilexpr", nil, nil)
+	}
+	// Constant-folded expressions (including untyped nil) short-circuit.
+	if tv, ok := b.info.Types[e]; ok {
+		if tv.Value != nil {
+			return &Const{typ: tv.Type, Value: tv.Value}
+		}
+		if tv.IsNil() {
+			return NilConst(tv.Type)
+		}
+	}
+
+	switch e := e.(type) {
+	case *ast.Ident:
+		return b.identValue(e)
+	case *ast.ParenExpr:
+		return b.expr(e.X)
+	case *ast.SelectorExpr:
+		return b.selectorValue(e)
+	case *ast.StarExpr:
+		ptr := b.expr(e.X)
+		return b.load(e.Pos(), ptr)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			return b.addrOfOperand(e.X)
+		case token.ARROW:
+			u := &UnOp{register: b.reg(e.Pos(), typeOf(b.info, e)), Op: token.ARROW, X: b.expr(e.X)}
+			b.emit(u)
+			return u
+		default:
+			u := &UnOp{register: b.reg(e.Pos(), typeOf(b.info, e)), Op: e.Op, X: b.expr(e.X)}
+			b.emit(u)
+			return u
+		}
+	case *ast.BinaryExpr:
+		x := b.expr(e.X)
+		y := b.expr(e.Y)
+		op := &BinOp{register: b.reg(e.OpPos, typeOf(b.info, e)), Op: e.Op, X: x, Y: y}
+		b.emit(op)
+		return op
+	case *ast.CallExpr:
+		return b.call(e)
+	case *ast.IndexExpr:
+		return b.indexValue(e)
+	case *ast.IndexListExpr:
+		return b.expr(e.X) // generic instantiation: the value is the function
+	case *ast.SliceExpr:
+		ops := []Value{b.expr(e.X)}
+		for _, bound := range []ast.Expr{e.Low, e.High, e.Max} {
+			if bound != nil {
+				ops = append(ops, b.expr(bound))
+			}
+		}
+		return b.opaque(e.Pos(), "slice", typeOf(b.info, e), ops)
+	case *ast.TypeAssertExpr:
+		return b.opaque(e.Pos(), "typeassert", typeOf(b.info, e), []Value{b.expr(e.X)})
+	case *ast.CompositeLit:
+		var ops []Value
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				ops = append(ops, b.expr(kv.Value))
+				continue
+			}
+			ops = append(ops, b.expr(elt))
+		}
+		return b.opaque(e.Pos(), "composite", typeOf(b.info, e), ops)
+	case *ast.FuncLit:
+		return b.closure(e)
+	}
+	return b.opaque(e.Pos(), "expr", typeOf(b.info, e), nil)
+}
+
+// addrOfOperand lowers &x. For &T{...} an anonymous heap cell is
+// allocated; for addressable operands the cell address is the value.
+func (b *builder) addrOfOperand(x ast.Expr) Value {
+	if lit, ok := ast.Unparen(x).(*ast.CompositeLit); ok {
+		a := &Alloc{register: b.reg(lit.Pos(), typeOf(b.info, lit)), Heap: true}
+		b.emit(a)
+		payload := b.expr(lit)
+		b.emit(&Store{register: b.reg(lit.Pos(), nil), Addr: a, Val: payload})
+		return a
+	}
+	return b.addr(x)
+}
+
+func (b *builder) identValue(e *ast.Ident) Value {
+	if e.Name == "_" {
+		return b.opaque(e.Pos(), "blank", nil, nil)
+	}
+	obj := b.info.Uses[e]
+	if obj == nil {
+		obj = b.info.Defs[e]
+	}
+	switch obj := obj.(type) {
+	case *types.Var:
+		cell := b.cellFor(obj)
+		return b.load(e.Pos(), cell)
+	case *types.Func:
+		return &FuncValue{Obj: obj}
+	case *types.Nil:
+		return NilConst(typeOf(b.info, e))
+	}
+	return b.opaque(e.Pos(), "ident:"+e.Name, typeOf(b.info, e), nil)
+}
+
+func (b *builder) selectorValue(e *ast.SelectorExpr) Value {
+	// Qualified identifier: pkg.Name.
+	if id, ok := e.X.(*ast.Ident); ok {
+		if _, isPkg := b.info.Uses[id].(*types.PkgName); isPkg {
+			switch obj := b.info.Uses[e.Sel].(type) {
+			case *types.Var:
+				return b.load(e.Pos(), &Global{Obj: obj})
+			case *types.Func:
+				return &FuncValue{Obj: obj}
+			}
+			return b.opaque(e.Pos(), "qualified", typeOf(b.info, e), nil)
+		}
+	}
+	sel, ok := b.info.Selections[e]
+	if !ok {
+		return b.opaque(e.Pos(), "selector", typeOf(b.info, e), nil)
+	}
+	switch sel.Kind() {
+	case types.FieldVal:
+		base := typeOf(b.info, e.X)
+		if _, ptr := base.Underlying().(*types.Pointer); ptr || isAddressable(b.info, e.X) {
+			return b.load(e.Sel.Pos(), b.fieldAddr(e, sel))
+		}
+		// Field of a non-addressable value (f().x): no address exists.
+		return b.opaque(e.Sel.Pos(), "fieldval", typeOf(b.info, e), []Value{b.expr(e.X)})
+	case types.MethodVal:
+		return b.opaque(e.Sel.Pos(), "methodval", typeOf(b.info, e), []Value{b.expr(e.X)})
+	}
+	return b.opaque(e.Sel.Pos(), "methodexpr", typeOf(b.info, e), nil)
+}
+
+func (b *builder) indexValue(e *ast.IndexExpr) Value {
+	// Generic instantiation f[T] in call position types as a function.
+	if tv, ok := b.info.Types[e.Index]; ok && tv.IsType() {
+		return b.expr(e.X)
+	}
+	xt := typeOf(b.info, e.X)
+	switch xt.Underlying().(type) {
+	case *types.Map:
+		return b.opaque(e.Pos(), "lookup", typeOf(b.info, e), []Value{b.expr(e.X), b.expr(e.Index)})
+	case *types.Slice, *types.Pointer:
+		x := b.expr(e.X)
+		idx := b.expr(e.Index)
+		ia := &IndexAddr{register: b.reg(e.Pos(), nil), X: x, Index: idx}
+		b.emit(ia)
+		return b.load(e.Pos(), ia)
+	}
+	return b.opaque(e.Pos(), "index", typeOf(b.info, e), []Value{b.expr(e.X), b.expr(e.Index)})
+}
+
+func (b *builder) closure(lit *ast.FuncLit) Value {
+	var g *cfg.CFG
+	if b.cfgOf != nil {
+		g = b.cfgOf(lit)
+	}
+	name := fmt.Sprintf("%s$%d", b.fn.Name, len(b.fn.AnonFuncs)+1)
+	sub := buildFunction(b.pkg, b.info, lit, g, b.cfgOf, b.fn, name)
+	b.fn.AnonFuncs = append(b.fn.AnonFuncs, sub)
+
+	// Captured variables: anything referenced inside the literal that is
+	// declared outside it but not at package scope. Bindings carry the
+	// cells so captured locals visibly escape.
+	mc := &MakeClosure{register: b.reg(lit.Pos(), typeOf(b.info, lit)), Fn: sub}
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := b.info.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		if lit.Pos() <= v.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal
+		}
+		if v.Parent() == b.pkg.Scope() {
+			return true // package-level, not a capture
+		}
+		seen[v] = true
+		mc.Bindings = append(mc.Bindings, b.cellFor(v))
+		return true
+	})
+	b.emit(mc)
+	return mc
+}
+
+// ---- calls ----
+
+func (b *builder) call(e *ast.CallExpr) Value {
+	// Conversion?
+	if tv, ok := b.info.Types[e.Fun]; ok && tv.IsType() {
+		var x Value
+		if len(e.Args) == 1 {
+			x = b.expr(e.Args[0])
+		} else {
+			x = b.opaque(e.Pos(), "convargs", nil, nil)
+		}
+		c := &Convert{register: b.reg(e.Pos(), typeOf(b.info, e)), X: x}
+		b.emit(c)
+		return c
+	}
+	// Builtin?
+	if name, ok := builtinName(b.info, e.Fun); ok {
+		return b.builtinCall(e, name)
+	}
+
+	common := b.callCommon(e)
+	c := &Call{register: b.reg(e.Lparen, typeOf(b.info, e)), Common: common}
+	b.emit(c)
+	return c
+}
+
+func (b *builder) callCommon(e *ast.CallExpr) CallCommon {
+	var common CallCommon
+	callee, _ := typeutil.Callee(b.info, e).(*types.Func)
+	common.Callee = callee
+
+	fun := ast.Unparen(e.Fun)
+	switch fun := fun.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := b.info.Selections[fun]; ok {
+			switch sel.Kind() {
+			case types.MethodVal:
+				common.Recv = b.expr(fun.X)
+			case types.FieldVal:
+				// Calling a func-typed field: dynamic.
+				common.Callee = nil
+				common.Value = b.expr(fun)
+			}
+		} else if common.Callee == nil {
+			common.Value = b.expr(fun)
+		}
+	default:
+		if common.Callee == nil {
+			common.Value = b.expr(e.Fun)
+		}
+	}
+	for _, arg := range e.Args {
+		common.Args = append(common.Args, b.expr(arg))
+	}
+	return common
+}
+
+func (b *builder) builtinCall(e *ast.CallExpr, name string) Value {
+	switch name {
+	case "panic":
+		var x Value
+		if len(e.Args) == 1 {
+			x = b.expr(e.Args[0])
+		} else {
+			x = b.opaque(e.Pos(), "panicarg", nil, nil)
+		}
+		p := &Panic{register: b.reg(e.Pos(), nil), X: x}
+		b.emit(p)
+		return b.opaque(e.Pos(), "unreachable", nil, nil)
+	case "make":
+		var ops []Value
+		for _, arg := range e.Args[1:] { // Args[0] is the type
+			ops = append(ops, b.expr(arg))
+		}
+		m := &Make{register: b.reg(e.Pos(), typeOf(b.info, e)), Ops: ops}
+		b.emit(m)
+		return m
+	case "new":
+		a := &Alloc{register: b.reg(e.Pos(), typeOf(b.info, e)), Heap: true}
+		b.emit(a)
+		return a
+	}
+	var ops []Value
+	for _, arg := range e.Args {
+		if tv, ok := b.info.Types[arg]; ok && tv.IsType() {
+			continue
+		}
+		ops = append(ops, b.expr(arg))
+	}
+	return b.opaque(e.Pos(), "builtin:"+name, typeOf(b.info, e), ops)
+}
+
+func builtinName(info *types.Info, fun ast.Expr) (string, bool) {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if bi, ok := info.Uses[id].(*types.Builtin); ok {
+		return bi.Name(), true
+	}
+	return "", false
+}
+
+// ---- small helpers ----
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func defOrUseVar(info *types.Info, id *ast.Ident) *types.Var {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func isBlankExpr(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func assignOp(tok token.Token) token.Token {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD
+	case token.SUB_ASSIGN:
+		return token.SUB
+	case token.MUL_ASSIGN:
+		return token.MUL
+	case token.QUO_ASSIGN:
+		return token.QUO
+	case token.REM_ASSIGN:
+		return token.REM
+	case token.AND_ASSIGN:
+		return token.AND
+	case token.OR_ASSIGN:
+		return token.OR
+	case token.XOR_ASSIGN:
+		return token.XOR
+	case token.SHL_ASSIGN:
+		return token.SHL
+	case token.SHR_ASSIGN:
+		return token.SHR
+	case token.AND_NOT_ASSIGN:
+		return token.AND_NOT
+	}
+	return tok
+}

@@ -1,0 +1,455 @@
+// Package ssa defines a representation of the elements of Go programs
+// (packages, functions, values, instructions) in a static
+// single-assignment form suitable for dataflow analyses.
+//
+// This copy is an offline clean-room subset written for vendored,
+// network-free builds: it mirrors the upstream golang.org/x/tools/go/ssa
+// API *shape* (Package, Function, BasicBlock, the Value and Instruction
+// interfaces, and the instruction vocabulary the analysis passes in this
+// tree consume) but not its full surface or fidelity. Functions are
+// built in the unlifted "naive" form the upstream builder produces under
+// ssa.NaiveForm: every local variable is an Alloc cell accessed through
+// explicit Load and Store instructions, and no φ-nodes are inserted.
+// Register promotion is out of subset scope; the passes compensate with
+// variable-keyed dataflow facts. Constructs outside the subset lower to
+// Opaque instructions whose operands are still visible, so analyses
+// degrade conservatively instead of missing effects.
+//
+// Control flow comes from the vendored golang.org/x/tools/go/cfg package
+// (via the ctrlflow analysis pass), which already linearizes if/for/
+// range/switch/select into blocks; the builder in this package only
+// lowers the statement and expression nodes of each block.
+package ssa
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// A Package is the SSA form of the functions of one Go package.
+type Package struct {
+	Pkg   *types.Package
+	Funcs []*Function // source order; anonymous functions follow their parents
+}
+
+// A Function is the SSA form of one source-level function or function
+// literal. Blocks is nil for functions whose body could not be lowered
+// (no body, or a construct outside the builder subset that made it bail
+// out); analyses must skip those.
+type Function struct {
+	Name      string      // declared name, or "parent$N" for anonymous functions
+	Object    *types.Func // declared object; nil for function literals
+	Signature *types.Signature
+	Syntax    ast.Node // *ast.FuncDecl or *ast.FuncLit
+	Parent    *Function
+	Params    []*Parameter
+	Blocks    []*BasicBlock // Blocks[0] is the entry block; nil if unbuilt
+	AnonFuncs []*Function
+
+	// BuildError carries the reason a body was left unbuilt ("" when
+	// Blocks is valid). The builder never fails the analysis run: an
+	// unlowerable function simply becomes invisible to SSA passes.
+	BuildError string
+
+	pos token.Pos
+}
+
+func (f *Function) Pos() token.Pos { return f.pos }
+
+func (f *Function) String() string { return f.Name }
+
+// A BasicBlock is a maximal straight-line sequence of instructions.
+// The final instruction is the block terminator: If (two successors),
+// Jump (one), or Return/Panic (none).
+type BasicBlock struct {
+	Index   int
+	Comment string // the cfg block label, e.g. "for.body"
+	Instrs  []Instruction
+	Succs   []*BasicBlock
+	Preds   []*BasicBlock
+
+	parent *Function
+}
+
+func (b *BasicBlock) Parent() *Function { return b.parent }
+
+// Value is an SSA value: the result of an instruction, a parameter, a
+// constant, or a reference to a variable's storage cell.
+type Value interface {
+	Pos() token.Pos
+	Type() types.Type
+	Name() string
+}
+
+// Instruction is one SSA instruction. Instructions that compute a
+// result additionally implement Value.
+type Instruction interface {
+	Pos() token.Pos
+	Block() *BasicBlock
+	// Operands returns the instruction's value operands (never
+	// including nil entries).
+	Operands() []Value
+	String() string
+}
+
+// register is the embedded base of every instruction.
+type register struct {
+	pos   token.Pos
+	typ   types.Type
+	block *BasicBlock
+	num   int
+}
+
+func (r *register) Pos() token.Pos     { return r.pos }
+func (r *register) Type() types.Type   { return r.typ }
+func (r *register) Block() *BasicBlock { return r.block }
+func (r *register) Name() string       { return fmt.Sprintf("t%d", r.num) }
+
+// ---- leaf values ----
+
+// A Const is a compile-time constant, including typed and untyped nil.
+type Const struct {
+	typ   types.Type
+	Value constant.Value // nil for nil constants and zero values
+	nil_  bool
+}
+
+// NilConst returns a nil constant of the given type.
+func NilConst(t types.Type) *Const { return &Const{typ: t, nil_: true} }
+
+func (c *Const) Pos() token.Pos   { return token.NoPos }
+func (c *Const) Type() types.Type { return c.typ }
+func (c *Const) Name() string {
+	if c.nil_ {
+		return "nil:" + safeTypeString(c.typ)
+	}
+	if c.Value == nil {
+		return "zero:" + safeTypeString(c.typ)
+	}
+	return c.Value.String()
+}
+
+// IsNil reports whether the constant is nil (or the zero value of a
+// pointer-like type).
+func (c *Const) IsNil() bool { return c.nil_ }
+
+// A Parameter represents one input parameter of a Function.
+type Parameter struct {
+	Obj    *types.Var
+	parent *Function
+}
+
+func (p *Parameter) Pos() token.Pos   { return p.Obj.Pos() }
+func (p *Parameter) Type() types.Type { return p.Obj.Type() }
+func (p *Parameter) Name() string     { return p.Obj.Name() }
+
+// A Global is the address of a package-level variable. Its Type is a
+// pointer to the variable's declared type.
+type Global struct {
+	Obj *types.Var
+}
+
+func (g *Global) Pos() token.Pos   { return g.Obj.Pos() }
+func (g *Global) Type() types.Type { return types.NewPointer(g.Obj.Type()) }
+func (g *Global) Name() string     { return g.Obj.Name() }
+
+// A FreeVar is the address of a variable captured from an enclosing
+// function. Like Global, its Type is a pointer to the variable's type.
+type FreeVar struct {
+	Obj    *types.Var
+	parent *Function
+}
+
+func (v *FreeVar) Pos() token.Pos   { return v.Obj.Pos() }
+func (v *FreeVar) Type() types.Type { return types.NewPointer(v.Obj.Type()) }
+func (v *FreeVar) Name() string     { return v.Obj.Name() }
+
+// A FuncValue is a reference to a declared function or method used as a
+// value or call target.
+type FuncValue struct {
+	Obj *types.Func
+}
+
+func (f *FuncValue) Pos() token.Pos   { return f.Obj.Pos() }
+func (f *FuncValue) Type() types.Type { return f.Obj.Type() }
+func (f *FuncValue) Name() string     { return f.Obj.Name() }
+
+// ---- memory instructions ----
+
+// An Alloc is the storage cell of one local variable (including
+// parameters, which the entry block spills). Its Type is a pointer to
+// the variable's type, like upstream ssa.Alloc.
+type Alloc struct {
+	register
+	Obj  *types.Var // nil for anonymous cells (&T{...} literals)
+	Heap bool
+}
+
+func (a *Alloc) Operands() []Value { return nil }
+func (a *Alloc) String() string {
+	if a.Obj != nil {
+		return "local " + a.Obj.Name()
+	}
+	return "alloc"
+}
+func (a *Alloc) Name() string {
+	if a.Obj != nil {
+		return "&" + a.Obj.Name()
+	}
+	return a.register.Name()
+}
+
+// A Load reads the value at an address (an Alloc, Global, FreeVar,
+// FieldAddr, IndexAddr, or a computed pointer). It subsumes upstream
+// UnOp{MUL}.
+type Load struct {
+	register
+	X Value
+}
+
+func (l *Load) Operands() []Value { return []Value{l.X} }
+func (l *Load) String() string    { return "load " + l.X.Name() }
+
+// A Store writes Val to the address Addr.
+type Store struct {
+	register
+	Addr Value
+	Val  Value
+}
+
+func (s *Store) Operands() []Value { return []Value{s.Addr, s.Val} }
+func (s *Store) String() string    { return "store " + s.Addr.Name() }
+
+// A FieldAddr computes the address of field Field of the struct
+// pointed to by X.
+type FieldAddr struct {
+	register
+	X     Value
+	Field int        // index into the struct's fields
+	Var   *types.Var // the field object (convenience; may be nil)
+}
+
+func (f *FieldAddr) Operands() []Value { return []Value{f.X} }
+func (f *FieldAddr) String() string {
+	name := fmt.Sprint(f.Field)
+	if f.Var != nil {
+		name = f.Var.Name()
+	}
+	return "&" + f.X.Name() + "." + name
+}
+
+// An IndexAddr computes the address of element Index of the slice or
+// array pointed to by X.
+type IndexAddr struct {
+	register
+	X     Value
+	Index Value
+}
+
+func (i *IndexAddr) Operands() []Value { return []Value{i.X, i.Index} }
+func (i *IndexAddr) String() string    { return "&" + i.X.Name() + "[...]" }
+
+// ---- operators ----
+
+// A BinOp computes X Op Y.
+type BinOp struct {
+	register
+	Op token.Token
+	X  Value
+	Y  Value
+}
+
+func (b *BinOp) Operands() []Value { return []Value{b.X, b.Y} }
+func (b *BinOp) String() string    { return b.X.Name() + " " + b.Op.String() + " " + b.Y.Name() }
+
+// A UnOp computes Op X. Op == token.ARROW is a channel receive;
+// pointer indirection is expressed as Load, not UnOp{MUL}.
+type UnOp struct {
+	register
+	Op      token.Token
+	X       Value
+	CommaOk bool
+}
+
+func (u *UnOp) Operands() []Value { return []Value{u.X} }
+func (u *UnOp) String() string    { return u.Op.String() + u.X.Name() }
+
+// A Convert is a value conversion (including interface boxing in this
+// subset).
+type Convert struct {
+	register
+	X Value
+}
+
+func (c *Convert) Operands() []Value { return []Value{c.X} }
+func (c *Convert) String() string    { return "convert " + c.X.Name() }
+
+// An Extract selects component Index of a tuple-valued instruction.
+type Extract struct {
+	register
+	Tuple Value
+	Index int
+}
+
+func (e *Extract) Operands() []Value { return []Value{e.Tuple} }
+func (e *Extract) String() string    { return fmt.Sprintf("extract %s #%d", e.Tuple.Name(), e.Index) }
+
+// A MakeClosure binds free variables into a function literal. Bindings
+// holds the *addresses* (Alloc/FreeVar cells) of the captured
+// variables, so an analysis sees captured locals escape.
+type MakeClosure struct {
+	register
+	Fn       *Function
+	Bindings []Value
+}
+
+func (m *MakeClosure) Operands() []Value { return m.Bindings }
+func (m *MakeClosure) String() string    { return "make closure " + m.Fn.Name }
+
+// A Make allocates a chan, map, or slice. The result is never nil.
+type Make struct {
+	register
+	Ops []Value
+}
+
+func (m *Make) Operands() []Value { return m.Ops }
+func (m *Make) String() string    { return "make " + safeTypeString(m.typ) }
+
+// An Opaque stands for any computation outside the builder subset
+// (type assertions, slice expressions, composite literal payloads,
+// builtin calls, ...). Its operands are the lowered sub-values, so
+// escape-style analyses still see every value that flows into it.
+type Opaque struct {
+	register
+	Op  string
+	Ops []Value
+}
+
+func (o *Opaque) Operands() []Value { return o.Ops }
+func (o *Opaque) String() string    { return "opaque " + o.Op }
+
+// ---- calls ----
+
+// CallCommon holds the shared parts of Call, Defer, and Go.
+//
+// Deviation from upstream: the static callee is resolved at build time
+// to its *types.Func (the upstream StaticCallee returns *ssa.Function,
+// which requires whole-program construction this subset does not do).
+type CallCommon struct {
+	Callee *types.Func // static callee, nil for dynamic and builtin calls
+	Value  Value       // callee operand for dynamic calls (a loaded func value); nil otherwise
+	Recv   Value       // receiver for method calls; nil otherwise
+	Args   []Value     // arguments, excluding the receiver
+}
+
+// StaticCallee returns the statically resolved callee, or nil.
+func (c *CallCommon) StaticCallee() *types.Func { return c.Callee }
+
+func (c *CallCommon) operands() []Value {
+	var ops []Value
+	if c.Value != nil {
+		ops = append(ops, c.Value)
+	}
+	if c.Recv != nil {
+		ops = append(ops, c.Recv)
+	}
+	ops = append(ops, c.Args...)
+	return ops
+}
+
+func (c *CallCommon) calleeName() string {
+	if c.Callee != nil {
+		return c.Callee.Name()
+	}
+	if c.Value != nil {
+		return c.Value.Name()
+	}
+	return "?"
+}
+
+// A Call invokes a function or method and yields its result.
+type Call struct {
+	register
+	Common CallCommon
+}
+
+func (c *Call) Operands() []Value { return c.Common.operands() }
+func (c *Call) String() string    { return "call " + c.Common.calleeName() }
+
+// A Defer pushes a deferred call.
+type Defer struct {
+	register
+	Common CallCommon
+}
+
+func (d *Defer) Operands() []Value { return d.Common.operands() }
+func (d *Defer) String() string    { return "defer " + d.Common.calleeName() }
+
+// A Go launches a goroutine.
+type Go struct {
+	register
+	Common CallCommon
+}
+
+func (g *Go) Operands() []Value { return g.Common.operands() }
+func (g *Go) String() string    { return "go " + g.Common.calleeName() }
+
+// ---- channel operations ----
+
+// A Send sends X on channel Chan.
+type Send struct {
+	register
+	Chan Value
+	X    Value
+}
+
+func (s *Send) Operands() []Value { return []Value{s.Chan, s.X} }
+func (s *Send) String() string    { return "send " + s.Chan.Name() }
+
+// ---- terminators ----
+
+// A Return terminates the function, yielding Results.
+type Return struct {
+	register
+	Results []Value
+}
+
+func (r *Return) Operands() []Value { return r.Results }
+func (r *Return) String() string    { return "return" }
+
+// A Jump transfers control to the block's sole successor.
+type Jump struct {
+	register
+}
+
+func (j *Jump) Operands() []Value { return nil }
+func (j *Jump) String() string    { return "jump" }
+
+// An If transfers control to the first successor if Cond is true, the
+// second otherwise.
+type If struct {
+	register
+	Cond Value
+}
+
+func (i *If) Operands() []Value { return []Value{i.Cond} }
+func (i *If) String() string    { return "if " + i.Cond.Name() }
+
+// A Panic calls panic(X) and unwinds.
+type Panic struct {
+	register
+	X Value
+}
+
+func (p *Panic) Operands() []Value { return []Value{p.X} }
+func (p *Panic) String() string    { return "panic" }
+
+func safeTypeString(t types.Type) string {
+	if t == nil {
+		return "?"
+	}
+	return t.String()
+}
